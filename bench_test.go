@@ -1,0 +1,254 @@
+package optrr
+
+// Benchmark harness for the paper's evaluation (Section VI): one benchmark
+// per figure plus the ablation benches DESIGN.md calls out. Each figure
+// bench runs the registered experiment once per iteration at a reduced,
+// fixed budget (the experiment's own shape checks still apply) and reports
+// the headline comparison numbers as custom metrics:
+//
+//	cov-o>w    fraction of the Warner front covered by the OptRR front
+//	cov-w>o    fraction of the OptRR front covered by the Warner front
+//	privmin-o  lowest privacy reached by OptRR (range extension)
+//	privmin-w  lowest privacy reached by Warner
+//
+// Run with: go test -bench=. -benchmem
+// Full-scale: go run ./cmd/experiments -paper
+
+import (
+	"testing"
+
+	"optrr/internal/core"
+	"optrr/internal/dataset"
+	"optrr/internal/experiments"
+	"optrr/internal/pareto"
+)
+
+// benchBudget keeps figure benches to roughly a second per iteration while
+// preserving the shapes.
+func benchBudget() experiments.Config {
+	return experiments.Config{Generations: 800, WarnerSteps: 300, Seed: 1}
+}
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchBudget()
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		rep, err = e.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportFrontMetrics(b, rep)
+}
+
+func reportFrontMetrics(b *testing.B, rep *experiments.Report) {
+	b.Helper()
+	var wf, of []pareto.Point
+	for _, s := range rep.Series {
+		switch s.Name {
+		case "warner":
+			wf = s.Points
+		case "optrr":
+			of = s.Points
+		}
+	}
+	if len(wf) == 0 || len(of) == 0 {
+		return
+	}
+	b.ReportMetric(pareto.Coverage(of, wf), "cov-o>w")
+	b.ReportMetric(pareto.Coverage(wf, of), "cov-w>o")
+	wMin, _ := pareto.PrivacyRange(wf)
+	oMin, _ := pareto.PrivacyRange(of)
+	b.ReportMetric(wMin, "privmin-w")
+	b.ReportMetric(oMin, "privmin-o")
+}
+
+// Figure 4: normal prior at four privacy bounds.
+
+func BenchmarkFig4a(b *testing.B) { benchFigure(b, "fig4a") }
+func BenchmarkFig4b(b *testing.B) { benchFigure(b, "fig4b") }
+func BenchmarkFig4c(b *testing.B) { benchFigure(b, "fig4c") }
+func BenchmarkFig4d(b *testing.B) { benchFigure(b, "fig4d") }
+
+// Figure 5: gamma, uniform, Adult-like, and iterative re-scoring.
+
+func BenchmarkFig5a(b *testing.B) { benchFigure(b, "fig5a") }
+func BenchmarkFig5b(b *testing.B) { benchFigure(b, "fig5b") }
+func BenchmarkFig5c(b *testing.B) { benchFigure(b, "fig5c") }
+func BenchmarkFig5d(b *testing.B) { benchFigure(b, "fig5d") }
+
+// Theorem 2 and Fact 1 (cheap, exact artifacts).
+
+// Extension: multi-dimensional OptRR (the paper's future work).
+
+func BenchmarkExtMulti(b *testing.B) {
+	e, err := experiments.Lookup("ext-multi")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchBudget()
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		rep, err = e.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var base, opt []pareto.Point
+	for _, s := range rep.Series {
+		switch s.Name {
+		case "warner-tuple":
+			base = s.Points
+		case "optrr-multi":
+			opt = s.Points
+		}
+	}
+	if len(base) > 0 && len(opt) > 0 {
+		b.ReportMetric(pareto.Coverage(opt, base), "cov-o>w")
+		b.ReportMetric(pareto.Coverage(base, opt), "cov-w>o")
+	}
+}
+
+func BenchmarkTheorem2(b *testing.B) {
+	e, err := experiments.Lookup("thm2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiments.Config{WarnerSteps: 1000}
+	for i := 0; i < b.N; i++ {
+		rep, err := e.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Passed() {
+			b.Fatal("Theorem 2 check failed")
+		}
+	}
+}
+
+func BenchmarkFact1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.SearchSpaceSize(10, 100).BitLen() == 0 {
+			b.Fatal("empty search-space size")
+		}
+	}
+}
+
+// benchOptimize runs the core search with the given config tweaks and
+// reports front quality, for the ablation benches.
+func benchOptimize(b *testing.B, tweak func(*core.Config)) {
+	b.Helper()
+	prior := dataset.DefaultNormal(10).Prior(10)
+	var res core.Result
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig(prior, 10000, 0.8)
+		cfg.Generations = 800
+		cfg.Seed = uint64(i + 1)
+		if tweak != nil {
+			tweak(&cfg)
+		}
+		opt, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err = opt.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	pts := res.FrontPoints()
+	b.ReportMetric(float64(len(pts)), "front-size")
+	min, max := pareto.PrivacyRange(pts)
+	b.ReportMetric(max-min, "priv-span")
+	// The paper's comparison currency: the MSE paid for a given privacy
+	// level (scaled to micro-MSE so the numbers are readable).
+	for _, lvl := range []float64{0.55, 0.65} {
+		if u, ok := pareto.UtilityAt(pts, lvl); ok {
+			b.ReportMetric(u*1e6, "uMSE@"+levelName(lvl))
+		}
+	}
+}
+
+func levelName(lvl float64) string {
+	if lvl == 0.55 {
+		return "p55"
+	}
+	return "p65"
+}
+
+// Ablations (DESIGN.md §5): each switches off one of the paper's design
+// choices; compare front-size / priv-span / hypervol against the baseline.
+
+func BenchmarkAblationBaseline(b *testing.B) {
+	benchOptimize(b, nil)
+}
+
+// BenchmarkAblationNoOmega disables the optimal set Ω — plain SPEA2, the
+// paper's main modification removed. Expect a drastically smaller front.
+func BenchmarkAblationNoOmega(b *testing.B) {
+	benchOptimize(b, func(c *core.Config) { c.OmegaSize = 0 })
+}
+
+// BenchmarkAblationNaiveMutation replaces the correlation-preserving
+// proportional mutation with naive renormalization.
+func BenchmarkAblationNaiveMutation(b *testing.B) {
+	benchOptimize(b, func(c *core.Config) { c.MutationStyle = core.MutationNaive })
+}
+
+// BenchmarkAblationRejectBound discards bound-violating children instead of
+// repairing them (Section V-G removed).
+func BenchmarkAblationRejectBound(b *testing.B) {
+	benchOptimize(b, func(c *core.Config) { c.BoundMode = core.BoundReject })
+}
+
+// BenchmarkAblationNSGA2 swaps the SPEA2 engine for NSGA-II, validating the
+// paper's algorithm choice.
+func BenchmarkAblationNSGA2(b *testing.B) {
+	benchOptimize(b, func(c *core.Config) { c.Engine = core.EngineNSGA2 })
+}
+
+// BenchmarkAblationSymmetricOnly restricts the search to symmetric matrices
+// (the Agrawal–Haritsa related-work restriction). Expect a narrower span:
+// the asymmetric low-privacy corner becomes unreachable.
+func BenchmarkAblationSymmetricOnly(b *testing.B) {
+	benchOptimize(b, func(c *core.Config) { c.SymmetricOnly = true })
+}
+
+// BenchmarkAblationWeightedSum runs the scalarized single-objective baseline
+// the paper rejects, at a budget comparable to the other ablations; compare
+// front-size and priv-span against BenchmarkAblationBaseline.
+func BenchmarkAblationWeightedSum(b *testing.B) {
+	prior := dataset.DefaultNormal(10).Prior(10)
+	var res core.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.OptimizeWeightedSum(core.WeightedSumConfig{
+			Prior:          prior,
+			Records:        10000,
+			Delta:          0.8,
+			Weights:        16,
+			PopulationSize: 20,
+			Generations:    100, // ~32k evaluations, matching 800 EMO generations
+			Seed:           uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	pts := res.FrontPoints()
+	b.ReportMetric(float64(len(pts)), "front-size")
+	min, max := pareto.PrivacyRange(pts)
+	b.ReportMetric(max-min, "priv-span")
+	for _, lvl := range []float64{0.55, 0.65} {
+		if u, ok := pareto.UtilityAt(pts, lvl); ok {
+			b.ReportMetric(u*1e6, "uMSE@"+levelName(lvl))
+		}
+	}
+}

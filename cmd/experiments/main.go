@@ -1,0 +1,64 @@
+// Command experiments regenerates the paper's tables and figures, plus this
+// repository's extension and ablation experiments.
+//
+// Usage:
+//
+//	experiments [-run id[,id...]] [-list] [-generations n] [-records n]
+//	            [-categories n] [-seed s] [-paper] [-quick]
+//	            [-csv dir] [-plot]
+//
+// With no -run flag every registered experiment runs in paper order. Each
+// run prints the machine-checked shape claims (PASS/FAIL) and summary
+// statistics; -plot adds an ASCII rendering of the fronts and -csv writes
+// one CSV per experiment into the given directory for external plotting.
+// The exit code is non-zero when any check fails.
+package main
+
+import (
+	"flag"
+	"os"
+
+	"optrr/internal/experiments"
+)
+
+func main() {
+	var (
+		runIDs      = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		list        = flag.Bool("list", false, "list registered experiments and exit")
+		generations = flag.Int("generations", 0, "EMO generation budget (0 = default 3000; the paper used 20000)")
+		records     = flag.Int("records", 0, "data-set size N (0 = default 10000)")
+		categories  = flag.Int("categories", 0, "attribute categories n (0 = default 10)")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		paper       = flag.Bool("paper", false, "use the paper's full-scale budgets (20000 generations)")
+		quick       = flag.Bool("quick", false, "use a smoke-test budget (seconds per experiment)")
+		csvDir      = flag.String("csv", "", "directory to write per-experiment CSV series into")
+		plot        = flag.Bool("plot", false, "print ASCII plots of the fronts")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{}
+	if *paper {
+		cfg = experiments.Paper()
+	}
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *generations != 0 {
+		cfg.Generations = *generations
+	}
+	if *records != 0 {
+		cfg.Records = *records
+	}
+	if *categories != 0 {
+		cfg.Categories = *categories
+	}
+	cfg.Seed = *seed
+
+	os.Exit(run(options{
+		runIDs: *runIDs,
+		list:   *list,
+		cfg:    cfg,
+		csvDir: *csvDir,
+		plot:   *plot,
+	}, os.Stdout, os.Stderr))
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"optrr/internal/experiments"
+)
+
+// options carries the parsed command-line configuration; separating it from
+// flag parsing keeps the runner testable.
+type options struct {
+	runIDs string
+	list   bool
+	cfg    experiments.Config
+	csvDir string
+	plot   bool
+}
+
+// run executes the tool and returns the process exit code.
+func run(opts options, stdout, stderr io.Writer) int {
+	if opts.list {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(stdout, "%-20s %s\n", e.ID, e.Title)
+		}
+		return 0
+	}
+
+	var selected []experiments.Experiment
+	if opts.runIDs == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(opts.runIDs, ",") {
+			e, err := experiments.Lookup(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if opts.csvDir != "" {
+		if err := os.MkdirAll(opts.csvDir, 0o755); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+
+	failed := 0
+	for _, e := range selected {
+		start := time.Now()
+		rep, err := e.Run(opts.cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Fprintf(stdout, "%s(%s)\n", rep.Summary(), time.Since(start).Round(time.Millisecond))
+		if opts.plot {
+			fmt.Fprintln(stdout, rep.ASCIIPlot())
+		}
+		if opts.csvDir != "" {
+			if err := writeCSV(rep, opts.csvDir, stdout); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+		}
+		if !rep.Passed() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "%d experiment(s) with failing checks\n", failed)
+		return 1
+	}
+	return 0
+}
+
+func writeCSV(rep *experiments.Report, dir string, stdout io.Writer) error {
+	path := filepath.Join(dir, rep.ID+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "   csv: %s\n", path)
+	return nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"optrr/internal/experiments"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run(options{list: true}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	for _, id := range []string{"fig4a", "fig5d", "thm2", "fact1", "ext-multi", "abl-omega"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("list output missing %q", id)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run(options{runIDs: "nope"}, &out, &errOut)
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown experiment") {
+		t.Fatalf("stderr: %s", errOut.String())
+	}
+}
+
+func TestRunFact1WithCSV(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut bytes.Buffer
+	code := run(options{
+		runIDs: "fact1,thm2",
+		cfg:    experiments.Config{WarnerSteps: 100, Generations: 1},
+		csvDir: dir,
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"[PASS]", "1.98e126", "identical"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "thm2.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "series,privacy,utility") {
+		t.Fatalf("csv header wrong: %q", string(data)[:40])
+	}
+}
+
+func TestRunPlotOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run(options{
+		runIDs: "thm2",
+		cfg:    experiments.Config{WarnerSteps: 100, Generations: 1},
+		plot:   true,
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "utility (MSE) vs privacy") {
+		t.Fatalf("plot missing:\n%s", out.String())
+	}
+}

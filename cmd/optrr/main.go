@@ -1,0 +1,217 @@
+// Command optrr searches for optimal randomized-response matrices for a
+// given categorical prior and privacy bound, printing the Pareto front and,
+// optionally, the matrix meeting a requested privacy level.
+//
+// The prior comes from one of three sources:
+//
+//	-prior 0.4,0.3,0.2,0.1      explicit probabilities
+//	-dist normal|gamma|uniform|zipf|bimodal|adult  a named synthetic prior
+//	-data file                  one category index per line; the empirical
+//	                            distribution is used
+//
+// Examples:
+//
+//	optrr -dist normal -categories 10 -delta 0.8
+//	optrr -prior 0.5,0.3,0.2 -delta 0.7 -pick-privacy 0.45 -show-matrix
+//	optrr -data records.txt -categories 10 -delta 0.8 -csv front.csv
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"optrr"
+	"optrr/internal/core"
+	"optrr/internal/dataset"
+)
+
+func main() {
+	var (
+		priorFlag   = flag.String("prior", "", "comma-separated category probabilities")
+		distFlag    = flag.String("dist", "", "named prior: normal, gamma, uniform, zipf, bimodal, adult")
+		dataFlag    = flag.String("data", "", "file with one category index per line")
+		categories  = flag.Int("categories", 10, "number of categories for -dist/-data priors")
+		records     = flag.Int("records", 10000, "data-set size N for the utility metric")
+		delta       = flag.Float64("delta", 0.8, "worst-case posterior bound (Equation 9)")
+		generations = flag.Int("generations", 3000, "EMO generation budget (the paper used 20000)")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		pickPrivacy = flag.Float64("pick-privacy", -1, "print the best matrix with at least this privacy")
+		showMatrix  = flag.Bool("show-matrix", false, "print the picked matrix")
+		savePath    = flag.String("save", "", "write the picked matrix as JSON to this path")
+		csvPath     = flag.String("csv", "", "write the front as CSV to this path")
+		quiet       = flag.Bool("quiet", false, "suppress the front listing")
+	)
+	flag.Parse()
+
+	prior, err := resolvePrior(*priorFlag, *distFlag, *dataFlag, *categories)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := core.DefaultConfig(prior, *records, *delta)
+	cfg.Generations = *generations
+	start := time.Now()
+	res, err := optrr.Optimize(optrr.Problem{
+		Prior:    prior,
+		Records:  *records,
+		Delta:    *delta,
+		Seed:     *seed,
+		Advanced: &cfg,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("prior: %s\n", formatVec(prior))
+	fmt.Printf("front: %d optimal matrices in %v (%d evaluations)\n",
+		len(res.Front), time.Since(start).Round(time.Millisecond), res.Evaluations)
+
+	if !*quiet {
+		fmt.Println("privacy    utility(MSE)")
+		for _, p := range res.Front {
+			fmt.Printf("%.4f     %.6e\n", p.Privacy, p.Utility)
+		}
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		w := bufio.NewWriter(f)
+		fmt.Fprintln(w, "privacy,utility")
+		for _, p := range res.Front {
+			fmt.Fprintf(w, "%g,%g\n", p.Privacy, p.Utility)
+		}
+		if err := w.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("front written to %s\n", *csvPath)
+	}
+
+	if *pickPrivacy >= 0 {
+		m, ok := res.MatrixWithPrivacyAtLeast(*pickPrivacy)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "no matrix reaches privacy %.3f (front max %.3f)\n",
+				*pickPrivacy, res.Front[len(res.Front)-1].Privacy)
+			os.Exit(1)
+		}
+		ev, err := optrr.Evaluate(m, prior, *records)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("picked: privacy %.4f, utility %.6e, max posterior %.4f, LDP epsilon %.3f\n",
+			ev.Privacy, ev.Utility, ev.MaxPosterior, optrr.LocalDPEpsilon(m))
+		if *showMatrix {
+			fmt.Println(m)
+		}
+		if *savePath != "" {
+			data, err := json.MarshalIndent(m, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*savePath, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("matrix written to %s\n", *savePath)
+		}
+	}
+}
+
+func resolvePrior(priorFlag, distFlag, dataFlag string, n int) ([]float64, error) {
+	set := 0
+	for _, s := range []string{priorFlag, distFlag, dataFlag} {
+		if s != "" {
+			set++
+		}
+	}
+	if set != 1 {
+		return nil, fmt.Errorf("exactly one of -prior, -dist, -data is required")
+	}
+	switch {
+	case priorFlag != "":
+		parts := strings.Split(priorFlag, ",")
+		prior := make([]float64, len(parts))
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return nil, fmt.Errorf("-prior entry %d: %v", i, err)
+			}
+			prior[i] = v
+		}
+		if err := dataset.ValidateDistribution(prior); err != nil {
+			return nil, err
+		}
+		return prior, nil
+	case distFlag != "":
+		var g dataset.Generator
+		switch distFlag {
+		case "normal":
+			g = dataset.DefaultNormal(n)
+		case "gamma":
+			g = dataset.GammaGenerator(1, 2)
+		case "uniform":
+			g = dataset.UniformGenerator()
+		case "zipf":
+			g = dataset.ZipfGenerator(1)
+		case "bimodal":
+			g = dataset.BimodalGenerator()
+		case "adult":
+			g = dataset.DefaultAdult().Generator()
+		default:
+			return nil, fmt.Errorf("unknown -dist %q", distFlag)
+		}
+		return g.Prior(n), nil
+	default:
+		f, err := os.Open(dataFlag)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		var recs []int
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			text := strings.TrimSpace(sc.Text())
+			if text == "" || strings.HasPrefix(text, "#") {
+				continue
+			}
+			v, err := strconv.Atoi(text)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", dataFlag, line, err)
+			}
+			recs = append(recs, v)
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		d, err := dataset.NewCategorical(n, recs)
+		if err != nil {
+			return nil, err
+		}
+		return d.Distribution(), nil
+	}
+}
+
+func formatVec(v []float64) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = strconv.FormatFloat(x, 'f', 4, 64)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

@@ -1,0 +1,111 @@
+// Command rrdata generates the synthetic categorical data sets used by the
+// paper's experiments: one category index per output line, drawn from a
+// named prior. It can also disguise an existing data file with a Warner
+// matrix, producing the input a data collector would actually see.
+//
+// Examples:
+//
+//	rrdata -dist normal -categories 10 -records 10000 > normal.txt
+//	rrdata -dist adult -records 30000 -seed 7 > adult.txt
+//	rrdata -disguise normal.txt -categories 10 -warner 0.7 > disguised.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"optrr/internal/dataset"
+	"optrr/internal/randx"
+	"optrr/internal/rr"
+)
+
+func main() {
+	var (
+		dist       = flag.String("dist", "normal", "prior: normal, gamma, uniform, zipf, bimodal, adult")
+		categories = flag.Int("categories", 10, "number of categories")
+		records    = flag.Int("records", 10000, "number of records")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		disguise   = flag.String("disguise", "", "disguise this data file instead of generating")
+		warnerP    = flag.Float64("warner", 0.7, "Warner diagonal p for -disguise")
+	)
+	flag.Parse()
+
+	rng := randx.New(*seed)
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	if *disguise != "" {
+		if err := disguiseFile(*disguise, *categories, *warnerP, rng, out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var g dataset.Generator
+	switch *dist {
+	case "normal":
+		g = dataset.DefaultNormal(*categories)
+	case "gamma":
+		g = dataset.GammaGenerator(1, 2)
+	case "uniform":
+		g = dataset.UniformGenerator()
+	case "zipf":
+		g = dataset.ZipfGenerator(1)
+	case "bimodal":
+		g = dataset.BimodalGenerator()
+	case "adult":
+		g = dataset.DefaultAdult().Generator()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -dist %q\n", *dist)
+		os.Exit(2)
+	}
+	d, err := g.Generate(*categories, *records, rng)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, rec := range d.Records() {
+		fmt.Fprintln(out, rec)
+	}
+}
+
+func disguiseFile(path string, n int, p float64, rng *randx.Source, out *bufio.Writer) error {
+	m, err := rr.Warner(n, p)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var recs []int
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		v, err := strconv.Atoi(text)
+		if err != nil {
+			return fmt.Errorf("%s:%d: %v", path, line, err)
+		}
+		recs = append(recs, v)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	disguised, err := m.Disguise(recs, rng)
+	if err != nil {
+		return err
+	}
+	for _, rec := range disguised {
+		fmt.Fprintln(out, rec)
+	}
+	return nil
+}

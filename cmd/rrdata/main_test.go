@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"optrr/internal/randx"
+)
+
+func TestDisguiseFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.txt")
+	var in strings.Builder
+	in.WriteString("# header comment\n")
+	for i := 0; i < 300; i++ {
+		in.WriteString("0\n1\n2\n")
+	}
+	if err := os.WriteFile(path, []byte(in.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := disguiseFile(path, 3, 0.8, randx.New(1), w); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Fields(buf.String())
+	if len(lines) != 900 {
+		t.Fatalf("disguised %d records, want 900", len(lines))
+	}
+	changed := 0
+	for i, l := range lines {
+		if l != []string{"0", "1", "2"}[i%3] {
+			changed++
+		}
+	}
+	// Warner p=0.8 changes ~20% of the records.
+	if changed < 100 || changed > 300 {
+		t.Fatalf("changed %d of 900 records, expected around 180", changed)
+	}
+}
+
+func TestDisguiseFileErrors(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := disguiseFile("/nonexistent", 3, 0.8, randx.New(1), w); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("0\nx\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := disguiseFile(bad, 3, 0.8, randx.New(1), w); err == nil {
+		t.Fatal("non-numeric record accepted")
+	}
+	outOfRange := filepath.Join(dir, "range.txt")
+	if err := os.WriteFile(outOfRange, []byte("5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := disguiseFile(outOfRange, 3, 0.8, randx.New(1), w); err == nil {
+		t.Fatal("out-of-range record accepted")
+	}
+	if err := disguiseFile(bad, 3, 1.5, randx.New(1), w); err == nil {
+		t.Fatal("invalid Warner parameter accepted")
+	}
+}

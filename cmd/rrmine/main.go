@@ -1,0 +1,216 @@
+// Command rrmine demonstrates privacy-preserving data mining on a CSV
+// table: the table is disguised column by column with Warner randomized
+// response (playing the data owners), and all mining runs on the disguised
+// rows only (playing the collector) — reconstructed marginals, a decision
+// tree for a chosen class attribute, and a naive-Bayes classifier. Clean
+// and reconstructed numbers are printed side by side so the utility loss is
+// visible.
+//
+// Usage:
+//
+//	rrmine -data table.csv -class approved [-warner 0.8] [-seed 1]
+//	       [-tree] [-bayes] [-depth 3]
+//
+// The CSV needs a header row; category domains are inferred from the data.
+// With -demo, a built-in synthetic loan table is used instead of -data.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"optrr/internal/dataset"
+	"optrr/internal/mining"
+	"optrr/internal/randx"
+	"optrr/internal/rr"
+)
+
+func main() {
+	var (
+		dataPath     = flag.String("data", "", "CSV file with a header row")
+		demo         = flag.Bool("demo", false, "use a built-in synthetic loan table")
+		class        = flag.String("class", "", "class attribute for tree/bayes (default: last column)")
+		warnerP      = flag.Float64("warner", 0.8, "Warner diagonal p used to disguise every attribute")
+		seed         = flag.Uint64("seed", 1, "random seed")
+		tree         = flag.Bool("tree", true, "build a decision tree")
+		bayes        = flag.Bool("bayes", true, "train naive Bayes")
+		independence = flag.Bool("independence", false, "print a pairwise chi-square dependence table")
+		depth        = flag.Int("depth", 0, "max tree depth (0 = number of attributes)")
+	)
+	flag.Parse()
+
+	table, err := loadTable(*dataPath, *demo, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	attrs := table.Attributes()
+	classIdx := len(attrs) - 1
+	if *class != "" {
+		classIdx, err = table.AttributeIndex(*class)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	fmt.Printf("table: %d rows, %d attributes; class = %q\n",
+		table.Len(), len(attrs), attrs[classIdx].Name)
+
+	// Disguise (the data owners' side).
+	rng := randx.New(*seed)
+	ms := make([]*rr.Matrix, len(attrs))
+	for d, a := range attrs {
+		m, err := rr.Warner(len(a.Categories), *warnerP)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ms[d] = m
+	}
+	mr, err := mining.NewMultiRR(ms...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	disguised, err := mr.Disguise(table.Rows(), rng)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("disguised every attribute with Warner(p=%.2f); mining sees only disguised rows\n\n", *warnerP)
+
+	// Reconstructed marginals vs clean marginals.
+	fmt.Println("reconstructed marginals (clean value in parentheses):")
+	for d, a := range attrs {
+		sub, err := mining.NewMultiRR(ms[d])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		col := make([][]int, len(disguised))
+		for i, row := range disguised {
+			col[i] = []int{row[d]}
+		}
+		est, err := sub.EstimateJoint(col)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		est = rr.Clip(est)
+		clean, err := table.Marginal(d)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  %s:\n", a.Name)
+		for v, label := range a.Categories {
+			fmt.Printf("    %-12s %.4f (%.4f)\n", label, est[v], clean[v])
+		}
+	}
+
+	if *tree {
+		fmt.Println("\ndecision tree (trained on the reconstructed joint):")
+		joint, err := mr.EstimateJoint(disguised)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tr, err := mining.BuildTree(mr, joint, classIdx, mining.TreeConfig{MaxDepth: *depth})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		acc, err := tr.Accuracy(table.Rows())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  accuracy on the CLEAN rows: %.1f%%\n", 100*acc)
+	}
+
+	if *independence {
+		fmt.Println("\npairwise dependence (chi-square on the reconstructed joints):")
+		for a := 0; a < len(attrs); a++ {
+			for b := a + 1; b < len(attrs); b++ {
+				res, err := mining.ChiSquareIndependence(mr, disguised, a, b)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				verdict := "independent"
+				if res.Dependent(0.01) {
+					verdict = "DEPENDENT"
+				}
+				fmt.Printf("  %-10s vs %-10s  chi2=%8.1f  p=%.4f  V=%.3f  %s\n",
+					attrs[a].Name, attrs[b].Name, res.Statistic, res.PValue, res.CramersV, verdict)
+			}
+		}
+	}
+
+	if *bayes {
+		nb, err := mining.TrainNaiveBayes(mr, disguised, classIdx, 1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		acc, err := nb.Accuracy(table.Rows())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nnaive Bayes (trained on disguised rows): %.1f%% accuracy on clean rows\n", 100*acc)
+	}
+}
+
+// loadTable reads the CSV or synthesizes the demo table.
+func loadTable(path string, demo bool, seed uint64) (*dataset.Table, error) {
+	if demo == (path != "") {
+		return nil, fmt.Errorf("exactly one of -data or -demo is required")
+	}
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return dataset.ReadCSV(f, nil)
+	}
+	// Demo: loan approval depends on income and debt; region is noise.
+	attrs := []dataset.Attribute{
+		{Name: "income", Categories: []string{"low", "mid", "high"}},
+		{Name: "debt", Categories: []string{"none", "some", "heavy"}},
+		{Name: "region", Categories: []string{"north", "south"}},
+		{Name: "approved", Categories: []string{"no", "yes"}},
+	}
+	// Assemble the joint: P(income)·P(debt)·P(region)·P(approved | income, debt).
+	incomeP := []float64{0.4, 0.4, 0.2}
+	debtP := []float64{0.3, 0.5, 0.2}
+	regionP := []float64{0.55, 0.45}
+	approve := func(income, debt int) float64 {
+		switch {
+		case income == 2:
+			return 0.9
+		case income == 1 && debt == 0:
+			return 0.8
+		case income == 1 && debt == 1:
+			return 0.45
+		case income == 0 && debt != 2:
+			return 0.2
+		default:
+			return 0.05
+		}
+	}
+	joint := make([]float64, 3*3*2*2)
+	for i := 0; i < 3; i++ {
+		for d := 0; d < 3; d++ {
+			for r := 0; r < 2; r++ {
+				pa := approve(i, d)
+				base := incomeP[i] * debtP[d] * regionP[r]
+				joint[((i*3+d)*2+r)*2+0] = base * (1 - pa)
+				joint[((i*3+d)*2+r)*2+1] = base * pa
+			}
+		}
+	}
+	return dataset.SyntheticTable(attrs, joint, 40000, randx.New(seed))
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadTableDemo(t *testing.T) {
+	table, err := loadTable("", true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Len() != 40000 {
+		t.Fatalf("demo rows = %d", table.Len())
+	}
+	attrs := table.Attributes()
+	if len(attrs) != 4 || attrs[3].Name != "approved" {
+		t.Fatalf("demo schema = %v", attrs)
+	}
+	// The demo joint is a proper distribution; marginals must sum to 1 and
+	// match their construction.
+	inc, err := table.Marginal(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(inc[0]-0.4) > 0.01 || math.Abs(inc[2]-0.2) > 0.01 {
+		t.Fatalf("income marginal = %v", inc)
+	}
+}
+
+func TestLoadTableDemoDeterministic(t *testing.T) {
+	a, err := loadTable("", true, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loadTable("", true, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		for d := 0; d < 4; d++ {
+			if a.Row(i)[d] != b.Row(i)[d] {
+				t.Fatal("demo table not deterministic")
+			}
+		}
+	}
+}
+
+func TestLoadTableFromCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	content := "color,size\nred,small\nblue,big\nred,big\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	table, err := loadTable(path, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Len() != 3 || len(table.Attributes()) != 2 {
+		t.Fatalf("table shape: %d rows, %d attrs", table.Len(), len(table.Attributes()))
+	}
+}
+
+func TestLoadTableSourceValidation(t *testing.T) {
+	if _, err := loadTable("", false, 1); err == nil {
+		t.Fatal("no source accepted")
+	}
+	if _, err := loadTable("x.csv", true, 1); err == nil {
+		t.Fatal("two sources accepted")
+	}
+	if _, err := loadTable("/nonexistent.csv", false, 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,43 @@
+package optrr
+
+import (
+	"optrr/internal/collector"
+	"optrr/internal/randx"
+)
+
+// This file re-exports the collection-campaign layer: local randomization at
+// the respondent, incremental aggregation at the collector, and running
+// reconstruction with confidence intervals.
+
+// Collector accumulates disguised reports and answers distribution queries
+// at any point during collection.
+type Collector = collector.Collector
+
+// CollectionSummary is a point-in-time view of a collection: the
+// reconstruction and its confidence half-widths.
+type CollectionSummary = collector.Summary
+
+// Respondent holds one private value and submits disguised reports.
+type Respondent = collector.Respondent
+
+// SafeCollector is a Collector safe for concurrent ingestion and querying.
+type SafeCollector = collector.SafeCollector
+
+// NewCollector returns a collector for reports disguised with m. It is not
+// safe for concurrent use; see NewSafeCollector.
+func NewCollector(m *Matrix) *Collector { return collector.New(m) }
+
+// NewSafeCollector returns a concurrency-safe collector for reports
+// disguised with m.
+func NewSafeCollector(m *Matrix) *SafeCollector { return collector.NewSafe(m) }
+
+// NewRespondent prepares a respondent holding the given private value.
+func NewRespondent(m *Matrix, value int) (*Respondent, error) {
+	return collector.NewRespondent(m, value)
+}
+
+// SimulateCollection runs a complete campaign: records values drawn from the
+// prior, disguised with m, ingested into a fresh collector.
+func SimulateCollection(m *Matrix, prior []float64, records int, rng *randx.Source) (*Collector, error) {
+	return collector.Simulate(m, prior, records, rng)
+}

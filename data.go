@@ -1,0 +1,32 @@
+package optrr
+
+import (
+	"io"
+
+	"optrr/internal/dataset"
+	"optrr/internal/randx"
+)
+
+// This file re-exports the tabular data layer used by the mining consumers.
+
+// Table is a multi-attribute categorical data set with named attributes and
+// category labels.
+type Table = dataset.Table
+
+// Attribute describes one table column: its name and category labels.
+type Attribute = dataset.Attribute
+
+// NewTable creates an empty table with the given schema.
+func NewTable(attrs []Attribute) (*Table, error) { return dataset.NewTable(attrs) }
+
+// ReadTableCSV parses a table from CSV (header row required). With a nil
+// schema, each column's domain is inferred from the data.
+func ReadTableCSV(r io.Reader, schema []Attribute) (*Table, error) {
+	return dataset.ReadCSV(r, schema)
+}
+
+// SyntheticTable draws rows from an explicit joint distribution over the
+// schema (row-major, attribute 0 slowest).
+func SyntheticTable(attrs []Attribute, joint []float64, rows int, rng *randx.Source) (*Table, error) {
+	return dataset.SyntheticTable(attrs, joint, rows, rng)
+}

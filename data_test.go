@@ -1,0 +1,84 @@
+package optrr
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFacadeTableRoundTrip(t *testing.T) {
+	attrs := []Attribute{
+		{Name: "color", Categories: []string{"red", "green"}},
+		{Name: "size", Categories: []string{"s", "m", "l"}},
+	}
+	tab, err := NewTable(attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Append([]int{0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Append([]int{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTableCSV(strings.NewReader(sb.String()), attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 || back.Row(0)[1] != 2 {
+		t.Fatalf("round trip failed: %v", back.Rows())
+	}
+}
+
+func TestFacadeSyntheticTableAndIndependence(t *testing.T) {
+	attrs := []Attribute{
+		{Name: "a", Categories: []string{"0", "1", "2"}},
+		{Name: "b", Categories: []string{"0", "1", "2"}},
+	}
+	// Strongly dependent joint: mass on the diagonal.
+	joint := make([]float64, 9)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i == j {
+				joint[i*3+j] = 0.30
+			} else {
+				joint[i*3+j] = 0.10 / 6
+			}
+		}
+	}
+	rng := NewRand(19)
+	tab, err := SyntheticTable(attrs, joint, 30000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := make([]*Matrix, 2)
+	for i := range ms {
+		m, err := Warner(3, 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms[i] = m
+	}
+	mr, err := NewMultiRR(ms...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disguised, err := mr.Disguise(tab.Rows(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ChiSquareIndependence(mr, disguised, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Dependent(0.001) {
+		t.Fatalf("diagonal dependence not detected through disguise: %+v", res)
+	}
+	if res.PValue < 0 || res.PValue > 1 || math.IsNaN(res.PValue) {
+		t.Fatalf("p-value = %v", res.PValue)
+	}
+}

@@ -1,0 +1,78 @@
+// Survey: Warner's original 1965 use-case. A researcher wants to estimate
+// how many people have engaged in a sensitive behaviour. Each respondent
+// secretly flips a biased coin: with probability p they answer truthfully,
+// otherwise they answer the opposite. No individual answer is trustworthy —
+// that is the point — yet the population rate is recoverable, and the
+// program quantifies exactly how much an adversary could still infer.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"optrr"
+)
+
+func main() {
+	const (
+		respondents = 50000
+		trueRate    = 0.12 // 12% of the population has the sensitive trait
+		truthProb   = 0.75 // answer truthfully with probability 0.75
+	)
+	rng := optrr.NewRand(1965)
+
+	// Binary randomized response is the 2x2 Warner matrix.
+	m, err := optrr.Warner(2, truthProb)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ground truth (never leaves the respondents' heads).
+	answers := make([]int, respondents)
+	for i := range answers {
+		if rng.Float64() < trueRate {
+			answers[i] = 1
+		}
+	}
+
+	// Each respondent randomizes locally; the researcher sees only this.
+	reported, err := m.Disguise(answers, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	yes := 0
+	for _, a := range reported {
+		yes += a
+	}
+	rawRate := float64(yes) / respondents
+	fmt.Printf("raw 'yes' rate in reported answers: %.3f (inflated by the coin)\n", rawRate)
+
+	// Reconstruct the true rate from the disguised answers.
+	est, err := m.EstimateInversion(reported)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reconstructed sensitive rate:       %.3f (true %.3f)\n", est[1], trueRate)
+
+	// What could the researcher (as adversary) infer about an individual?
+	prior := []float64{1 - trueRate, trueRate}
+	priv, err := optrr.Privacy(m, prior)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mp, err := optrr.MaxPosterior(m, prior)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nadversary's best per-record accuracy: %.3f (privacy %.3f)\n", 1-priv, priv)
+	fmt.Printf("worst-case posterior on any answer:   %.3f\n", mp)
+
+	// What matters to a respondent: how sure can anyone be that they have
+	// the sensitive trait after seeing their 'yes' report?
+	// P(trait | reported yes) = P(yes|trait)·P(trait) / P(reported yes).
+	pReportYes := truthProb*trueRate + (1-truthProb)*(1-trueRate)
+	posteriorTrait := truthProb * trueRate / pReportYes
+	fmt.Printf("\na reported 'yes' raises the belief in the sensitive trait from %.0f%% to only %.0f%%\n",
+		trueRate*100, posteriorTrait*100)
+	fmt.Println("— the respondent keeps plausible deniability.")
+}

@@ -1,0 +1,3 @@
+module optrr
+
+go 1.22

@@ -1,0 +1,274 @@
+package optrr_test
+
+// Integration tests: every flow a downstream user runs, exercised through
+// the public API only (external test package), crossing module boundaries
+// end to end — optimize → disguise → reconstruct → mine.
+
+import (
+	"math"
+	"testing"
+
+	"optrr"
+)
+
+// sampleFrom draws n records from a categorical distribution.
+func sampleFrom(prior []float64, n int, rng *optrr.Rand) []int {
+	cum := make([]float64, len(prior))
+	s := 0.0
+	for i, p := range prior {
+		s += p
+		cum[i] = s
+	}
+	out := make([]int, n)
+	for i := range out {
+		u := rng.Float64()
+		out[i] = len(prior) - 1
+		for k, c := range cum {
+			if u <= c {
+				out[i] = k
+				break
+			}
+		}
+	}
+	return out
+}
+
+// TestIntegrationOptimizeDisguiseReconstruct is the paper's end-to-end
+// promise: a matrix from the optimized front protects individuals to the
+// stated bound while the aggregate distribution reconstructs within the
+// error the utility metric predicts.
+func TestIntegrationOptimizeDisguiseReconstruct(t *testing.T) {
+	prior := []float64{0.35, 0.25, 0.18, 0.12, 0.10}
+	const records = 20000
+	res, err := optrr.Optimize(optrr.Problem{
+		Prior:       prior,
+		Records:     records,
+		Delta:       0.75,
+		Seed:        11,
+		Generations: 600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := res.MatrixWithPrivacyAtLeast(0.5)
+	if !ok {
+		t.Fatal("no matrix with privacy >= 0.5")
+	}
+
+	rng := optrr.NewRand(12)
+	originals := sampleFrom(prior, records, rng)
+	disguised, err := m.Disguise(originals, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reconstruction lands near the truth, within a few predicted standard
+	// errors per category.
+	est, err := m.EstimateInversion(disguised)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := optrr.ConfidenceIntervals(m, est, records, 3.5) // ~99.95%
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range prior {
+		if math.Abs(est[k]-prior[k]) > half[k]+0.01 {
+			t.Errorf("category %d: estimate %v vs true %v exceeds CI %v", k, est[k], prior[k], half[k])
+		}
+	}
+
+	// The bound holds against the actual adversary: simulate MAP guessing
+	// and verify no more accurate than delta per record on average of the
+	// best-case disguised value.
+	mp, err := optrr.MaxPosterior(m, prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp > 0.75+1e-9 {
+		t.Fatalf("max posterior %v exceeds bound", mp)
+	}
+
+	// Iterative reconstruction agrees with inversion on this data.
+	iter, err := m.EstimateIterative(disguised, optrr.IterativeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range prior {
+		if math.Abs(iter[k]-est[k]) > 0.02 {
+			t.Errorf("category %d: iterative %v vs inversion %v", k, iter[k], est[k])
+		}
+	}
+}
+
+// TestIntegrationFrontBeatsClassicSchemes: every point of the optimized
+// front weakly improves on Warner, UP and FRAPP at its own privacy level.
+func TestIntegrationFrontBeatsClassicSchemes(t *testing.T) {
+	prior := []float64{0.4, 0.25, 0.15, 0.12, 0.08}
+	const (
+		records = 10000
+		delta   = 0.8
+	)
+	res, err := optrr.Optimize(optrr.Problem{
+		Prior:       prior,
+		Records:     records,
+		Delta:       delta,
+		Seed:        21,
+		Generations: 1200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Classic schemes' best feasible utility at each privacy level.
+	classicBest := func(privacy float64) (float64, bool) {
+		best := math.Inf(1)
+		found := false
+		for k := 0; k <= 500; k++ {
+			p := float64(k) / 500
+			for _, build := range []func() (*optrr.Matrix, error){
+				func() (*optrr.Matrix, error) { return optrr.Warner(len(prior), p) },
+				func() (*optrr.Matrix, error) { return optrr.UniformPerturbation(len(prior), p) },
+				func() (*optrr.Matrix, error) { return optrr.FRAPP(len(prior), p*20+0.01) },
+			} {
+				m, err := build()
+				if err != nil {
+					continue
+				}
+				mp, err := optrr.MaxPosterior(m, prior)
+				if err != nil || mp > delta {
+					continue
+				}
+				ev, err := optrr.Evaluate(m, prior, records)
+				if err != nil {
+					continue
+				}
+				if ev.Privacy >= privacy && ev.Utility < best {
+					best = ev.Utility
+					found = true
+				}
+			}
+		}
+		return best, found
+	}
+
+	// Probe three levels inside the optimized front's range.
+	lo := res.Front[0].Privacy
+	hi := res.Front[len(res.Front)-1].Privacy
+	for _, frac := range []float64{0.3, 0.5, 0.8} {
+		level := lo + (hi-lo)*frac
+		classic, ok := classicBest(level)
+		if !ok {
+			continue
+		}
+		m, ok := res.MatrixWithPrivacyAtLeast(level)
+		if !ok {
+			t.Fatalf("front lost privacy level %v", level)
+		}
+		util, err := optrr.Utility(m, prior, records)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if util > classic*1.05 {
+			t.Errorf("privacy %.2f: optimized MSE %.3e worse than classic %.3e", level, util, classic)
+		}
+	}
+}
+
+// TestIntegrationMultiDimensionalPipeline: optimize per-attribute matrices,
+// disguise a correlated two-attribute data set, reconstruct the joint and
+// mine a decision tree from it.
+func TestIntegrationMultiDimensionalPipeline(t *testing.T) {
+	// Correlated world over [3, 2]: attribute 1 tends to equal (attr 0 > 0).
+	joint := []float64{0.25, 0.05, 0.10, 0.20, 0.05, 0.35}
+	sizes := []int{3, 2}
+
+	res, err := optrr.OptimizeMulti(optrr.MultiProblem{
+		Joint:       joint,
+		Sizes:       sizes,
+		Records:     30000,
+		Delta:       0.8,
+		Seed:        31,
+		Generations: 150,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuple, ok := res.TupleWithPrivacyAtLeast(res.Front[0].Privacy)
+	if !ok {
+		t.Fatal("no tuple")
+	}
+
+	mr, err := optrr.NewMultiRR(tuple...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := optrr.NewRand(32)
+	flat := sampleFrom(joint, 30000, rng)
+	records := make([][]int, len(flat))
+	for i, idx := range flat {
+		records[i] = mr.Unindex(idx)
+	}
+	disguised, err := mr.Disguise(records, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := mr.EstimateJoint(disguised)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for i := range joint {
+		if d := math.Abs(est[i] - joint[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.05 {
+		t.Fatalf("joint reconstruction worst-cell error %v", worst)
+	}
+
+	// Grow a tree for attribute 1 from the reconstructed joint and verify
+	// it recovers the dominant correlation on clean data.
+	tree, err := optrr.BuildTree(mr, est, 1, optrr.TreeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := tree.Accuracy(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Majority-class baseline for attribute 1 under this joint is 0.60;
+	// using attribute 0 pushes the Bayes rate to 0.75.
+	if acc < 0.7 {
+		t.Fatalf("tree accuracy %v, want >= 0.7", acc)
+	}
+}
+
+// TestIntegrationSeededReproducibility: the same problem and seed produce
+// identical fronts across separate Optimize calls (cross-package
+// determinism, including the parallel evaluator).
+func TestIntegrationSeededReproducibility(t *testing.T) {
+	problem := optrr.Problem{
+		Prior:       []float64{0.5, 0.3, 0.2},
+		Records:     2000,
+		Delta:       0.9,
+		Seed:        99,
+		Generations: 200,
+	}
+	a, err := optrr.Optimize(problem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := optrr.Optimize(problem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Front) != len(b.Front) {
+		t.Fatalf("front sizes differ: %d vs %d", len(a.Front), len(b.Front))
+	}
+	for i := range a.Front {
+		if a.Front[i] != b.Front[i] {
+			t.Fatalf("fronts differ at %d: %v vs %v", i, a.Front[i], b.Front[i])
+		}
+	}
+}

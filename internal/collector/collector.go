@@ -1,0 +1,255 @@
+// Package collector simulates the deployment scenario that motivates the
+// paper (Section I): individuals hold private categorical values, each
+// applies randomized response locally, and a central collector aggregates
+// the disguised reports — never seeing an original value — while maintaining
+// a running reconstruction of the population distribution with
+// distribution-free error bars from the closed-form variance of Theorem 6.
+package collector
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"optrr/internal/metrics"
+	"optrr/internal/randx"
+	"optrr/internal/rr"
+)
+
+// Collector errors.
+var (
+	// ErrBadReport reports a disguised value outside the category domain.
+	ErrBadReport = errors.New("collector: report out of category range")
+	// ErrNoReports reports an estimate request before any ingestion.
+	ErrNoReports = errors.New("collector: no reports ingested")
+)
+
+// Collector accumulates disguised reports for one attribute and answers
+// distribution queries at any point during collection. It is not safe for
+// concurrent use; wrap it with a mutex if multiple goroutines ingest.
+type Collector struct {
+	m      *rr.Matrix
+	counts []int
+	total  int
+}
+
+// New returns a collector for reports disguised with the given matrix.
+func New(m *rr.Matrix) *Collector {
+	return &Collector{m: m, counts: make([]int, m.N())}
+}
+
+// Categories returns the attribute domain size.
+func (c *Collector) Categories() int { return len(c.counts) }
+
+// Count returns the number of reports ingested so far.
+func (c *Collector) Count() int { return c.total }
+
+// Counts returns a copy of the per-category report counts.
+func (c *Collector) Counts() []int {
+	out := make([]int, len(c.counts))
+	copy(out, c.counts)
+	return out
+}
+
+// Ingest adds one disguised report.
+func (c *Collector) Ingest(report int) error {
+	if report < 0 || report >= len(c.counts) {
+		return fmt.Errorf("%w: %d of %d categories", ErrBadReport, report, len(c.counts))
+	}
+	c.counts[report]++
+	c.total++
+	return nil
+}
+
+// IngestBatch adds many reports; on error the collector state is unchanged.
+func (c *Collector) IngestBatch(reports []int) error {
+	for _, r := range reports {
+		if r < 0 || r >= len(c.counts) {
+			return fmt.Errorf("%w: %d of %d categories", ErrBadReport, r, len(c.counts))
+		}
+	}
+	for _, r := range reports {
+		c.counts[r]++
+	}
+	c.total += len(reports)
+	return nil
+}
+
+// Disguised returns the empirical distribution of the disguised reports.
+func (c *Collector) Disguised() ([]float64, error) {
+	if c.total == 0 {
+		return nil, ErrNoReports
+	}
+	out := make([]float64, len(c.counts))
+	inv := 1 / float64(c.total)
+	for i, n := range c.counts {
+		out[i] = float64(n) * inv
+	}
+	return out, nil
+}
+
+// Estimate reconstructs the original distribution from the reports ingested
+// so far (inversion estimator, Theorem 1). Components may fall slightly
+// outside [0, 1] for small samples; see EstimateClipped.
+func (c *Collector) Estimate() ([]float64, error) {
+	pStar, err := c.Disguised()
+	if err != nil {
+		return nil, err
+	}
+	return c.m.EstimateInversionFromDistribution(pStar)
+}
+
+// EstimateClipped is Estimate projected onto the probability simplex.
+func (c *Collector) EstimateClipped() ([]float64, error) {
+	est, err := c.Estimate()
+	if err != nil {
+		return nil, err
+	}
+	return rr.Clip(est), nil
+}
+
+// Summary is a point-in-time view of the collection.
+type Summary struct {
+	// Reports is the number of reports behind the estimate.
+	Reports int
+	// Disguised is the empirical disguised distribution.
+	Disguised []float64
+	// Estimate is the reconstructed original distribution (clipped).
+	Estimate []float64
+	// HalfWidth contains per-category half-widths of approximate normal
+	// confidence intervals at the z used for the snapshot.
+	HalfWidth []float64
+	// Z is the normal quantile the half-widths were computed at.
+	Z float64
+}
+
+// Snapshot returns the current reconstruction with z-quantile confidence
+// half-widths (z = 1.96 for ~95%). The variance comes from Theorem 6
+// evaluated at the clipped estimate.
+func (c *Collector) Snapshot(z float64) (Summary, error) {
+	if z <= 0 {
+		return Summary{}, fmt.Errorf("collector: z must be positive, got %v", z)
+	}
+	disguised, err := c.Disguised()
+	if err != nil {
+		return Summary{}, err
+	}
+	est, err := c.EstimateClipped()
+	if err != nil {
+		return Summary{}, err
+	}
+	mses, err := metrics.PerCategoryMSE(c.m, est, c.total)
+	if err != nil {
+		return Summary{}, fmt.Errorf("collector: %w", err)
+	}
+	half := make([]float64, len(mses))
+	for k, v := range mses {
+		if v > 0 {
+			half[k] = z * math.Sqrt(v)
+		}
+	}
+	return Summary{
+		Reports:   c.total,
+		Disguised: disguised,
+		Estimate:  est,
+		HalfWidth: half,
+		Z:         z,
+	}, nil
+}
+
+// MarginOfError returns the largest confidence half-width across categories
+// at quantile z — "the estimate is within ±e of the truth (per category)
+// with the stated confidence".
+func (c *Collector) MarginOfError(z float64) (float64, error) {
+	s, err := c.Snapshot(z)
+	if err != nil {
+		return 0, err
+	}
+	var worst float64
+	for _, h := range s.HalfWidth {
+		if h > worst {
+			worst = h
+		}
+	}
+	return worst, nil
+}
+
+// ReportsForMargin returns the approximate number of reports needed for the
+// worst-category half-width at quantile z to shrink to the target margin,
+// assuming the current estimate of the distribution. It needs at least one
+// ingested report to calibrate.
+func (c *Collector) ReportsForMargin(margin, z float64) (int, error) {
+	if margin <= 0 {
+		return 0, fmt.Errorf("collector: margin must be positive, got %v", margin)
+	}
+	cur, err := c.MarginOfError(z)
+	if err != nil {
+		return 0, err
+	}
+	if cur <= margin {
+		return c.total, nil
+	}
+	// Half-widths scale as 1/sqrt(N).
+	scale := cur / margin
+	need := float64(c.total) * scale * scale
+	if need > math.MaxInt32 {
+		return math.MaxInt32, nil
+	}
+	return int(math.Ceil(need)), nil
+}
+
+// Respondent models one individual: a private value and the shared disguise
+// matrix. Report draws the disguised value to submit; the private value
+// never leaves the struct.
+type Respondent struct {
+	value    int
+	samplers []*randx.Alias
+}
+
+// NewRespondent prepares a respondent holding the given private value.
+func NewRespondent(m *rr.Matrix, value int) (*Respondent, error) {
+	if value < 0 || value >= m.N() {
+		return nil, fmt.Errorf("%w: value %d of %d categories", ErrBadReport, value, m.N())
+	}
+	samplers := make([]*randx.Alias, m.N())
+	for i := 0; i < m.N(); i++ {
+		a, err := randx.NewAlias(m.Column(i))
+		if err != nil {
+			return nil, fmt.Errorf("collector: column %d: %w", i, err)
+		}
+		samplers[i] = a
+	}
+	return &Respondent{value: value, samplers: samplers}, nil
+}
+
+// Report draws one disguised report. Repeated reports are independent draws
+// (callers wanting one-shot semantics should call it once).
+func (r *Respondent) Report(rng *randx.Source) int {
+	return r.samplers[r.value].Draw(rng)
+}
+
+// Simulate runs a complete collection campaign: records values drawn from
+// the prior, disguised with m, ingested into a fresh collector. It returns
+// the collector ready for querying.
+func Simulate(m *rr.Matrix, prior []float64, records int, rng *randx.Source) (*Collector, error) {
+	if records <= 0 {
+		return nil, fmt.Errorf("collector: records must be positive, got %d", records)
+	}
+	alias, err := randx.NewAlias(prior)
+	if err != nil {
+		return nil, fmt.Errorf("collector: %w", err)
+	}
+	originals := make([]int, records)
+	for i := range originals {
+		originals[i] = alias.Draw(rng)
+	}
+	disguised, err := m.Disguise(originals, rng)
+	if err != nil {
+		return nil, err
+	}
+	c := New(m)
+	if err := c.IngestBatch(disguised); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

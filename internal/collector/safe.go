@@ -1,0 +1,77 @@
+package collector
+
+import (
+	"sync"
+
+	"optrr/internal/rr"
+)
+
+// SafeCollector wraps Collector with a mutex so many goroutines — e.g. one
+// per network handler — can ingest concurrently. Query methods take the same
+// lock, so snapshots are consistent points in time.
+type SafeCollector struct {
+	mu sync.Mutex
+	c  *Collector
+}
+
+// NewSafe returns a concurrency-safe collector for reports disguised with m.
+func NewSafe(m *rr.Matrix) *SafeCollector {
+	return &SafeCollector{c: New(m)}
+}
+
+// Ingest adds one disguised report.
+func (s *SafeCollector) Ingest(report int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Ingest(report)
+}
+
+// IngestBatch adds many reports atomically.
+func (s *SafeCollector) IngestBatch(reports []int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.IngestBatch(reports)
+}
+
+// Count returns the number of reports ingested so far.
+func (s *SafeCollector) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Count()
+}
+
+// Estimate reconstructs the original distribution from the reports so far.
+func (s *SafeCollector) Estimate() ([]float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Estimate()
+}
+
+// EstimateClipped is Estimate projected onto the probability simplex.
+func (s *SafeCollector) EstimateClipped() ([]float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.EstimateClipped()
+}
+
+// Snapshot returns a consistent point-in-time view with confidence
+// half-widths at quantile z.
+func (s *SafeCollector) Snapshot(z float64) (Summary, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Snapshot(z)
+}
+
+// MarginOfError returns the worst-category half-width at quantile z.
+func (s *SafeCollector) MarginOfError(z float64) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.MarginOfError(z)
+}
+
+// ReportsForMargin projects the reports needed to reach the target margin.
+func (s *SafeCollector) ReportsForMargin(margin, z float64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.ReportsForMargin(margin, z)
+}

@@ -1,0 +1,82 @@
+package collector
+
+import (
+	"sync"
+	"testing"
+
+	"optrr/internal/randx"
+)
+
+func TestSafeCollectorConcurrentIngest(t *testing.T) {
+	m := mustWarner(t, 4, 0.8)
+	s := NewSafe(m)
+	const (
+		workers = 8
+		each    = 5000
+	)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := randx.New(seed)
+			for i := 0; i < each; i++ {
+				if err := s.Ingest(rng.Intn(4)); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%1000 == 0 {
+					// Interleave queries with ingestion.
+					if _, err := s.Estimate(); err != nil && err != ErrNoReports {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	if got := s.Count(); got != workers*each {
+		t.Fatalf("count = %d, want %d", got, workers*each)
+	}
+	sum, err := s.Snapshot(1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Reports != workers*each {
+		t.Fatalf("snapshot reports = %d", sum.Reports)
+	}
+	var total float64
+	for _, v := range sum.Estimate {
+		total += v
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("estimate sums to %v", total)
+	}
+}
+
+func TestSafeCollectorDelegates(t *testing.T) {
+	m := mustWarner(t, 3, 0.8)
+	s := NewSafe(m)
+	if _, err := s.Estimate(); err != ErrNoReports {
+		t.Fatalf("err = %v, want ErrNoReports", err)
+	}
+	if err := s.IngestBatch([]int{0, 1, 2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 4 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if _, err := s.EstimateClipped(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MarginOfError(1.96); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReportsForMargin(0.01, 1.96); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Ingest(9); err == nil {
+		t.Fatal("bad report accepted")
+	}
+}

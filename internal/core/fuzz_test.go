@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"optrr/internal/metrics"
+	"optrr/internal/randx"
+)
+
+// Fuzz targets complement the property tests: they derive structured inputs
+// (genomes, priors, bounds) from raw bytes so the fuzzer can explore corner
+// cases the quick-check generators miss. Under plain `go test` only the seed
+// corpus runs; use `go test -fuzz FuzzMeetBound ./internal/core` to fuzz.
+
+// genomeFromBytes builds an n×n genome from raw bytes, normalizing each
+// column. Returns nil if there is not enough data.
+func genomeFromBytes(data []byte, n int) Genome {
+	if n < 2 || len(data) < n*n {
+		return nil
+	}
+	g := make(Genome, n)
+	k := 0
+	for i := range g {
+		col := make([]float64, n)
+		var sum float64
+		for j := range col {
+			col[j] = float64(data[k]) + 1 // strictly positive
+			sum += col[j]
+			k++
+		}
+		for j := range col {
+			col[j] /= sum
+		}
+		g[i] = col
+	}
+	return g
+}
+
+func priorFromBytes(data []byte, n int) []float64 {
+	if len(data) < n {
+		return nil
+	}
+	p := make([]float64, n)
+	var sum float64
+	for i := range p {
+		p[i] = float64(data[i]) + 1
+		sum += p[i]
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return p
+}
+
+func FuzzMeetBound(f *testing.F) {
+	f.Add([]byte{10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120, 1, 2, 3}, uint8(4), uint8(200))
+	f.Add([]byte{0, 0, 0, 255, 255, 255, 1, 1, 1, 9, 9, 9, 80, 80, 80}, uint8(3), uint8(128))
+	f.Fuzz(func(t *testing.T, data []byte, nRaw, dRaw uint8) {
+		n := int(nRaw%5) + 2
+		if len(data) < n*n+n {
+			return
+		}
+		g := genomeFromBytes(data, n)
+		prior := priorFromBytes(data[n*n:], n)
+		if g == nil || prior == nil {
+			return
+		}
+		floor := metrics.BoundFloor(prior)
+		delta := floor + (1-floor)*(0.02+0.96*float64(dRaw)/255)
+		ok := MeetBound(g, prior, delta, false)
+		if !ok {
+			t.Fatalf("achievable bound %v (floor %v) reported unrepairable", delta, floor)
+		}
+		if !g.Valid() {
+			t.Fatalf("repair broke column stochasticity: %v", g)
+		}
+		m, err := g.Matrix()
+		if err != nil {
+			t.Fatalf("repaired genome rejected: %v", err)
+		}
+		mp, err := metrics.MaxPosterior(m, prior)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mp > delta+1e-9 {
+			t.Fatalf("max posterior %v above bound %v after repair", mp, delta)
+		}
+	})
+}
+
+func FuzzMutateCrossover(f *testing.F) {
+	f.Add(uint64(1), uint8(3), uint8(17))
+	f.Add(uint64(42), uint8(9), uint8(255))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, ops uint8) {
+		n := int(nRaw%8) + 2
+		r := randx.New(seed)
+		a := NewRandomGenome(n, r)
+		b := NewRandomGenome(n, r)
+		for k := 0; k < int(ops%32); k++ {
+			switch k % 3 {
+			case 0:
+				Mutate(a, MutationProportional, 1, r)
+			case 1:
+				Mutate(b, MutationNaive, 1, r)
+			default:
+				var err error
+				a, b, err = Crossover(a, b, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !a.Valid() || !b.Valid() {
+				t.Fatalf("operator %d broke stochasticity", k%3)
+			}
+		}
+	})
+}

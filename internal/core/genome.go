@@ -1,0 +1,280 @@
+// Package core implements the paper's primary contribution: the SPEA2-based
+// evolutionary search for optimal randomized-response matrices (Section V),
+// including the RR-specific crossover and mutation operators, the δ-bound
+// repair step, the privacy-indexed optimal set Ω, and the optimizer loop
+// that ties them to the generic SPEA2 machinery in internal/emoo.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"optrr/internal/randx"
+	"optrr/internal/rr"
+)
+
+// Genome is the evolutionary representation of an RR matrix: a slice of n
+// column vectors, each of length n and summing to one. Column i is the
+// disguise distribution of original category c_i (so Genome[i][j] = θ_{j,i}).
+type Genome [][]float64
+
+// NewRandomGenome draws each column independently from the flat Dirichlet
+// distribution (normalized exponentials), giving a uniform sample over the
+// column simplex — the random initial population of the algorithm.
+func NewRandomGenome(n int, r *randx.Source) Genome {
+	g := make(Genome, n)
+	for i := range g {
+		col := make([]float64, n)
+		var sum float64
+		for j := range col {
+			col[j] = r.Exp(1)
+			sum += col[j]
+		}
+		for j := range col {
+			col[j] /= sum
+		}
+		g[i] = col
+	}
+	return g
+}
+
+// Clone deep-copies the genome.
+func (g Genome) Clone() Genome {
+	out := make(Genome, len(g))
+	for i, col := range g {
+		c := make([]float64, len(col))
+		copy(c, col)
+		out[i] = c
+	}
+	return out
+}
+
+// N returns the number of categories.
+func (g Genome) N() int { return len(g) }
+
+// Matrix converts the genome into a validated RR matrix.
+func (g Genome) Matrix() (*rr.Matrix, error) {
+	return rr.FromColumns(g)
+}
+
+// Valid reports whether every column is a probability vector.
+func (g Genome) Valid() bool {
+	n := len(g)
+	for _, col := range g {
+		if len(col) != n {
+			return false
+		}
+		var sum float64
+		for _, v := range col {
+			if v < -1e-9 || v > 1+1e-9 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-7 {
+			return false
+		}
+	}
+	return true
+}
+
+// renormalize clamps negatives produced by floating-point drift and rescales
+// each column to sum exactly to one.
+func (g Genome) renormalize() {
+	for _, col := range g {
+		var sum float64
+		for j, v := range col {
+			if v < 0 {
+				col[j] = 0
+				v = 0
+			}
+			sum += v
+		}
+		if sum <= 0 {
+			u := 1 / float64(len(col))
+			for j := range col {
+				col[j] = u
+			}
+			continue
+		}
+		for j := range col {
+			col[j] /= sum
+		}
+	}
+}
+
+// Symmetrize projects the genome onto the symmetric column-stochastic
+// matrices (θ_{j,i} = θ_{i,j}), which are exactly the symmetric doubly
+// stochastic matrices. A single transpose-average breaks the column sums and
+// a single renormalization breaks symmetry, so the projection alternates the
+// two (a Sinkhorn-style iteration) until both hold. This reproduces the
+// Agrawal–Haritsa restriction the paper's related-work section criticizes;
+// it is exposed for the SymmetricOnly ablation.
+func (g Genome) Symmetrize() {
+	n := len(g)
+	const (
+		maxIter = 200
+		tol     = 1e-12
+	)
+	for iter := 0; iter < maxIter; iter++ {
+		var drift float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				avg := (g[i][j] + g[j][i]) / 2
+				drift = math.Max(drift, math.Abs(g[i][j]-avg))
+				g[i][j] = avg
+				g[j][i] = avg
+			}
+		}
+		var sumDrift float64
+		for _, col := range g {
+			var sum float64
+			for _, v := range col {
+				sum += v
+			}
+			sumDrift = math.Max(sumDrift, math.Abs(sum-1))
+		}
+		g.renormalize()
+		if drift < tol && sumDrift < tol {
+			return
+		}
+	}
+}
+
+// Crossover implements the paper's column-cut crossover (Section V-E): a
+// random cut line between two neighbouring columns is chosen and all columns
+// to its right are swapped between the two parents. Because whole columns
+// move, column stochasticity is preserved by construction. The parents are
+// not modified; two children are returned.
+func Crossover(a, b Genome, r *randx.Source) (Genome, Genome, error) {
+	n := a.N()
+	if n != b.N() {
+		return nil, nil, fmt.Errorf("core: crossover of genomes with %d and %d categories", n, b.N())
+	}
+	if n < 2 {
+		return nil, nil, fmt.Errorf("core: crossover needs at least 2 categories, got %d", n)
+	}
+	cut := 1 + r.Intn(n-1) // cut ∈ [1, n-1]: both sides non-empty
+	c1 := a.Clone()
+	c2 := b.Clone()
+	for i := cut; i < n; i++ {
+		c1[i], c2[i] = c2[i], c1[i]
+	}
+	return c1, c2, nil
+}
+
+// MutationStyle selects between the paper's correlation-preserving mutation
+// and a naive baseline, for the ablation study.
+type MutationStyle int
+
+const (
+	// MutationProportional is the paper's operator (Section V-F): after
+	// perturbing one element of a column, the compensation is spread over
+	// the other elements proportionally — to their values when compensating
+	// a subtraction of mass from them, and to their headroom (1 − value)
+	// when compensating an addition — preserving the column's internal
+	// correlations.
+	MutationProportional MutationStyle = iota
+	// MutationNaive perturbs one element and then renormalizes the whole
+	// column by its sum, destroying the correlation structure. It exists as
+	// the ablation baseline.
+	MutationNaive
+)
+
+// String implements fmt.Stringer.
+func (s MutationStyle) String() string {
+	switch s {
+	case MutationProportional:
+		return "proportional"
+	case MutationNaive:
+		return "naive"
+	default:
+		return fmt.Sprintf("MutationStyle(%d)", int(s))
+	}
+}
+
+// Mutate perturbs the genome in place according to the chosen style: a
+// random element of a random column is moved by a random amount (< 1) and
+// the rest of the column compensates. The magnitude is additionally scaled
+// by scale ∈ (0, 1], allowing annealed mutation steps.
+func Mutate(g Genome, style MutationStyle, scale float64, r *randx.Source) {
+	n := g.N()
+	if n < 2 {
+		return
+	}
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	col := g[r.Intn(n)]
+	i := r.Intn(n)
+	add := r.Float64() < 0.5
+
+	switch style {
+	case MutationNaive:
+		delta := r.Float64() * scale
+		if add {
+			col[i] += delta
+		} else {
+			col[i] -= delta
+			if col[i] < 0 {
+				col[i] = 0
+			}
+		}
+		var sum float64
+		for _, v := range col {
+			sum += v
+		}
+		if sum <= 0 {
+			u := 1 / float64(n)
+			for j := range col {
+				col[j] = u
+			}
+			return
+		}
+		for j := range col {
+			col[j] /= sum
+		}
+	default: // MutationProportional
+		if add {
+			headroom := 1 - col[i]
+			if headroom <= 0 {
+				return // element already saturated; mutation is a no-op
+			}
+			a := r.Float64() * headroom * scale
+			// Subtract a in total from the other elements, proportional to
+			// their current values (their combined mass is exactly 1−col[i]).
+			others := 1 - col[i]
+			if others <= 0 {
+				return
+			}
+			for j := range col {
+				if j != i {
+					col[j] -= a * col[j] / others
+				}
+			}
+			col[i] += a
+		} else {
+			if col[i] <= 0 {
+				return // nothing to subtract
+			}
+			a := r.Float64() * col[i] * scale
+			// Add a in total to the other elements, proportional to their
+			// headroom 1−value.
+			var headroom float64
+			for j := range col {
+				if j != i {
+					headroom += 1 - col[j]
+				}
+			}
+			if headroom <= 0 {
+				return
+			}
+			for j := range col {
+				if j != i {
+					col[j] += a * (1 - col[j]) / headroom
+				}
+			}
+			col[i] -= a
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"optrr/internal/randx"
+)
+
+func TestNewRandomGenomeValid(t *testing.T) {
+	r := randx.New(1)
+	for i := 0; i < 100; i++ {
+		g := NewRandomGenome(10, r)
+		if !g.Valid() {
+			t.Fatalf("random genome invalid: %v", g)
+		}
+		if _, err := g.Matrix(); err != nil {
+			t.Fatalf("random genome rejected by rr: %v", err)
+		}
+	}
+}
+
+func TestGenomeCloneIndependent(t *testing.T) {
+	r := randx.New(2)
+	g := NewRandomGenome(4, r)
+	c := g.Clone()
+	c[0][0] = 99
+	if g[0][0] == 99 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestGenomeValidRejects(t *testing.T) {
+	cases := []Genome{
+		{{0.5, 0.6}, {0.5, 0.4}},       // column 0 sums to 1.1? no: columns are the inner slices: {0.5,0.6} sums to 1.1
+		{{1.2, -0.2}, {0.5, 0.5}},      // out of range entries
+		{{0.5, 0.5}, {0.5}},            // ragged
+		{{math.NaN(), 1}, {0.5, 0.5}},  // NaN
+		{{0.25, 0.25, 0.5}, {1, 0, 0}}, // 3-length columns in a 2-genome
+	}
+	for i, g := range cases {
+		if g.Valid() {
+			t.Errorf("case %d: invalid genome accepted", i)
+		}
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	r := randx.New(3)
+	g := NewRandomGenome(5, r)
+	g.Symmetrize()
+	if !g.Valid() {
+		t.Fatal("symmetrized genome invalid")
+	}
+	// Symmetric up to the renormalization: since averaging makes the matrix
+	// symmetric and symmetric column-stochastic matrices are also
+	// row-stochastic, the renormalization divisor is ~1 and symmetry holds.
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if math.Abs(g[i][j]-g[j][i]) > 1e-6 {
+				t.Fatalf("not symmetric at (%d,%d): %v vs %v", i, j, g[i][j], g[j][i])
+			}
+		}
+	}
+}
+
+func TestCrossoverSwapsColumnSuffix(t *testing.T) {
+	r := randx.New(4)
+	a := NewRandomGenome(6, r)
+	b := NewRandomGenome(6, r)
+	aOrig, bOrig := a.Clone(), b.Clone()
+	c1, c2, err := Crossover(a, b, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parents untouched.
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != aOrig[i][j] || b[i][j] != bOrig[i][j] {
+				t.Fatal("crossover modified a parent")
+			}
+		}
+	}
+	// Each child column comes verbatim from one parent; the split is a
+	// prefix/suffix at the same cut for both children.
+	cut := -1
+	for i := range c1 {
+		fromA := equalCol(c1[i], aOrig[i])
+		fromB := equalCol(c1[i], bOrig[i])
+		if !fromA && !fromB {
+			t.Fatalf("child column %d matches neither parent", i)
+		}
+		if !fromA && cut == -1 {
+			cut = i
+		}
+		if cut != -1 && fromA && !fromB {
+			t.Fatalf("child 1 has parent-A column %d after the cut %d", i, cut)
+		}
+	}
+	if cut < 1 || cut >= 6 {
+		t.Fatalf("cut = %d outside [1, 5]", cut)
+	}
+	for i := range c2 {
+		want := bOrig[i]
+		if i >= cut {
+			want = aOrig[i]
+		}
+		if !equalCol(c2[i], want) {
+			t.Fatalf("child 2 column %d is not the mirrored swap", i)
+		}
+	}
+	if !c1.Valid() || !c2.Valid() {
+		t.Fatal("crossover children invalid")
+	}
+}
+
+func equalCol(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCrossoverErrors(t *testing.T) {
+	r := randx.New(1)
+	if _, _, err := Crossover(NewRandomGenome(3, r), NewRandomGenome(4, r), r); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	one := Genome{{1}}
+	if _, _, err := Crossover(one, one, r); err == nil {
+		t.Fatal("1-category crossover accepted")
+	}
+}
+
+func TestPropertyCrossoverPreservesStochasticity(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%8) + 2
+		r := randx.New(seed)
+		a := NewRandomGenome(n, r)
+		b := NewRandomGenome(n, r)
+		c1, c2, err := Crossover(a, b, r)
+		if err != nil {
+			return false
+		}
+		return c1.Valid() && c2.Valid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutateProportionalPreservesStochasticity(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, rounds uint8) bool {
+		n := int(nRaw%8) + 2
+		r := randx.New(seed)
+		g := NewRandomGenome(n, r)
+		for k := 0; k < int(rounds%20)+1; k++ {
+			Mutate(g, MutationProportional, 1, r)
+		}
+		return g.Valid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutateNaivePreservesStochasticity(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, rounds uint8) bool {
+		n := int(nRaw%8) + 2
+		r := randx.New(seed)
+		g := NewRandomGenome(n, r)
+		for k := 0; k < int(rounds%20)+1; k++ {
+			Mutate(g, MutationNaive, 1, r)
+		}
+		return g.Valid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutateChangesExactlyOneColumn(t *testing.T) {
+	r := randx.New(7)
+	for trial := 0; trial < 50; trial++ {
+		g := NewRandomGenome(6, r)
+		before := g.Clone()
+		Mutate(g, MutationProportional, 1, r)
+		changed := 0
+		for i := range g {
+			if !equalCol(g[i], before[i]) {
+				changed++
+			}
+		}
+		if changed > 1 {
+			t.Fatalf("mutation touched %d columns, want at most 1", changed)
+		}
+	}
+}
+
+// TestMutateProportionalPreservesOrdering verifies the paper's motivation
+// for the proportional operator: the relative order of the untouched
+// elements within the mutated column is preserved (their "correlations" are
+// maintained), unlike under the naive operator where the perturbed element's
+// renormalization shifts everything multiplicatively anyway — ordering also
+// holds there, so we check the sharper property: ratios between untouched
+// elements under subtraction-compensation stay monotone.
+func TestMutateProportionalPreservesOrdering(t *testing.T) {
+	r := randx.New(11)
+	for trial := 0; trial < 200; trial++ {
+		g := NewRandomGenome(5, r)
+		before := g.Clone()
+		Mutate(g, MutationProportional, 1, r)
+		// Find the mutated column and its pivot (the single element whose
+		// change direction differs from everyone else's).
+		for ci := range g {
+			if equalCol(g[ci], before[ci]) {
+				continue
+			}
+			// Ordering among all pairs excluding the pivot must persist.
+			// Identify pivot: the element with the largest absolute change.
+			pivot, best := -1, -1.0
+			for j := range g[ci] {
+				if d := math.Abs(g[ci][j] - before[ci][j]); d > best {
+					pivot, best = j, d
+				}
+			}
+			for x := range g[ci] {
+				for y := range g[ci] {
+					if x == pivot || y == pivot || x == y {
+						continue
+					}
+					if (before[ci][x] < before[ci][y]) && (g[ci][x] > g[ci][y]+1e-12) {
+						t.Fatalf("ordering violated in column %d: before %v after %v", ci, before[ci], g[ci])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMutateMinimalGenome(t *testing.T) {
+	r := randx.New(5)
+	g := Genome{{1}}
+	Mutate(g, MutationProportional, 1, r) // must not panic on n=1
+	if g[0][0] != 1 {
+		t.Fatal("1-category genome changed")
+	}
+}
+
+func TestMutateSaturatedColumn(t *testing.T) {
+	// A column that is a point mass: the add-branch has no headroom and the
+	// subtract branch must still work.
+	r := randx.New(6)
+	for trial := 0; trial < 100; trial++ {
+		g := Genome{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+		Mutate(g, MutationProportional, 1, r)
+		if !g.Valid() {
+			t.Fatalf("mutation broke a deterministic genome: %v", g)
+		}
+	}
+}
+
+func BenchmarkCrossover(b *testing.B) {
+	r := randx.New(1)
+	g1 := NewRandomGenome(10, r)
+	g2 := NewRandomGenome(10, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Crossover(g1, g2, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMutate(b *testing.B) {
+	r := randx.New(1)
+	g := NewRandomGenome(10, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mutate(g, MutationProportional, 1, r)
+	}
+}

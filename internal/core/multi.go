@@ -1,0 +1,430 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"optrr/internal/emoo"
+	"optrr/internal/metrics"
+	"optrr/internal/pareto"
+	"optrr/internal/randx"
+	"optrr/internal/rr"
+)
+
+// Multi-dimensional OptRR — the paper's stated future work (Section VII).
+// A record has d attributes, each disguised with its own matrix; the genome
+// is the tuple of per-attribute genomes. Objectives are record-level: the
+// privacy of the MAP adversary observing the full disguised record, and the
+// MSE of the reconstructed joint distribution. The bound δ now limits the
+// record-level posterior max P(X-record | Y-record), which per-attribute
+// bounds cannot express (they do not compose), so repair operates through
+// the joint posterior.
+
+// MultiConfig parameterizes the multi-dimensional optimizer.
+type MultiConfig struct {
+	// Joint is the original joint distribution over the product space
+	// (row-major, attribute 0 slowest), e.g. from
+	// mining.MultiRR.EmpiricalJoint on clean calibration data.
+	Joint []float64
+	// Sizes lists the per-attribute category counts; their product must be
+	// len(Joint).
+	Sizes []int
+	// Records is the data-set size N for the utility metric.
+	Records int
+	// Delta bounds the record-level posterior.
+	Delta float64
+
+	// PopulationSize, ArchiveSize, OmegaSize, Generations, MutationRate,
+	// Seed and Workers mirror Config; zero values take the same defaults.
+	PopulationSize int
+	ArchiveSize    int
+	OmegaSize      int
+	Generations    int
+	MutationRate   float64
+	Seed           uint64
+	Workers        int
+}
+
+// MultiIndividual couples a tuple of per-attribute genomes with its
+// record-level evaluation.
+type MultiIndividual struct {
+	Genomes []Genome
+	Eval    metrics.Evaluation
+}
+
+// Point returns the individual's objective-space image.
+func (mi MultiIndividual) Point() pareto.Point {
+	return pareto.Point{Privacy: mi.Eval.Privacy, Utility: mi.Eval.Utility}
+}
+
+// Matrices converts the genome tuple into validated RR matrices.
+func (mi MultiIndividual) Matrices() ([]*rr.Matrix, error) {
+	out := make([]*rr.Matrix, len(mi.Genomes))
+	for d, g := range mi.Genomes {
+		m, err := g.Matrix()
+		if err != nil {
+			return nil, err
+		}
+		out[d] = m
+	}
+	return out, nil
+}
+
+// MultiResult is the outcome of a multi-dimensional run.
+type MultiResult struct {
+	// Front is the Pareto-optimal set, ascending in privacy.
+	Front []MultiIndividual
+	// Generations and Evaluations report search effort.
+	Generations int
+	Evaluations int
+}
+
+// FrontPoints returns the front in objective space.
+func (res MultiResult) FrontPoints() []pareto.Point {
+	pts := make([]pareto.Point, len(res.Front))
+	for i, ind := range res.Front {
+		pts[i] = ind.Point()
+	}
+	pareto.SortByPrivacy(pts)
+	return pts
+}
+
+func (c MultiConfig) withDefaults() MultiConfig {
+	if c.PopulationSize == 0 {
+		c.PopulationSize = 40
+	}
+	if c.ArchiveSize == 0 {
+		c.ArchiveSize = 40
+	}
+	if c.Generations == 0 {
+		c.Generations = 300
+	}
+	if c.MutationRate == 0 {
+		c.MutationRate = 0.6
+	}
+	if c.OmegaSize == 0 {
+		c.OmegaSize = 1000
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c MultiConfig) Validate() error {
+	if len(c.Sizes) == 0 {
+		return fmt.Errorf("%w: no attributes", ErrBadConfig)
+	}
+	total := 1
+	for d, s := range c.Sizes {
+		if s < 2 {
+			return fmt.Errorf("%w: attribute %d has %d categories", ErrBadConfig, d, s)
+		}
+		total *= s
+	}
+	if len(c.Joint) != total {
+		return fmt.Errorf("%w: joint has %d cells, want %d", ErrBadConfig, len(c.Joint), total)
+	}
+	var sum float64
+	for i, v := range c.Joint {
+		if v < 0 || math.IsNaN(v) {
+			return fmt.Errorf("%w: joint[%d] = %v", ErrBadConfig, i, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("%w: joint sums to %v", ErrBadConfig, sum)
+	}
+	if c.Records <= 0 {
+		return fmt.Errorf("%w: records = %d", ErrBadConfig, c.Records)
+	}
+	if c.Delta <= 0 || c.Delta > 1 {
+		return fmt.Errorf("%w: delta = %v", ErrBadConfig, c.Delta)
+	}
+	if metrics.BoundFloor(c.Joint) > c.Delta+1e-12 {
+		return fmt.Errorf("%w: delta = %v, joint prior mode = %v", ErrInfeasibleBound, c.Delta, metrics.BoundFloor(c.Joint))
+	}
+	return nil
+}
+
+// ErrUnrealizable reports that no feasible multi-dimensional individual
+// could be constructed within the redraw budget.
+var ErrUnrealizable = errors.New("core: could not realize a feasible multi-dimensional individual")
+
+// OptimizeMulti runs the multi-dimensional search and returns its Pareto
+// front. The loop mirrors Run: SPEA2 fitness and selection over the tuple
+// genomes, attribute-wise crossover and mutation, blend-to-uniform repair of
+// the record-level bound, and a privacy-indexed Ω set.
+func OptimizeMulti(cfg MultiConfig) (MultiResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return MultiResult{}, err
+	}
+	cfg = cfg.withDefaults()
+	rng := randx.New(cfg.Seed)
+	omega := NewOmega(cfg.OmegaSize)
+	ecfg := emoo.Config{KNearest: 1, Normalize: true}
+
+	evaluations := 0
+	evaluate := func(gs []Genome) (MultiIndividual, bool) {
+		evaluations++
+		ms := make([]*rr.Matrix, len(gs))
+		for d, g := range gs {
+			m, err := g.Matrix()
+			if err != nil {
+				return MultiIndividual{}, false
+			}
+			ms[d] = m
+		}
+		if !meetJointBound(gs, ms, cfg) {
+			return MultiIndividual{}, false
+		}
+		// Re-materialize after repair.
+		for d, g := range gs {
+			m, err := g.Matrix()
+			if err != nil {
+				return MultiIndividual{}, false
+			}
+			ms[d] = m
+		}
+		ev, err := metrics.JointEvaluate(ms, cfg.Joint, cfg.Records)
+		if err != nil {
+			return MultiIndividual{}, false
+		}
+		return MultiIndividual{Genomes: gs, Eval: ev}, true
+	}
+
+	randomTuple := func() []Genome {
+		gs := make([]Genome, len(cfg.Sizes))
+		for d, s := range cfg.Sizes {
+			gs[d] = NewRandomGenome(s, rng)
+		}
+		return gs
+	}
+
+	realize := func(raw [][]Genome) ([]MultiIndividual, error) {
+		out := make([]MultiIndividual, 0, len(raw))
+		const maxRedraws = 5000
+		redraws := 0
+		for _, gs := range raw {
+			ind, ok := evaluate(gs)
+			for !ok {
+				if redraws++; redraws > maxRedraws {
+					return nil, fmt.Errorf("%w (delta=%v)", ErrUnrealizable, cfg.Delta)
+				}
+				ind, ok = evaluate(randomTuple())
+			}
+			out = append(out, ind)
+		}
+		return out, nil
+	}
+
+	// Omega stores single-genome Individuals; adapt by flattening the tuple
+	// into one concatenated genome for storage and keeping a side map. To
+	// keep things simple and allocation-light we instead maintain our own
+	// Ω keyed by privacy bins over MultiIndividuals.
+	type bin struct {
+		ind MultiIndividual
+		set bool
+	}
+	bins := make([]bin, omega.Size())
+	updateOmega := func(ind MultiIndividual) bool {
+		if len(bins) == 0 {
+			return false
+		}
+		i := int(ind.Eval.Privacy * float64(len(bins)))
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(bins) {
+			i = len(bins) - 1
+		}
+		if bins[i].set && bins[i].ind.Eval.Utility <= ind.Eval.Utility {
+			return false
+		}
+		cl := MultiIndividual{Genomes: make([]Genome, len(ind.Genomes)), Eval: ind.Eval}
+		for d, g := range ind.Genomes {
+			cl.Genomes[d] = g.Clone()
+		}
+		bins[i] = bin{ind: cl, set: true}
+		return true
+	}
+
+	// Memetic initialization: half the initial population is random, half
+	// seeds the baseline one-parameter family (the same Warner diagonal on
+	// every attribute, spread over its range) so the search starts from the
+	// symmetric baseline and can only improve on it.
+	raw := make([][]Genome, cfg.PopulationSize)
+	for i := range raw {
+		if i%2 == 0 {
+			raw[i] = randomTuple()
+			continue
+		}
+		p := 0.1 + 0.85*float64(i)/float64(cfg.PopulationSize)
+		gs := make([]Genome, len(cfg.Sizes))
+		for d, n := range cfg.Sizes {
+			gs[d] = warnerLikeGenome(n, p)
+		}
+		raw[i] = gs
+	}
+	population, err := realize(raw)
+	if err != nil {
+		return MultiResult{}, err
+	}
+	var archive []MultiIndividual
+
+	for gen := 0; gen < cfg.Generations; gen++ {
+		union := append(append([]MultiIndividual{}, population...), archive...)
+		pts := make([]pareto.Point, len(union))
+		for i, ind := range union {
+			pts[i] = ind.Point()
+		}
+		fit := emoo.AssignFitness(pts, ecfg)
+		selIdx, err := emoo.SelectEnvironment(pts, fit, cfg.ArchiveSize, ecfg)
+		if err != nil {
+			return MultiResult{}, err
+		}
+		nextArchive := make([]MultiIndividual, len(selIdx))
+		for k, i := range selIdx {
+			nextArchive[k] = union[i]
+		}
+		archivePts := make([]pareto.Point, len(nextArchive))
+		for i, ind := range nextArchive {
+			archivePts[i] = ind.Point()
+		}
+		archiveFit := emoo.AssignFitness(archivePts, ecfg)
+
+		children := make([][]Genome, 0, cfg.PopulationSize)
+		for len(children) < cfg.PopulationSize {
+			pa := nextArchive[emoo.BinaryTournament(archiveFit, rng)]
+			pb := nextArchive[emoo.BinaryTournament(archiveFit, rng)]
+			c1 := make([]Genome, len(cfg.Sizes))
+			c2 := make([]Genome, len(cfg.Sizes))
+			for d := range cfg.Sizes {
+				a, b, err := Crossover(pa.Genomes[d], pb.Genomes[d], rng)
+				if err != nil {
+					return MultiResult{}, err
+				}
+				c1[d], c2[d] = a, b
+			}
+			for _, child := range [][]Genome{c1, c2} {
+				if len(children) >= cfg.PopulationSize {
+					break
+				}
+				if rng.Float64() < cfg.MutationRate {
+					d := rng.Intn(len(child))
+					Mutate(child[d], MutationProportional, 1, rng)
+					d = rng.Intn(len(child))
+					Mutate(child[d], MutationProportional, 1, rng)
+				}
+				children = append(children, child)
+			}
+		}
+		population, err = realize(children)
+		if err != nil {
+			return MultiResult{}, err
+		}
+		for _, ind := range population {
+			updateOmega(ind)
+		}
+		for _, ind := range nextArchive {
+			updateOmega(ind)
+		}
+		archive = nextArchive
+	}
+
+	// Output: Pareto front of Ω (or the archive when Ω is disabled).
+	var all []MultiIndividual
+	if len(bins) > 0 {
+		for _, b := range bins {
+			if b.set {
+				all = append(all, b.ind)
+			}
+		}
+	} else {
+		all = archive
+	}
+	pts := make([]pareto.Point, len(all))
+	for i, ind := range all {
+		pts[i] = ind.Point()
+	}
+	idx := pareto.Front(pts)
+	front := make([]MultiIndividual, 0, len(idx))
+	for _, i := range idx {
+		front = append(front, all[i])
+	}
+	return MultiResult{Front: front, Generations: cfg.Generations, Evaluations: evaluations}, nil
+}
+
+// warnerLikeGenome returns the constant-diagonal genome with diagonal p.
+func warnerLikeGenome(n int, p float64) Genome {
+	g := make(Genome, n)
+	off := (1 - p) / float64(n-1)
+	for i := range g {
+		col := make([]float64, n)
+		for j := range col {
+			if i == j {
+				col[j] = p
+			} else {
+				col[j] = off
+			}
+		}
+		g[i] = col
+	}
+	return g
+}
+
+// meetJointBound enforces the record-level posterior bound: per-attribute
+// slack repair cannot target a joint posterior, so the repair blends every
+// attribute's genome toward its uniform matrix by a common factor found by
+// bisection (at factor 1 the joint posteriors equal the joint prior, whose
+// mode is below delta by Validate).
+func meetJointBound(gs []Genome, ms []*rr.Matrix, cfg MultiConfig) bool {
+	worst := func(t float64) float64 {
+		blended := make([]*rr.Matrix, len(gs))
+		for d, g := range gs {
+			n := g.N()
+			u := 1 / float64(n)
+			cols := make([][]float64, n)
+			for i, col := range g {
+				c := make([]float64, n)
+				for j, v := range col {
+					c[j] = (1-t)*v + t*u
+				}
+				cols[i] = c
+			}
+			m, err := rr.FromColumns(cols)
+			if err != nil {
+				return math.Inf(1)
+			}
+			blended[d] = m
+		}
+		mp, err := metrics.JointMaxPosterior(blended, cfg.Joint)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return mp
+	}
+	if w, err := metrics.JointMaxPosterior(ms, cfg.Joint); err == nil && w <= cfg.Delta+1e-12 {
+		return true
+	}
+	if worst(1) > cfg.Delta+1e-12 {
+		return false
+	}
+	lo, hi := 0.0, 1.0
+	for iter := 0; iter < 30; iter++ {
+		mid := (lo + hi) / 2
+		if worst(mid) <= cfg.Delta+1e-12 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	for _, g := range gs {
+		u := 1 / float64(g.N())
+		for _, col := range g {
+			for j := range col {
+				col[j] = (1-hi)*col[j] + hi*u
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"optrr/internal/metrics"
+	"optrr/internal/rr"
+)
+
+// testJoint returns a mildly correlated joint over [3, 2] (6 cells).
+func testJoint() ([]float64, []int) {
+	joint := []float64{0.25, 0.05, 0.10, 0.15, 0.05, 0.40}
+	return joint, []int{3, 2}
+}
+
+func quickMulti() MultiConfig {
+	joint, sizes := testJoint()
+	return MultiConfig{
+		Joint:          joint,
+		Sizes:          sizes,
+		Records:        5000,
+		Delta:          0.85,
+		PopulationSize: 12,
+		ArchiveSize:    12,
+		OmegaSize:      100,
+		Generations:    40,
+		Seed:           5,
+	}
+}
+
+func TestMultiConfigValidate(t *testing.T) {
+	base := quickMulti()
+	if err := base.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*MultiConfig)
+		want   error
+	}{
+		{"no attributes", func(c *MultiConfig) { c.Sizes = nil }, ErrBadConfig},
+		{"tiny attribute", func(c *MultiConfig) { c.Sizes = []int{1, 6} }, ErrBadConfig},
+		{"joint size", func(c *MultiConfig) { c.Joint = c.Joint[:3] }, ErrBadConfig},
+		{"joint sum", func(c *MultiConfig) { c.Joint = []float64{0.5, 0.2, 0.1, 0.1, 0.05, 0.5} }, ErrBadConfig},
+		{"records", func(c *MultiConfig) { c.Records = 0 }, ErrBadConfig},
+		{"delta", func(c *MultiConfig) { c.Delta = 0 }, ErrBadConfig},
+		{"delta below joint mode", func(c *MultiConfig) { c.Delta = 0.2 }, ErrInfeasibleBound},
+	}
+	for _, c := range cases {
+		cfg := quickMulti()
+		c.mutate(&cfg)
+		if err := cfg.Validate(); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestOptimizeMultiProducesFeasibleFront(t *testing.T) {
+	cfg := quickMulti()
+	res, err := OptimizeMulti(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("empty multi front")
+	}
+	if res.Generations != cfg.Generations {
+		t.Fatalf("generations = %d", res.Generations)
+	}
+	for _, ind := range res.Front {
+		if len(ind.Genomes) != 2 {
+			t.Fatalf("genome tuple of %d attributes", len(ind.Genomes))
+		}
+		for d, g := range ind.Genomes {
+			if !g.Valid() {
+				t.Fatalf("attribute %d genome invalid", d)
+			}
+			if g.N() != cfg.Sizes[d] {
+				t.Fatalf("attribute %d has %d categories, want %d", d, g.N(), cfg.Sizes[d])
+			}
+		}
+		ms, err := ind.Matrices()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mp, err := metrics.JointMaxPosterior(ms, cfg.Joint)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mp > cfg.Delta+1e-9 {
+			t.Fatalf("front member violates the record-level bound: %v", mp)
+		}
+		// Cached evaluation must be reproducible.
+		ev, err := metrics.JointEvaluate(ms, cfg.Joint, cfg.Records)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ev.Privacy-ind.Eval.Privacy) > 1e-12 {
+			t.Fatal("stale cached evaluation")
+		}
+	}
+}
+
+func TestOptimizeMultiFrontNonDominated(t *testing.T) {
+	res, err := OptimizeMulti(quickMulti())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res.FrontPoints()
+	for i := range pts {
+		for j := range pts {
+			if i != j && pts[i].Dominates(pts[j]) {
+				t.Fatalf("front point %v dominates %v", pts[i], pts[j])
+			}
+		}
+	}
+}
+
+func TestOptimizeMultiDeterministic(t *testing.T) {
+	a, err := OptimizeMulti(quickMulti())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OptimizeMulti(quickMulti())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := a.FrontPoints(), b.FrontPoints()
+	if len(pa) != len(pb) {
+		t.Fatalf("front sizes differ: %d vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("fronts differ at %d", i)
+		}
+	}
+}
+
+// TestOptimizeMultiBeatsIndependentWarner: the jointly optimized tuples
+// should weakly dominate disguising each attribute with a Warner matrix of
+// the same parameter, compared at matched record-level privacy under the
+// same bound.
+func TestOptimizeMultiBeatsIndependentWarner(t *testing.T) {
+	cfg := quickMulti()
+	cfg.Generations = 150
+	res, err := OptimizeMulti(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res.FrontPoints()
+	if len(pts) < 3 {
+		t.Fatalf("front too small: %d", len(pts))
+	}
+	// Front sanity: non-trivial privacy span, monotone utility.
+	min, max := pts[0].Privacy, pts[len(pts)-1].Privacy
+	if max-min < 0.05 {
+		t.Fatalf("front privacy span %v too narrow", max-min)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Utility < pts[i-1].Utility-1e-15 {
+			t.Fatal("front utility not monotone in privacy")
+		}
+	}
+	// Warner-per-attribute baseline under the same joint metrics and bound.
+	beats := 0
+	compared := 0
+	for k := 5; k <= 95; k += 5 {
+		p := float64(k) / 100
+		m1, err := warnerGenome(cfg.Sizes[0], p).Matrix()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := warnerGenome(cfg.Sizes[1], p).Matrix()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms := []*rr.Matrix{m1, m2}
+		mp, err := metrics.JointMaxPosterior(ms, cfg.Joint)
+		if err != nil || mp > cfg.Delta {
+			continue
+		}
+		ev, err := metrics.JointEvaluate(ms, cfg.Joint, cfg.Records)
+		if err != nil {
+			continue
+		}
+		compared++
+		// Best optimized utility at this privacy level.
+		best := math.Inf(1)
+		for _, fp := range pts {
+			if fp.Privacy >= ev.Privacy && fp.Utility < best {
+				best = fp.Utility
+			}
+		}
+		if best <= ev.Utility*1.05 {
+			beats++
+		}
+	}
+	if compared == 0 {
+		t.Fatal("no feasible Warner baseline point to compare against")
+	}
+	if ratio := float64(beats) / float64(compared); ratio < 0.7 {
+		t.Fatalf("optimized tuples match/beat only %.0f%% of Warner baseline points", ratio*100)
+	}
+}
+
+func warnerGenome(n int, p float64) Genome {
+	g := make(Genome, n)
+	off := (1 - p) / float64(n-1)
+	for i := range g {
+		col := make([]float64, n)
+		for j := range col {
+			if i == j {
+				col[j] = p
+			} else {
+				col[j] = off
+			}
+		}
+		g[i] = col
+	}
+	return g
+}
+
+func TestMeetJointBoundBlends(t *testing.T) {
+	joint, sizes := testJoint()
+	cfg := MultiConfig{Joint: joint, Sizes: sizes, Records: 1000, Delta: 0.6}
+	// Near-deterministic genomes violate any delta < 1.
+	gs := []Genome{
+		{{0.98, 0.01, 0.01}, {0.01, 0.98, 0.01}, {0.01, 0.01, 0.98}},
+		{{0.98, 0.02}, {0.02, 0.98}},
+	}
+	mats, err := MultiIndividual{Genomes: gs}.Matrices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := metrics.JointMaxPosterior(mats, joint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before <= cfg.Delta {
+		t.Fatalf("test premise broken: posterior %v already under bound", before)
+	}
+	if !meetJointBound(gs, mats, cfg) {
+		t.Fatal("joint repair failed")
+	}
+	after, err := MultiIndividual{Genomes: gs}.Matrices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := metrics.JointMaxPosterior(after, joint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp > cfg.Delta+1e-9 {
+		t.Fatalf("joint repair left posterior %v above %v", mp, cfg.Delta)
+	}
+}
+
+func BenchmarkOptimizeMultiGeneration(b *testing.B) {
+	cfg := quickMulti()
+	cfg.Generations = b.N
+	if _, err := OptimizeMulti(cfg); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"optrr/internal/metrics"
+	"optrr/internal/pareto"
+)
+
+// Individual couples a genome with its objective-space evaluation.
+type Individual struct {
+	Genome Genome
+	Eval   metrics.Evaluation
+}
+
+// Point returns the individual's image in objective space.
+func (ind Individual) Point() pareto.Point {
+	return pareto.Point{Privacy: ind.Eval.Privacy, Utility: ind.Eval.Utility}
+}
+
+// Omega is the paper's "optimal set" (Section V-H): a large archive indexed
+// by privacy value that collects good matrices the bounded population and
+// archive would otherwise discard. Privacy lives in [0, 1); an Omega of size
+// S buckets it into S equal bins, each remembering the matrix with the best
+// (lowest) utility seen for that privacy level. Updates are O(1), so Omega
+// can be much larger than the evolving sets without affecting the cubic
+// environmental-selection cost.
+type Omega struct {
+	bins []*Individual
+}
+
+// NewOmega returns an optimal set with the given number of privacy bins.
+// Size 0 disables the set (every operation becomes a no-op), which is the
+// paper-vs-plain-SPEA2 ablation switch.
+func NewOmega(size int) *Omega {
+	if size <= 0 {
+		return &Omega{}
+	}
+	return &Omega{bins: make([]*Individual, size)}
+}
+
+// Enabled reports whether the set is active.
+func (o *Omega) Enabled() bool { return len(o.bins) > 0 }
+
+// Size returns the number of privacy bins.
+func (o *Omega) Size() int { return len(o.bins) }
+
+// Len returns the number of occupied bins.
+func (o *Omega) Len() int {
+	n := 0
+	for _, b := range o.bins {
+		if b != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// binIndex maps a privacy value to its bin. Values outside [0, 1) clamp.
+func (o *Omega) binIndex(privacy float64) int {
+	i := int(privacy * float64(len(o.bins)))
+	if i < 0 {
+		return 0
+	}
+	if i >= len(o.bins) {
+		return len(o.bins) - 1
+	}
+	return i
+}
+
+// Update offers an individual to the set; the individual is stored (cloned)
+// if its bin is empty or it improves the bin's utility. It reports whether
+// the set changed.
+func (o *Omega) Update(ind Individual) bool {
+	if !o.Enabled() {
+		return false
+	}
+	i := o.binIndex(ind.Eval.Privacy)
+	cur := o.bins[i]
+	if cur != nil && cur.Eval.Utility <= ind.Eval.Utility {
+		return false
+	}
+	clone := Individual{Genome: ind.Genome.Clone(), Eval: ind.Eval}
+	o.bins[i] = &clone
+	return true
+}
+
+// UpdateAll offers every individual and returns how many bins improved.
+func (o *Omega) UpdateAll(inds []Individual) int {
+	changed := 0
+	for _, ind := range inds {
+		if o.Update(ind) {
+			changed++
+		}
+	}
+	return changed
+}
+
+// ImproveArchive is the reverse direction of the paper's three-set update:
+// each archive member whose privacy bin holds a strictly better (lower
+// utility) Ω entry is replaced by a clone of that entry. It returns the
+// number of replacements.
+func (o *Omega) ImproveArchive(archive []Individual) int {
+	if !o.Enabled() {
+		return 0
+	}
+	replaced := 0
+	for k := range archive {
+		i := o.binIndex(archive[k].Eval.Privacy)
+		best := o.bins[i]
+		if best != nil && best.Eval.Utility < archive[k].Eval.Utility {
+			archive[k] = Individual{Genome: best.Genome.Clone(), Eval: best.Eval}
+			replaced++
+		}
+	}
+	return replaced
+}
+
+// Snapshot returns the occupied entries (cloned), ordered by bin (ascending
+// privacy).
+func (o *Omega) Snapshot() []Individual {
+	var out []Individual
+	for _, b := range o.bins {
+		if b != nil {
+			out = append(out, Individual{Genome: b.Genome.Clone(), Eval: b.Eval})
+		}
+	}
+	return out
+}
+
+// FrontSnapshot returns the Pareto-optimal subset of the occupied entries,
+// sorted by ascending privacy — the paper's final output.
+func (o *Omega) FrontSnapshot() []Individual {
+	all := o.Snapshot()
+	pts := make([]pareto.Point, len(all))
+	for i, ind := range all {
+		pts[i] = ind.Point()
+	}
+	idx := pareto.Front(pts)
+	out := make([]Individual, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, all[i])
+	}
+	return out
+}

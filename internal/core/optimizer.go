@@ -1,0 +1,596 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"optrr/internal/emoo"
+	"optrr/internal/metrics"
+	"optrr/internal/pareto"
+	"optrr/internal/randx"
+	"optrr/internal/rr"
+)
+
+// Engine selects the evolutionary multi-objective algorithm driving the
+// search. The paper chooses SPEA2 over other EMO algorithms citing a
+// comparison study (Section V); EngineNSGA2 exists to validate that choice
+// (the abl-nsga2 experiment).
+type Engine int
+
+const (
+	// EngineSPEA2 is the paper's algorithm (default).
+	EngineSPEA2 Engine = iota
+	// EngineNSGA2 swaps in NSGA-II fitness and environmental selection.
+	EngineNSGA2
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case EngineSPEA2:
+		return "spea2"
+	case EngineNSGA2:
+		return "nsga2"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// BoundMode selects how matrices violating the δ bound are handled — the
+// paper repairs them (Section V-G); rejection is the ablation baseline.
+type BoundMode int
+
+const (
+	// BoundRepair pushes violating matrices back under the bound.
+	BoundRepair BoundMode = iota
+	// BoundReject discards violating matrices and substitutes fresh random
+	// feasible ones.
+	BoundReject
+)
+
+// String implements fmt.Stringer.
+func (b BoundMode) String() string {
+	switch b {
+	case BoundRepair:
+		return "repair"
+	case BoundReject:
+		return "reject"
+	default:
+		return fmt.Sprintf("BoundMode(%d)", int(b))
+	}
+}
+
+// Config parameterizes the optimizer. The zero value is not runnable; use
+// DefaultConfig as a starting point.
+type Config struct {
+	// Prior is the original-data category distribution P(X) the privacy and
+	// utility metrics are computed against. Required.
+	Prior []float64
+	// Records is the data-set size N entering the utility MSE. Required.
+	Records int
+	// Delta is the worst-case posterior bound δ of Equation (9). Required;
+	// must exceed the prior mode (Theorem 5) to be satisfiable.
+	Delta float64
+
+	// PopulationSize is N_Q; zero means 40.
+	PopulationSize int
+	// ArchiveSize is N_V; zero means 40.
+	ArchiveSize int
+	// OmegaSize is N_Ω, the number of privacy bins of the optimal set;
+	// zero disables Ω (plain SPEA2, the ablation baseline). The paper's
+	// experiments use 1000.
+	OmegaSize int
+	// Generations is the iteration budget L. Zero means 500.
+	Generations int
+	// StagnationLimit stops the run after this many consecutive generations
+	// without any Ω improvement (the paper's alternative termination
+	// criterion). Zero disables stagnation-based termination.
+	StagnationLimit int
+
+	// MutationRate is the per-child probability of applying the mutation
+	// operator after crossover. Zero means 0.6.
+	MutationRate float64
+	// MutationsPerChild is the number of mutation applications on a child
+	// selected for mutation; zero means 2. Values above one speed up the
+	// discovery of the coordinated cross-column structures at the
+	// low-privacy end of the front.
+	MutationsPerChild int
+	// ImmigrantFraction is the share of each generation's population
+	// replaced by fresh random genomes, maintaining exploration pressure
+	// far from the current front. Zero means 0.1; negative disables.
+	ImmigrantFraction float64
+	// MutationStyle selects the paper's proportional mutation (default) or
+	// the naive renormalizing baseline.
+	MutationStyle MutationStyle
+	// BoundMode selects repair (default, the paper) or reject.
+	BoundMode BoundMode
+	// SymmetricOnly restricts the search to symmetric matrices,
+	// reproducing the Agrawal–Haritsa related-work restriction.
+	SymmetricOnly bool
+	// Engine selects the EMO algorithm (default: SPEA2, the paper's).
+	Engine Engine
+	// PrivacyFn, if non-nil, replaces the paper's Equation-8 privacy with a
+	// custom objective (e.g. metrics.PrivacyWithGain under an ordinal gain
+	// — the generalized adversary of Section IV-A). It must return values
+	// in [0, 1] with larger meaning more private; the δ bound of Equation 9
+	// is enforced regardless.
+	PrivacyFn func(m *rr.Matrix, prior []float64) (float64, error)
+
+	// Seed drives all randomness; runs with equal configs are bit-for-bit
+	// reproducible.
+	Seed uint64
+	// Workers bounds the parallelism of objective evaluation; zero means
+	// GOMAXPROCS.
+	Workers int
+
+	// SPEA2 tuning (see emoo.Config). KNearest zero means 1.
+	KNearest  int
+	Normalize bool
+
+	// Progress, if non-nil, is invoked after every generation with running
+	// statistics. It must not retain the Stats value's slices.
+	Progress func(Stats)
+}
+
+// DefaultConfig returns the configuration used throughout the paper's
+// experiments, for the given prior, record count and bound.
+func DefaultConfig(prior []float64, records int, delta float64) Config {
+	return Config{
+		Prior:       prior,
+		Records:     records,
+		Delta:       delta,
+		OmegaSize:   1000,
+		Generations: 500,
+		Normalize:   true,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.PopulationSize == 0 {
+		c.PopulationSize = 40
+	}
+	if c.ArchiveSize == 0 {
+		c.ArchiveSize = 40
+	}
+	if c.Generations == 0 {
+		c.Generations = 500
+	}
+	if c.MutationRate == 0 {
+		c.MutationRate = 0.6
+	}
+	if c.MutationsPerChild == 0 {
+		c.MutationsPerChild = 2
+	}
+	if c.ImmigrantFraction == 0 {
+		c.ImmigrantFraction = 0.1
+	}
+	if c.ImmigrantFraction < 0 {
+		c.ImmigrantFraction = 0
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.KNearest == 0 {
+		c.KNearest = 1
+	}
+	return c
+}
+
+func (c Config) emooConfig() emoo.Config {
+	return emoo.Config{KNearest: c.KNearest, Normalize: c.Normalize}
+}
+
+// Optimizer errors.
+var (
+	// ErrBadConfig reports an unusable configuration.
+	ErrBadConfig = errors.New("core: invalid configuration")
+	// ErrInfeasibleBound reports a δ below the prior mode, which no RR
+	// matrix can satisfy (Theorem 5).
+	ErrInfeasibleBound = errors.New("core: privacy bound is below the prior mode (Theorem 5)")
+)
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if len(c.Prior) < 2 {
+		return fmt.Errorf("%w: prior must have at least 2 categories", ErrBadConfig)
+	}
+	var sum float64
+	for i, v := range c.Prior {
+		if v < 0 || math.IsNaN(v) {
+			return fmt.Errorf("%w: prior[%d] = %v", ErrBadConfig, i, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("%w: prior sums to %v", ErrBadConfig, sum)
+	}
+	if c.Records <= 0 {
+		return fmt.Errorf("%w: records = %d", ErrBadConfig, c.Records)
+	}
+	if c.Delta <= 0 || c.Delta > 1 {
+		return fmt.Errorf("%w: delta = %v outside (0, 1]", ErrBadConfig, c.Delta)
+	}
+	if metrics.BoundFloor(c.Prior) > c.Delta+1e-12 {
+		return fmt.Errorf("%w: delta = %v, prior mode = %v", ErrInfeasibleBound, c.Delta, metrics.BoundFloor(c.Prior))
+	}
+	if c.PopulationSize < 0 || c.ArchiveSize < 0 || c.Generations < 0 || c.OmegaSize < 0 {
+		return fmt.Errorf("%w: negative size", ErrBadConfig)
+	}
+	if c.MutationRate < 0 || c.MutationRate > 1 {
+		return fmt.Errorf("%w: mutation rate %v outside [0, 1]", ErrBadConfig, c.MutationRate)
+	}
+	return nil
+}
+
+// Stats summarizes a generation for progress reporting.
+type Stats struct {
+	// Generation is the zero-based index of the completed generation.
+	Generation int
+	// Evaluations is the cumulative number of objective evaluations.
+	Evaluations int
+	// ArchiveSize is the current archive population.
+	ArchiveSize int
+	// OmegaOccupied is the number of occupied Ω bins.
+	OmegaOccupied int
+	// OmegaImproved is the number of Ω bins improved this generation.
+	OmegaImproved int
+	// FrontHypervolume is the hypervolume of the current archive front with
+	// reference point (0, refUtility), where refUtility is the utility of
+	// the totally uninformative estimate; it grows as the front advances.
+	FrontHypervolume float64
+}
+
+// Result is the outcome of a Run.
+type Result struct {
+	// Front is the Pareto-optimal set the paper outputs: the non-dominated
+	// members of Ω (or of the final archive when Ω is disabled), sorted by
+	// ascending privacy.
+	Front []Individual
+	// Archive is the final SPEA2 archive.
+	Archive []Individual
+	// Generations is the number of generations actually run.
+	Generations int
+	// Evaluations is the total number of objective evaluations.
+	Evaluations int
+	// Stagnated reports whether the run stopped on the stagnation criterion
+	// rather than the generation budget.
+	Stagnated bool
+}
+
+// FrontPoints returns the result front in objective space, ascending in
+// privacy.
+func (res Result) FrontPoints() []pareto.Point {
+	pts := make([]pareto.Point, len(res.Front))
+	for i, ind := range res.Front {
+		pts[i] = ind.Point()
+	}
+	pareto.SortByPrivacy(pts)
+	return pts
+}
+
+// Matrices converts the result front into validated RR matrices.
+func (res Result) Matrices() ([]*rr.Matrix, error) {
+	out := make([]*rr.Matrix, len(res.Front))
+	for i, ind := range res.Front {
+		m, err := ind.Genome.Matrix()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// Optimizer runs the paper's SPEA2-based search. Construct with New.
+type Optimizer struct {
+	cfg   Config
+	rng   *randx.Source
+	omega *Omega
+
+	evaluations int
+}
+
+// New validates the configuration and returns a ready optimizer.
+func New(cfg Config) (*Optimizer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	return &Optimizer{
+		cfg:   cfg,
+		rng:   randx.New(cfg.Seed),
+		omega: NewOmega(cfg.OmegaSize),
+	}, nil
+}
+
+// Run executes the optimization loop of Section V-A:
+//
+//  1. fitness assignment over population ∪ archive,
+//  2. environmental selection into the next archive,
+//  3. binary-tournament mating selection,
+//  4. crossover and mutation into the next population,
+//  5. bound repair (or rejection),
+//  6. three-set update with Ω,
+//  7. termination on the generation budget or Ω stagnation.
+func (o *Optimizer) Run() (Result, error) {
+	cfg := o.cfg
+	population, err := o.seedPopulation()
+	if err != nil {
+		return Result{}, err
+	}
+	var archive []Individual
+
+	stagnant := 0
+	gen := 0
+	stagnated := false
+	refUtility := o.referenceUtility()
+	for ; gen < cfg.Generations; gen++ {
+		union := append(append([]Individual{}, population...), archive...)
+		pts := make([]pareto.Point, len(union))
+		for i, ind := range union {
+			pts[i] = ind.Point()
+		}
+		selIdx, err := o.selectEnvironment(pts)
+		if err != nil {
+			return Result{}, err
+		}
+		nextArchive := make([]Individual, len(selIdx))
+		for k, i := range selIdx {
+			nextArchive[k] = union[i]
+		}
+
+		// Mating selection over the new archive.
+		archivePts := make([]pareto.Point, len(nextArchive))
+		for i, ind := range nextArchive {
+			archivePts[i] = ind.Point()
+		}
+		archiveFit := o.assignFitness(archivePts)
+
+		// Crossover + mutation produce the next population; a small
+		// immigrant quota keeps exploration pressure away from the current
+		// front.
+		immigrants := int(cfg.ImmigrantFraction * float64(cfg.PopulationSize))
+		genomes := make([]Genome, 0, cfg.PopulationSize)
+		for len(genomes) < cfg.PopulationSize-immigrants {
+			ia := emoo.BinaryTournament(archiveFit, o.rng)
+			ib := emoo.BinaryTournament(archiveFit, o.rng)
+			c1, c2, err := Crossover(nextArchive[ia].Genome, nextArchive[ib].Genome, o.rng)
+			if err != nil {
+				return Result{}, err
+			}
+			for _, child := range []Genome{c1, c2} {
+				if len(genomes) >= cfg.PopulationSize-immigrants {
+					break
+				}
+				if o.rng.Float64() < cfg.MutationRate {
+					for k := 0; k < cfg.MutationsPerChild; k++ {
+						Mutate(child, cfg.MutationStyle, 1, o.rng)
+					}
+				}
+				if cfg.SymmetricOnly {
+					child.Symmetrize()
+				}
+				genomes = append(genomes, child)
+			}
+		}
+		for len(genomes) < cfg.PopulationSize {
+			g := NewRandomGenome(len(cfg.Prior), o.rng)
+			if cfg.SymmetricOnly {
+				g.Symmetrize()
+			}
+			genomes = append(genomes, g)
+		}
+
+		nextPopulation, err := o.realize(genomes)
+		if err != nil {
+			return Result{}, err
+		}
+
+		// Three-set update (Section V-H).
+		improved := o.omega.UpdateAll(nextPopulation)
+		improved += o.omega.UpdateAll(nextArchive)
+		o.omega.ImproveArchive(nextArchive)
+
+		population = nextPopulation
+		archive = nextArchive
+
+		if cfg.Progress != nil {
+			cfg.Progress(Stats{
+				Generation:       gen,
+				Evaluations:      o.evaluations,
+				ArchiveSize:      len(archive),
+				OmegaOccupied:    o.omega.Len(),
+				OmegaImproved:    improved,
+				FrontHypervolume: pareto.Hypervolume(archivePts, 0, refUtility),
+			})
+		}
+
+		if cfg.StagnationLimit > 0 {
+			if improved == 0 {
+				stagnant++
+				if stagnant >= cfg.StagnationLimit {
+					gen++
+					stagnated = true
+					break
+				}
+			} else {
+				stagnant = 0
+			}
+		}
+	}
+
+	front := o.omega.FrontSnapshot()
+	if !o.omega.Enabled() {
+		// Ablation mode: the archive itself is the output set.
+		archPts := make([]pareto.Point, len(archive))
+		for i, ind := range archive {
+			archPts[i] = ind.Point()
+		}
+		idx := pareto.Front(archPts)
+		front = make([]Individual, 0, len(idx))
+		for _, i := range idx {
+			front = append(front, Individual{Genome: archive[i].Genome.Clone(), Eval: archive[i].Eval})
+		}
+	}
+	return Result{
+		Front:       front,
+		Archive:     archive,
+		Generations: gen,
+		Evaluations: o.evaluations,
+		Stagnated:   stagnated,
+	}, nil
+}
+
+// assignFitness computes the configured engine's fitness over points.
+func (o *Optimizer) assignFitness(pts []pareto.Point) emoo.Fitness {
+	if o.cfg.Engine == EngineNSGA2 {
+		return emoo.NSGA2Fitness(pts)
+	}
+	return emoo.AssignFitness(pts, o.cfg.emooConfig())
+}
+
+// selectEnvironment runs the configured engine's environmental selection.
+func (o *Optimizer) selectEnvironment(pts []pareto.Point) ([]int, error) {
+	if o.cfg.Engine == EngineNSGA2 {
+		return emoo.NSGA2Select(pts, o.cfg.ArchiveSize)
+	}
+	fit := emoo.AssignFitness(pts, o.cfg.emooConfig())
+	return emoo.SelectEnvironment(pts, fit, o.cfg.ArchiveSize, o.cfg.emooConfig())
+}
+
+// referenceUtility is the hypervolume reference: the closed-form utility of
+// the noisiest feasible Warner matrix, an upper anchor for MSE scale. Falls
+// back to 1 if none is available.
+func (o *Optimizer) referenceUtility() float64 {
+	n := len(o.cfg.Prior)
+	for _, p := range []float64{0.3, 0.4, 0.5, 0.6} {
+		m, err := rr.Warner(n, p)
+		if err != nil {
+			continue
+		}
+		if u, err := metrics.Utility(m, o.cfg.Prior, o.cfg.Records); err == nil {
+			return u * 2
+		}
+	}
+	return 1
+}
+
+// seedPopulation builds the random initial population Q_0, repairing (or
+// re-drawing) until every member is feasible.
+func (o *Optimizer) seedPopulation() ([]Individual, error) {
+	n := len(o.cfg.Prior)
+	genomes := make([]Genome, 0, o.cfg.PopulationSize)
+	for len(genomes) < o.cfg.PopulationSize {
+		g := NewRandomGenome(n, o.rng)
+		if o.cfg.SymmetricOnly {
+			g.Symmetrize()
+		}
+		genomes = append(genomes, g)
+	}
+	return o.realize(genomes)
+}
+
+// realize repairs, evaluates and — where evaluation is impossible (singular
+// matrix, unrepairable bound) — replaces genomes with fresh random feasible
+// ones. Repair and evaluation are pure, so they run on a worker pool; genome
+// replacement draws from the sequential RNG to keep runs deterministic.
+func (o *Optimizer) realize(genomes []Genome) ([]Individual, error) {
+	cfg := o.cfg
+	out := make([]Individual, len(genomes))
+	ok := make([]bool, len(genomes))
+
+	process := func(g Genome) (Individual, bool) {
+		feasible := true
+		switch cfg.BoundMode {
+		case BoundReject:
+			m, err := g.Matrix()
+			if err != nil {
+				return Individual{}, false
+			}
+			holds, err := metrics.MeetsBound(m, cfg.Prior, cfg.Delta)
+			if err != nil || !holds {
+				return Individual{}, false
+			}
+		default:
+			feasible = MeetBound(g, cfg.Prior, cfg.Delta, cfg.SymmetricOnly)
+		}
+		if !feasible {
+			return Individual{}, false
+		}
+		m, err := g.Matrix()
+		if err != nil {
+			return Individual{}, false
+		}
+		ev, err := metrics.Evaluate(m, cfg.Prior, cfg.Records)
+		if err != nil {
+			return Individual{}, false // singular: inversion utility undefined
+		}
+		if cfg.PrivacyFn != nil {
+			priv, err := cfg.PrivacyFn(m, cfg.Prior)
+			if err != nil {
+				return Individual{}, false
+			}
+			ev.Privacy = priv
+		}
+		return Individual{Genome: g, Eval: ev}, true
+	}
+
+	o.parallelFor(len(genomes), func(i int) {
+		out[i], ok[i] = process(genomes[i])
+	})
+	o.evaluations += len(genomes)
+
+	// Replace failures sequentially (deterministic RNG use), re-drawing
+	// until feasible. A fresh Dirichlet genome repairs successfully with
+	// overwhelming probability, so this loop terminates quickly; a safety
+	// budget guards pathological configurations.
+	const maxRedraws = 10000
+	redraws := 0
+	for i := range out {
+		for !ok[i] {
+			if redraws++; redraws > maxRedraws {
+				return nil, fmt.Errorf("%w: could not generate a feasible matrix for delta=%v", ErrInfeasibleBound, cfg.Delta)
+			}
+			g := NewRandomGenome(len(cfg.Prior), o.rng)
+			if cfg.SymmetricOnly {
+				g.Symmetrize()
+			}
+			out[i], ok[i] = process(g)
+			o.evaluations++
+		}
+	}
+	return out, nil
+}
+
+// parallelFor runs fn(i) for i in [0, n) on the configured worker count.
+func (o *Optimizer) parallelFor(n int, fn func(int)) {
+	workers := o.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"optrr/internal/metrics"
+	"optrr/internal/randx"
+)
+
+func normalish(n int) []float64 {
+	// A bell-ish prior for repair tests.
+	w := make([]float64, n)
+	var sum float64
+	for i := range w {
+		d := float64(i) - float64(n-1)/2
+		w[i] = 1 / (1 + d*d)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+func maxPosteriorOf(t *testing.T, g Genome, prior []float64) float64 {
+	t.Helper()
+	m, err := g.Matrix()
+	if err != nil {
+		t.Fatalf("genome invalid after repair: %v", err)
+	}
+	mp, err := metrics.MaxPosterior(m, prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mp
+}
+
+func TestMeetBoundAchievesBound(t *testing.T) {
+	prior := normalish(8)
+	r := randx.New(1)
+	for _, delta := range []float64{0.5, 0.6, 0.75, 0.9} {
+		for trial := 0; trial < 50; trial++ {
+			g := NewRandomGenome(8, r)
+			// Sharpen aggressively so most trials start in violation.
+			for k := 0; k < 10; k++ {
+				Mutate(g, MutationProportional, 1, r)
+			}
+			if !MeetBound(g, prior, delta, false) {
+				t.Fatalf("repair failed at delta=%v", delta)
+			}
+			if !g.Valid() {
+				t.Fatalf("repair broke stochasticity at delta=%v", delta)
+			}
+			if mp := maxPosteriorOf(t, g, prior); mp > delta+1e-9 {
+				t.Fatalf("delta=%v: max posterior %v after repair", delta, mp)
+			}
+		}
+	}
+}
+
+func TestMeetBoundNoOpWhenAlreadyFeasible(t *testing.T) {
+	prior := normalish(5)
+	// The totally-random genome has posterior equal to the prior everywhere.
+	g := make(Genome, 5)
+	for i := range g {
+		col := make([]float64, 5)
+		for j := range col {
+			col[j] = 0.2
+		}
+		g[i] = col
+	}
+	before := g.Clone()
+	if !MeetBound(g, prior, 0.9, false) {
+		t.Fatal("feasible genome reported unrepairable")
+	}
+	for i := range g {
+		if !equalCol(g[i], before[i]) {
+			t.Fatal("repair modified an already-feasible genome")
+		}
+	}
+}
+
+func TestMeetBoundInfeasibleDelta(t *testing.T) {
+	prior := []float64{0.7, 0.2, 0.1}
+	g := NewRandomGenome(3, randx.New(2))
+	// Theorem 5: delta below the prior mode (0.7) is unachievable.
+	if MeetBound(g, prior, 0.5, false) {
+		t.Fatal("repair claimed success below the prior mode")
+	}
+}
+
+func TestMeetBoundDeltaEdgeCases(t *testing.T) {
+	prior := normalish(4)
+	g := NewRandomGenome(4, randx.New(3))
+	if MeetBound(g, prior, 0, false) {
+		t.Fatal("delta = 0 accepted")
+	}
+	if MeetBound(g, prior, -0.5, false) {
+		t.Fatal("negative delta accepted")
+	}
+	if !MeetBound(g, prior, 1, false) {
+		t.Fatal("delta = 1 must always hold")
+	}
+	if MeetBound(g, []float64{0.5, 0.5}, 0.8, false) {
+		t.Fatal("prior length mismatch accepted")
+	}
+}
+
+func TestMeetBoundSymmetric(t *testing.T) {
+	prior := normalish(6)
+	r := randx.New(4)
+	for trial := 0; trial < 30; trial++ {
+		g := NewRandomGenome(6, r)
+		g.Symmetrize()
+		if !MeetBound(g, prior, 0.7, true) {
+			t.Fatal("symmetric repair failed")
+		}
+		if !g.Valid() {
+			t.Fatal("symmetric repair broke stochasticity")
+		}
+		for i := 0; i < 6; i++ {
+			for j := 0; j < 6; j++ {
+				if d := g[i][j] - g[j][i]; d > 1e-6 || d < -1e-6 {
+					t.Fatalf("repair broke symmetry at (%d,%d)", i, j)
+				}
+			}
+		}
+		if mp := maxPosteriorOf(t, g, prior); mp > 0.7+1e-9 {
+			t.Fatalf("symmetric repair left max posterior %v", mp)
+		}
+	}
+}
+
+// TestMeetBoundNearDeterministicStart exercises the directed-dilution
+// behaviour: starting close to the identity (which maximally violates any
+// delta < 1), the repair must still land under the bound with a valid,
+// usable genome.
+func TestMeetBoundNearDeterministicStart(t *testing.T) {
+	prior := normalish(6)
+	for _, delta := range []float64{0.6, 0.8, 0.95} {
+		g := make(Genome, 6)
+		for i := range g {
+			col := make([]float64, 6)
+			for j := range col {
+				if i == j {
+					col[j] = 0.95
+				} else {
+					col[j] = 0.01
+				}
+			}
+			g[i] = col
+		}
+		if !MeetBound(g, prior, delta, false) {
+			t.Fatalf("repair failed from near-identity at delta=%v", delta)
+		}
+		if mp := maxPosteriorOf(t, g, prior); mp > delta+1e-9 {
+			t.Fatalf("delta=%v: max posterior %v", delta, mp)
+		}
+	}
+}
+
+// TestPropertyMeetBound: for any random genome and any achievable delta,
+// repair succeeds, preserves stochasticity and meets the bound (Theorem 5
+// permitting).
+func TestPropertyMeetBound(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, dRaw uint8) bool {
+		n := int(nRaw%6) + 2
+		r := randx.New(seed)
+		prior := make([]float64, n)
+		var sum float64
+		for i := range prior {
+			prior[i] = r.Float64() + 0.05
+			sum += prior[i]
+		}
+		for i := range prior {
+			prior[i] /= sum
+		}
+		floor := metrics.BoundFloor(prior)
+		// Pick delta in (floor, 1).
+		delta := floor + (1-floor)*(0.05+0.9*float64(dRaw)/255)
+		g := NewRandomGenome(n, r)
+		for k := 0; k < 5; k++ {
+			Mutate(g, MutationProportional, 1, r)
+		}
+		if !MeetBound(g, prior, delta, false) {
+			return false
+		}
+		if !g.Valid() {
+			return false
+		}
+		m, err := g.Matrix()
+		if err != nil {
+			return false
+		}
+		mp, err := metrics.MaxPosterior(m, prior)
+		if err != nil {
+			return false
+		}
+		return mp <= delta+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMeetBound(b *testing.B) {
+	prior := normalish(10)
+	r := randx.New(1)
+	genomes := make([]Genome, 64)
+	for i := range genomes {
+		genomes[i] = NewRandomGenome(10, r)
+		for k := 0; k < 10; k++ {
+			Mutate(genomes[i], MutationProportional, 1, r)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := genomes[i%len(genomes)].Clone()
+		MeetBound(g, prior, 0.7, false)
+	}
+}

@@ -1,0 +1,166 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"optrr/internal/randx"
+)
+
+// AdultLike generates a stand-in for the first attribute (age) of the UCI
+// Adult data set, which the paper uses for Figure 5(c). The real data set is
+// not shipped with this repository; instead we sample ages from a
+// right-skewed model calibrated to the published Adult age marginal
+// (range 17–90, mean ≈ 38.6, sd ≈ 13.6) and discretize into n equi-width
+// bins exactly as the paper discretizes continuous attributes.
+//
+// The experiment only consumes the resulting categorical prior, so any prior
+// with the same qualitative shape (unimodal, right-skewed, bounded support,
+// near-empty top bins) exercises the identical code path. See DESIGN.md.
+type AdultLike struct {
+	// MinAge and MaxAge bound the support. Defaults: 17 and 90.
+	MinAge, MaxAge float64
+}
+
+// Adult age model: age = MinAge + Gamma(shape, scale), truncated to
+// [MinAge, MaxAge]. shape=3.1, scale=7.0 gives mean ≈ 17+21.7 ≈ 38.7 and
+// sd ≈ 12.3, matching the published marginal closely.
+const (
+	adultShape = 3.1
+	adultScale = 7.0
+)
+
+// DefaultAdult returns an AdultLike with the published Adult age bounds.
+func DefaultAdult() AdultLike { return AdultLike{MinAge: 17, MaxAge: 90} }
+
+// Ages samples n raw (continuous) ages.
+func (a AdultLike) Ages(n int, r *randx.Source) []float64 {
+	min, max := a.bounds()
+	out := make([]float64, n)
+	for i := range out {
+		for {
+			v := min + r.Gamma(adultShape, adultScale)
+			if v <= max {
+				out[i] = v
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (a AdultLike) bounds() (min, max float64) {
+	min, max = a.MinAge, a.MaxAge
+	if min == 0 && max == 0 {
+		min, max = 17, 90
+	}
+	return min, max
+}
+
+// Generate samples records raw ages and discretizes them into n equi-width
+// bins over [MinAge, MaxAge].
+func (a AdultLike) Generate(n, records int, r *randx.Source) (*Categorical, error) {
+	min, max := a.bounds()
+	if !(max > min) {
+		return nil, fmt.Errorf("dataset: AdultLike needs MaxAge > MinAge, got [%v, %v]", min, max)
+	}
+	return Discretize(a.Ages(records, r), n, min, max)
+}
+
+// Generator adapts AdultLike to the Generator interface used by the
+// experiment harness. The prior is estimated once from a large deterministic
+// sample so that the "true" prior used in closed-form metrics matches the
+// sampled data closely.
+func (a AdultLike) Generator() Generator {
+	return Generator{
+		Name: "adult-age",
+		Prior: func(n int) []float64 {
+			const calibration = 500_000
+			r := randx.New(0xAD01717) // fixed: the prior is a property of the model
+			d, err := a.Generate(n, calibration, r)
+			if err != nil {
+				panic(fmt.Sprintf("dataset: adult prior: %v", err))
+			}
+			return d.Distribution()
+		},
+	}
+}
+
+// AdultAttributes returns stand-ins for several Adult attributes beyond age,
+// calibrated to the published marginals' qualitative shapes. The paper's
+// Figure 5(c) shows attribute 1 and reports that "the results for the other
+// attributes have shown a similar trend"; these generators let the
+// experiment verify that claim on substituted data.
+//
+//   - adult-age: right-skewed gamma model (see AdultLike).
+//   - adult-education: the years-of-education marginal — strongly bimodal
+//     with spikes at high-school (9 years) and bachelor (13 years).
+//   - adult-hours: hours-per-week — a heavy spike at 40 with spread on both
+//     sides, discretized like the paper discretizes continuous attributes.
+func AdultAttributes() []Generator {
+	education := Generator{
+		Name: "adult-education",
+		Prior: func(n int) []float64 {
+			// Published education-num marginal over 1..16, rebinned to n.
+			marginal := []float64{
+				0.002, 0.005, 0.010, 0.020, 0.016, 0.028, 0.036, 0.013,
+				0.322, 0.223, 0.042, 0.033, 0.164, 0.053, 0.018, 0.015,
+			}
+			p, err := rebin(marginal, n)
+			if err != nil {
+				panic(fmt.Sprintf("dataset: adult education prior: %v", err))
+			}
+			return p
+		},
+	}
+	hours := Generator{
+		Name: "adult-hours",
+		Prior: func(n int) []float64 {
+			// Hours-per-week model: a dominant mass at the standard week
+			// plus normal spread, truncated to [1, 99] and binned.
+			const calibration = 500_000
+			r := randx.New(0xAD0BB5)
+			vals := make([]float64, calibration)
+			for i := range vals {
+				var v float64
+				switch {
+				case r.Float64() < 0.45:
+					v = 40 // the full-time spike
+				default:
+					v = r.Normal(40, 12)
+				}
+				if v < 1 {
+					v = 1
+				}
+				if v > 99 {
+					v = 99
+				}
+				vals[i] = v
+			}
+			d, err := Discretize(vals, n, 1, 99)
+			if err != nil {
+				panic(fmt.Sprintf("dataset: adult hours prior: %v", err))
+			}
+			return d.Distribution()
+		},
+	}
+	return []Generator{DefaultAdult().Generator(), education, hours}
+}
+
+// rebin redistributes a fine-grained marginal over n equi-width bins.
+func rebin(marginal []float64, n int) ([]float64, error) {
+	w := make([]float64, n)
+	for i, v := range marginal {
+		// Spread value i's mass over its [i, i+1) span in bin space.
+		lo := float64(i) * float64(n) / float64(len(marginal))
+		hi := float64(i+1) * float64(n) / float64(len(marginal))
+		for b := int(lo); b < n && float64(b) < hi; b++ {
+			from := math.Max(lo, float64(b))
+			to := math.Min(hi, float64(b+1))
+			if to > from {
+				w[b] += v * (to - from) / (hi - lo)
+			}
+		}
+	}
+	return Normalize(w)
+}

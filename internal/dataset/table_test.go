@@ -1,0 +1,214 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"optrr/internal/randx"
+)
+
+func demoAttrs() []Attribute {
+	return []Attribute{
+		{Name: "income", Categories: []string{"low", "mid", "high"}},
+		{Name: "approved", Categories: []string{"no", "yes"}},
+	}
+}
+
+func TestNewTableValidates(t *testing.T) {
+	if _, err := NewTable(nil); !errors.Is(err, ErrBadTable) {
+		t.Fatal("empty schema accepted")
+	}
+	if _, err := NewTable([]Attribute{{Name: "", Categories: []string{"a", "b"}}}); !errors.Is(err, ErrBadTable) {
+		t.Fatal("unnamed attribute accepted")
+	}
+	if _, err := NewTable([]Attribute{
+		{Name: "x", Categories: []string{"a", "b"}},
+		{Name: "x", Categories: []string{"a", "b"}},
+	}); !errors.Is(err, ErrBadTable) {
+		t.Fatal("duplicate attribute name accepted")
+	}
+	if _, err := NewTable([]Attribute{{Name: "x", Categories: []string{"only"}}}); !errors.Is(err, ErrBadTable) {
+		t.Fatal("single-category attribute accepted")
+	}
+	if _, err := NewTable([]Attribute{{Name: "x", Categories: []string{"a", "a"}}}); !errors.Is(err, ErrBadTable) {
+		t.Fatal("duplicate category accepted")
+	}
+}
+
+func TestTableAppendAndAccess(t *testing.T) {
+	tab, err := NewTable(demoAttrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Append([]int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Append([]int{2, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Append([]int{3, 0}); !errors.Is(err, ErrBadTable) {
+		t.Fatal("out-of-range value accepted")
+	}
+	if err := tab.Append([]int{1}); !errors.Is(err, ErrBadTable) {
+		t.Fatal("short row accepted")
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	if got := tab.Row(1); got[0] != 2 || got[1] != 0 {
+		t.Fatalf("Row(1) = %v", got)
+	}
+	col, err := tab.Column(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col[0] != 1 || col[1] != 0 {
+		t.Fatalf("Column(1) = %v", col)
+	}
+	if _, err := tab.Column(5); !errors.Is(err, ErrBadTable) {
+		t.Fatal("bad column accepted")
+	}
+	if idx, err := tab.AttributeIndex("approved"); err != nil || idx != 1 {
+		t.Fatalf("AttributeIndex = %d, %v", idx, err)
+	}
+	if _, err := tab.AttributeIndex("nope"); !errors.Is(err, ErrBadTable) {
+		t.Fatal("unknown attribute accepted")
+	}
+	sizes := tab.Sizes()
+	if sizes[0] != 3 || sizes[1] != 2 {
+		t.Fatalf("Sizes = %v", sizes)
+	}
+}
+
+func TestTableMarginal(t *testing.T) {
+	tab, err := NewTable(demoAttrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range [][]int{{0, 0}, {0, 1}, {1, 1}, {2, 1}} {
+		if err := tab.Append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := tab.Marginal(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 0.25, 0.25}
+	for i := range want {
+		if math.Abs(m[i]-want[i]) > 1e-12 {
+			t.Fatalf("Marginal(0) = %v", m)
+		}
+	}
+}
+
+func TestTableCSVRoundTrip(t *testing.T) {
+	tab, err := NewTable(demoAttrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range [][]int{{0, 0}, {1, 1}, {2, 1}} {
+		if err := tab.Append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, tab.Attributes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tab.Len() {
+		t.Fatalf("round trip rows: %d vs %d", back.Len(), tab.Len())
+	}
+	for i := 0; i < tab.Len(); i++ {
+		for d := range tab.Attributes() {
+			if back.Row(i)[d] != tab.Row(i)[d] {
+				t.Fatalf("row %d differs: %v vs %v", i, back.Row(i), tab.Row(i))
+			}
+		}
+	}
+}
+
+func TestReadCSVInfersSchema(t *testing.T) {
+	in := "income,approved\nlow,no\nhigh,yes\nmid,yes\nlow,yes\n"
+	tab, err := ReadCSV(strings.NewReader(in), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := tab.Attributes()
+	if attrs[0].Name != "income" || attrs[1].Name != "approved" {
+		t.Fatalf("names = %v, %v", attrs[0].Name, attrs[1].Name)
+	}
+	// Inferred domains sort lexicographically.
+	if strings.Join(attrs[0].Categories, ",") != "high,low,mid" {
+		t.Fatalf("income domain = %v", attrs[0].Categories)
+	}
+	if tab.Len() != 4 {
+		t.Fatalf("rows = %d", tab.Len())
+	}
+}
+
+func TestReadCSVNumericLabelsSortNumerically(t *testing.T) {
+	in := "age\n10\n2\n33\n2\n"
+	tab, err := ReadCSV(strings.NewReader(in), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(tab.Attributes()[0].Categories, ",") != "2,10,33" {
+		t.Fatalf("numeric domain = %v", tab.Attributes()[0].Categories)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), nil); !errors.Is(err, ErrBadTable) {
+		t.Fatal("empty input accepted")
+	}
+	// Unknown label under an explicit schema.
+	in := "income,approved\nultra,no\n"
+	if _, err := ReadCSV(strings.NewReader(in), demoAttrs()); !errors.Is(err, ErrUnknownCategory) {
+		t.Fatal("unknown label accepted")
+	}
+	// Schema / header arity mismatch.
+	in = "a,b,c\n1,2,3\n"
+	if _, err := ReadCSV(strings.NewReader(in), demoAttrs()); !errors.Is(err, ErrBadTable) {
+		t.Fatal("arity mismatch accepted")
+	}
+	// Ragged row. The csv package reports this as a parse error wrapped
+	// into ErrBadTable.
+	in = "a,b\n1,2\n3\n"
+	if _, err := ReadCSV(strings.NewReader(in), nil); !errors.Is(err, ErrBadTable) {
+		t.Fatal("ragged row accepted")
+	}
+}
+
+func TestSyntheticTableMatchesJoint(t *testing.T) {
+	attrs := demoAttrs()
+	// joint[income*2 + approved]
+	joint := []float64{0.30, 0.05, 0.20, 0.15, 0.05, 0.25}
+	tab, err := SyntheticTable(attrs, joint, 200000, randx.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]float64, 6)
+	for _, row := range tab.Rows() {
+		counts[row[0]*2+row[1]]++
+	}
+	for i := range joint {
+		got := counts[i] / float64(tab.Len())
+		if math.Abs(got-joint[i]) > 0.01 {
+			t.Errorf("cell %d: %v, want %v", i, got, joint[i])
+		}
+	}
+}
+
+func TestSyntheticTableValidates(t *testing.T) {
+	if _, err := SyntheticTable(demoAttrs(), []float64{1}, 10, randx.New(1)); !errors.Is(err, ErrBadTable) {
+		t.Fatal("wrong joint size accepted")
+	}
+}

@@ -1,0 +1,194 @@
+package emoo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"optrr/internal/pareto"
+	"optrr/internal/randx"
+)
+
+func TestNondominatedSortLayers(t *testing.T) {
+	pts := []pareto.Point{
+		{Privacy: 0.9, Utility: 0.1},  // dominates everything: rank 0
+		{Privacy: 0.8, Utility: 0.2},  // rank 1
+		{Privacy: 0.7, Utility: 0.3},  // rank 2
+		{Privacy: 0.85, Utility: 0.9}, // dominated only by the rank-0 point: rank 1
+	}
+	rank := NondominatedSort(pts)
+	if rank[0] != 0 {
+		t.Fatalf("rank[0] = %d, want 0", rank[0])
+	}
+	if rank[1] != 1 {
+		t.Fatalf("rank[1] = %d, want 1", rank[1])
+	}
+	if rank[2] != 2 {
+		t.Fatalf("rank[2] = %d, want 2", rank[2])
+	}
+	if rank[3] != 1 {
+		t.Fatalf("rank[3] = %d, want 1", rank[3])
+	}
+}
+
+// TestNondominatedSortRankZeroMatchesFront: rank 0 must equal the Pareto
+// front, and every point of rank r must be dominated by some point of rank
+// r−1 and none of rank ≥ r.
+func TestNondominatedSortConsistent(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%25) + 1
+		r := randx.New(seed)
+		pts := make([]pareto.Point, n)
+		for i := range pts {
+			pts[i] = pareto.Point{Privacy: r.Float64(), Utility: r.Float64()}
+		}
+		rank := NondominatedSort(pts)
+		front := map[int]bool{}
+		for _, i := range pareto.Front(pts) {
+			front[i] = true
+		}
+		for i := range pts {
+			if front[i] != (rank[i] == 0) {
+				return false
+			}
+			if rank[i] > 0 {
+				// Must be dominated by at least one point of the previous rank.
+				found := false
+				for j := range pts {
+					if rank[j] == rank[i]-1 && pts[j].Dominates(pts[i]) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+			// Never dominated by a same-or-higher rank point.
+			for j := range pts {
+				if rank[j] >= rank[i] && i != j && pts[j].Dominates(pts[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrowdingDistanceBoundariesInfinite(t *testing.T) {
+	pts := []pareto.Point{
+		{Privacy: 0.1, Utility: 0.1},
+		{Privacy: 0.5, Utility: 0.3},
+		{Privacy: 0.9, Utility: 0.9},
+	}
+	rank := NondominatedSort(pts)
+	d := CrowdingDistance(pts, rank)
+	if !math.IsInf(d[0], 1) || !math.IsInf(d[2], 1) {
+		t.Fatalf("boundary points not infinite: %v", d)
+	}
+	if math.IsInf(d[1], 1) || d[1] <= 0 {
+		t.Fatalf("interior point distance = %v", d[1])
+	}
+}
+
+func TestCrowdingDistancePrefersSparse(t *testing.T) {
+	// Four mutually non-dominated points; the pair crowded together must
+	// get smaller distances than the interior sparse point.
+	pts := []pareto.Point{
+		{Privacy: 0.10, Utility: 0.10},
+		{Privacy: 0.50, Utility: 0.50},
+		{Privacy: 0.52, Utility: 0.52}, // crowds its neighbour
+		{Privacy: 0.53, Utility: 0.53},
+		{Privacy: 0.90, Utility: 0.90},
+	}
+	rank := NondominatedSort(pts)
+	d := CrowdingDistance(pts, rank)
+	if !(d[2] < d[1]) {
+		t.Fatalf("crowded interior point should have smaller distance: %v", d)
+	}
+}
+
+func TestNSGA2FitnessOrdersRanksFirst(t *testing.T) {
+	pts := []pareto.Point{
+		{Privacy: 0.9, Utility: 0.1}, // rank 0
+		{Privacy: 0.5, Utility: 0.5}, // rank 1
+	}
+	fit := NSGA2Fitness(pts)
+	if !(fit.Value[0] < fit.Value[1]) {
+		t.Fatalf("rank ordering broken: %v", fit.Value)
+	}
+	if fit.Value[0] >= 1 {
+		t.Fatalf("rank-0 fitness %v should stay below 1", fit.Value[0])
+	}
+}
+
+func TestNSGA2SelectCapacity(t *testing.T) {
+	f := func(seed uint64, nRaw, capRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		capacity := int(capRaw%12) + 1
+		r := randx.New(seed)
+		pts := make([]pareto.Point, n)
+		for i := range pts {
+			pts[i] = pareto.Point{Privacy: r.Float64(), Utility: r.Float64()}
+		}
+		sel, err := NSGA2Select(pts, capacity)
+		if err != nil {
+			return false
+		}
+		if n <= capacity {
+			return len(sel) == n
+		}
+		if len(sel) != capacity {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, i := range sel {
+			if i < 0 || i >= n || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		// Rank monotonicity: no selected point may have a higher rank than
+		// an unselected one... the reverse: every unselected point must have
+		// rank >= the max selected rank (truncation only splits one rank).
+		rank := NondominatedSort(pts)
+		maxSel := 0
+		for _, i := range sel {
+			if rank[i] > maxSel {
+				maxSel = rank[i]
+			}
+		}
+		for i := range pts {
+			if !seen[i] && rank[i] < maxSel {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNSGA2SelectValidation(t *testing.T) {
+	if _, err := NSGA2Select([]pareto.Point{{Privacy: 1, Utility: 1}}, 0); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+}
+
+func BenchmarkNSGA2Select80(b *testing.B) {
+	r := randx.New(1)
+	pts := make([]pareto.Point, 80)
+	for i := range pts {
+		pts[i] = pareto.Point{Privacy: r.Float64(), Utility: r.Float64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NSGA2Select(pts, 40); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// Package emoo implements the SPEA2 machinery of Zitzler, Laumanns and
+// Thiele that the paper builds its optimizer on (Section V): fitness
+// assignment from dominance strength and nearest-neighbour density,
+// environmental selection with the iterative truncation operator, and
+// binary-tournament mating selection.
+//
+// The package is genome-agnostic: it works purely on objective-space points
+// (pareto.Point) and index slices, so internal/core can drive it with RR
+// matrices and tests can drive it with synthetic point clouds.
+package emoo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"optrr/internal/pareto"
+	"optrr/internal/randx"
+)
+
+// Config controls the SPEA2 operators.
+type Config struct {
+	// KNearest is the k in the k-th-nearest-neighbour density estimate. The
+	// paper sets k = 1 ("k is usually set to 1 in practice"); zero means 1.
+	KNearest int
+	// Normalize rescales each objective by its range over the current point
+	// set before any distance computation. The paper's two objectives live
+	// on very different scales (privacy ≈ 0.5, MSE ≈ 1e-4), so without
+	// normalization density and truncation would ignore utility entirely.
+	Normalize bool
+}
+
+func (c Config) k() int {
+	if c.KNearest <= 0 {
+		return 1
+	}
+	return c.KNearest
+}
+
+// Fitness holds the per-individual fitness decomposition of SPEA2.
+type Fitness struct {
+	// Strength[i] is S(i): how many individuals i dominates.
+	Strength []int
+	// Raw[i] is R(i): the summed strength of everyone dominating i. Zero
+	// means non-dominated.
+	Raw []float64
+	// Density[i] is D(i) = 1/(σ_i^k + 2) ∈ (0, 0.5].
+	Density []float64
+	// Value[i] is F(i) = R(i) + D(i); lower is better.
+	Value []float64
+}
+
+// AssignFitness computes SPEA2 fitness for the union of archive and
+// population points (Section V-B of the paper).
+func AssignFitness(pts []pareto.Point, cfg Config) Fitness {
+	n := len(pts)
+	f := Fitness{
+		Strength: make([]int, n),
+		Raw:      make([]float64, n),
+		Density:  make([]float64, n),
+		Value:    make([]float64, n),
+	}
+	if n == 0 {
+		return f
+	}
+	dom := make([][]bool, n)
+	for i := range dom {
+		dom[i] = make([]bool, n)
+		for j := range dom[i] {
+			if i != j && pts[i].Dominates(pts[j]) {
+				dom[i][j] = true
+				f.Strength[i]++
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if dom[j][i] {
+				f.Raw[i] += float64(f.Strength[j])
+			}
+		}
+	}
+	d := distanceMatrix(pts, cfg)
+	k := cfg.k()
+	if k > n-1 {
+		k = n - 1
+	}
+	buf := make([]float64, 0, n-1)
+	for i := 0; i < n; i++ {
+		buf = buf[:0]
+		for j := 0; j < n; j++ {
+			if j != i {
+				buf = append(buf, d[i][j])
+			}
+		}
+		var sigma float64
+		if len(buf) > 0 {
+			sort.Float64s(buf)
+			sigma = buf[k-1]
+		}
+		f.Density[i] = 1 / (sigma + 2)
+		f.Value[i] = f.Raw[i] + f.Density[i]
+	}
+	return f
+}
+
+// distanceMatrix returns pairwise objective-space distances, optionally
+// normalized per objective by the range over pts.
+func distanceMatrix(pts []pareto.Point, cfg Config) [][]float64 {
+	n := len(pts)
+	scaleP, scaleU := 1.0, 1.0
+	if cfg.Normalize && n > 1 {
+		minP, maxP := pts[0].Privacy, pts[0].Privacy
+		minU, maxU := pts[0].Utility, pts[0].Utility
+		for _, p := range pts[1:] {
+			minP = math.Min(minP, p.Privacy)
+			maxP = math.Max(maxP, p.Privacy)
+			minU = math.Min(minU, p.Utility)
+			maxU = math.Max(maxU, p.Utility)
+		}
+		if r := maxP - minP; r > 0 {
+			scaleP = 1 / r
+		}
+		if r := maxU - minU; r > 0 {
+			scaleU = 1 / r
+		}
+	}
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dp := (pts[i].Privacy - pts[j].Privacy) * scaleP
+			du := (pts[i].Utility - pts[j].Utility) * scaleU
+			dist := math.Sqrt(dp*dp + du*du)
+			d[i][j] = dist
+			d[j][i] = dist
+		}
+	}
+	return d
+}
+
+// SelectEnvironment performs SPEA2 environmental selection (Section V-C):
+// it returns the indices (into pts) of the individuals forming the next
+// archive of size capacity. All non-dominated individuals (fitness < 1) are
+// taken first; a shortfall is filled with the best dominated individuals; an
+// overflow is reduced with the iterative nearest-neighbour truncation
+// operator, which preserves spread.
+func SelectEnvironment(pts []pareto.Point, fit Fitness, capacity int, cfg Config) ([]int, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("emoo: archive capacity must be positive, got %d", capacity)
+	}
+	if len(fit.Value) != len(pts) {
+		return nil, fmt.Errorf("emoo: fitness for %d points, got %d values", len(pts), len(fit.Value))
+	}
+	var next []int
+	for i, v := range fit.Value {
+		if v < 1 {
+			next = append(next, i)
+		}
+	}
+	switch {
+	case len(next) == capacity:
+		return next, nil
+	case len(next) < capacity:
+		// Fill with the best dominated individuals.
+		var rest []int
+		for i, v := range fit.Value {
+			if v >= 1 {
+				rest = append(rest, i)
+			}
+		}
+		sort.Slice(rest, func(a, b int) bool { return fit.Value[rest[a]] < fit.Value[rest[b]] })
+		need := capacity - len(next)
+		if need > len(rest) {
+			need = len(rest)
+		}
+		return append(next, rest[:need]...), nil
+	default:
+		return truncate(pts, next, capacity, cfg), nil
+	}
+}
+
+// truncate iteratively removes, from the selected index set, the individual
+// with the lexicographically smallest sorted distance vector to the other
+// selected individuals — i.e. the one crowding the densest spot — until the
+// set fits the capacity.
+func truncate(pts []pareto.Point, selected []int, capacity int, cfg Config) []int {
+	live := append([]int(nil), selected...)
+	for len(live) > capacity {
+		sub := make([]pareto.Point, len(live))
+		for k, idx := range live {
+			sub[k] = pts[idx]
+		}
+		d := distanceMatrix(sub, cfg)
+		vecs := make([][]float64, len(live))
+		for i := range live {
+			v := make([]float64, 0, len(live)-1)
+			for j := range live {
+				if j != i {
+					v = append(v, d[i][j])
+				}
+			}
+			sort.Float64s(v)
+			vecs[i] = v
+		}
+		victim := 0
+		for i := 1; i < len(live); i++ {
+			if lexLess(vecs[i], vecs[victim]) {
+				victim = i
+			}
+		}
+		live = append(live[:victim], live[victim+1:]...)
+	}
+	return live
+}
+
+// lexLess reports whether distance vector a is lexicographically smaller
+// than b (equal-length slices).
+func lexLess(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// BinaryTournament picks one index in [0, len(fit.Value)) by drawing two
+// uniformly at random and keeping the one with the better (lower) fitness
+// (Section V-D). It panics on an empty fitness set, which is a caller bug.
+func BinaryTournament(fit Fitness, r *randx.Source) int {
+	n := len(fit.Value)
+	if n == 0 {
+		panic("emoo: BinaryTournament over empty set")
+	}
+	a := r.Intn(n)
+	b := r.Intn(n)
+	if fit.Value[b] < fit.Value[a] {
+		return b
+	}
+	return a
+}
+
+// FillMatingPool returns size indices selected by repeated binary
+// tournaments.
+func FillMatingPool(fit Fitness, size int, r *randx.Source) []int {
+	out := make([]int, size)
+	for i := range out {
+		out[i] = BinaryTournament(fit, r)
+	}
+	return out
+}

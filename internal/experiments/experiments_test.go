@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"optrr/internal/pareto"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig4a", "fig4b", "fig4c", "fig4d",
+		"fig5a", "fig5b", "fig5c", "fig5d",
+		"thm2", "fact1",
+		"ext-multi", "ext-gain",
+		"abl-omega", "abl-symmetric", "abl-reject", "abl-nsga2", "abl-naive-mutation",
+		"abl-weighted-sum",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	seen := make(map[string]bool)
+	for _, e := range all {
+		seen[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !seen[id] {
+			t.Errorf("experiment %q missing", id)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	e, err := Lookup("fig4a")
+	if err != nil || e.ID != "fig4a" {
+		t.Fatalf("Lookup(fig4a) = %v, %v", e.ID, err)
+	}
+	if _, err := Lookup("nope"); !errors.Is(err, ErrUnknownExperiment) {
+		t.Fatalf("err = %v, want ErrUnknownExperiment", err)
+	}
+}
+
+func TestFact1MatchesPaper(t *testing.T) {
+	rep, err := runFact1(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("Fact 1 check failed: %s", rep.Summary())
+	}
+}
+
+func TestSearchSpaceSizeSmallCases(t *testing.T) {
+	// n=2, d=1: each column is one of {(0,1),(1,0)}... C(2,1)=2 choices per
+	// column, squared = 4.
+	if got := SearchSpaceSize(2, 1).Int64(); got != 4 {
+		t.Fatalf("SearchSpaceSize(2,1) = %d, want 4", got)
+	}
+	// n=2, d=2: C(3,2)=3 per column -> 9.
+	if got := SearchSpaceSize(2, 2).Int64(); got != 9 {
+		t.Fatalf("SearchSpaceSize(2,2) = %d, want 9", got)
+	}
+}
+
+func TestTheorem2Experiment(t *testing.T) {
+	rep, err := runThm2(Config{WarnerSteps: 100, Generations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("Theorem 2 failed:\n%s", rep.Summary())
+	}
+	if len(rep.Series) != 3 {
+		t.Fatalf("thm2 produced %d series, want 3", len(rep.Series))
+	}
+}
+
+// TestFig4aQuick runs the flagship experiment at the quick budget and
+// verifies the universal shape checks hold.
+func TestFig4aQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run skipped in -short mode")
+	}
+	e, err := Lookup("fig4a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Generations: 2000, WarnerSteps: 300, Seed: 1}
+	rep, err := e.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At this reduced budget the dominance checks must hold; the
+	// range-extension check may legitimately need a deeper run, so only
+	// the first two checks are asserted here.
+	for _, c := range rep.Checks[:2] {
+		if !c.Pass {
+			t.Errorf("check failed: %s (%s)", c.Name, c.Detail)
+		}
+	}
+	if len(rep.Series) != 2 {
+		t.Fatalf("fig4a produced %d series", len(rep.Series))
+	}
+	for _, s := range rep.Series {
+		if len(s.Points) == 0 {
+			t.Fatalf("series %q empty", s.Name)
+		}
+	}
+}
+
+// TestFig5bQuick checks the uniform-prior exception experiment end to end.
+func TestFig5bQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run skipped in -short mode")
+	}
+	e, err := Lookup("fig5b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Generations: 3000, WarnerSteps: 300, Seed: 2}
+	rep, err := e.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Checks {
+		if !c.Pass {
+			t.Errorf("check failed: %s (%s)", c.Name, c.Detail)
+		}
+	}
+}
+
+// TestAllExperimentsExecute runs every registered experiment at a micro
+// budget: no shape checks are asserted (those need real budgets and are
+// covered by the dedicated tests above and the CLI runs), but every runner
+// must complete without error and produce well-formed output.
+func TestAllExperimentsExecute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep skipped in -short mode")
+	}
+	cfg := Config{
+		Categories:  6,
+		Records:     2000,
+		Generations: 60,
+		WarnerSteps: 60,
+		Seed:        1,
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if rep.ID != e.ID {
+				t.Fatalf("report ID %q for experiment %q", rep.ID, e.ID)
+			}
+			if rep.Title == "" || len(rep.Checks) == 0 {
+				t.Fatalf("%s: empty report", e.ID)
+			}
+			// Reports must render without panicking.
+			if rep.Summary() == "" {
+				t.Fatalf("%s: empty summary", e.ID)
+			}
+			_ = rep.ASCIIPlot()
+			var sink strings.Builder
+			if err := rep.WriteCSV(&sink); err != nil {
+				t.Fatalf("%s: csv: %v", e.ID, err)
+			}
+		})
+	}
+}
+
+func TestWarnerFrontShape(t *testing.T) {
+	prior := []float64{0.4, 0.3, 0.2, 0.1}
+	front, err := warnerFront(prior, 10000, 0.9, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) == 0 {
+		t.Fatal("empty Warner front")
+	}
+	// Front points must be mutually non-dominated and sorted by privacy.
+	for i := 1; i < len(front); i++ {
+		if front[i].Privacy < front[i-1].Privacy {
+			t.Fatal("warner front not sorted")
+		}
+		if front[i].Utility < front[i-1].Utility {
+			t.Fatal("warner front utility not monotone: a cheaper higher-privacy point would dominate")
+		}
+	}
+}
+
+func TestSharedLevels(t *testing.T) {
+	a := []pareto.Point{{Privacy: 0.2, Utility: 1}, {Privacy: 0.8, Utility: 2}}
+	b := []pareto.Point{{Privacy: 0.4, Utility: 1}, {Privacy: 1.0, Utility: 2}}
+	levels := sharedLevels(a, b, 3)
+	if len(levels) != 3 {
+		t.Fatalf("levels = %v", levels)
+	}
+	for _, l := range levels {
+		if l <= 0.4 || l >= 0.8 {
+			t.Fatalf("level %v outside shared range (0.4, 0.8)", l)
+		}
+	}
+	if got := sharedLevels(a, []pareto.Point{{Privacy: 0.9, Utility: 1}}, 3); got != nil {
+		t.Fatalf("disjoint ranges should give no levels, got %v", got)
+	}
+}
+
+func TestReportCSV(t *testing.T) {
+	rep := &Report{
+		ID: "x",
+		Series: []Series{
+			{Name: "a", Points: []pareto.Point{{Privacy: 0.5, Utility: 0.001}}},
+			{Name: "b", Points: []pareto.Point{{Privacy: 0.6, Utility: 0.002}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want 3:\n%s", len(lines), out)
+	}
+	if lines[0] != "series,privacy,utility" {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "a,0.5,") {
+		t.Fatalf("CSV row = %q", lines[1])
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	rep := &Report{
+		Title: "test",
+		Series: []Series{
+			{Name: "a", Points: []pareto.Point{{Privacy: 0.2, Utility: 0.001}, {Privacy: 0.8, Utility: 0.01}}},
+		},
+	}
+	plot := rep.ASCIIPlot()
+	if !strings.Contains(plot, "w = a (2 pts)") {
+		t.Fatalf("plot legend missing:\n%s", plot)
+	}
+	if strings.Count(plot, "w") < 3 { // legend + 2 points
+		t.Fatalf("plot points missing:\n%s", plot)
+	}
+	empty := (&Report{Title: "empty"}).ASCIIPlot()
+	if !strings.Contains(empty, "no data") {
+		t.Fatalf("empty plot = %q", empty)
+	}
+}
+
+func TestSummaryRendering(t *testing.T) {
+	rep := &Report{
+		ID:         "x",
+		Title:      "t",
+		PaperClaim: "c",
+		Checks:     []Check{{Name: "n", Pass: true, Detail: "d"}, {Name: "m", Pass: false, Detail: "e"}},
+		Notes:      []string{"note1"},
+	}
+	s := rep.Summary()
+	for _, want := range []string{"[PASS] n", "[FAIL] m", "paper: c", "note: note1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+	if rep.Passed() {
+		t.Fatal("Passed() true despite failing check")
+	}
+}

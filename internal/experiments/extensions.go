@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+
+	"optrr/internal/core"
+	"optrr/internal/dataset"
+	"optrr/internal/metrics"
+	"optrr/internal/pareto"
+	"optrr/internal/rr"
+)
+
+// Extension experiments beyond the paper's figures, documented in DESIGN.md:
+// ext-multi exercises the multi-dimensional randomized response the paper
+// names as future work (Section VII); ext-gain exercises the generalized
+// adversary of Section IV-A as an optimization objective.
+
+func init() {
+	register(Experiment{
+		ID:    "ext-multi",
+		Title: "Extension: multi-dimensional OptRR (paper future work, Section VII)",
+		Run:   runExtMulti,
+	})
+}
+
+// extMultiJoint is a correlated two-attribute world: a 4-category attribute
+// and a 3-category attribute whose values co-vary (mass concentrated near
+// the diagonal), so the joint distribution is not a product of marginals and
+// record-level privacy is a genuinely joint quantity.
+func extMultiJoint() ([]float64, []int) {
+	sizes := []int{4, 3}
+	joint := make([]float64, 12)
+	var sum float64
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 3; b++ {
+			d := a - b
+			if d < 0 {
+				d = -d
+			}
+			w := 1.0 / float64(1+2*d)
+			joint[a*3+b] = w
+			sum += w
+		}
+	}
+	for i := range joint {
+		joint[i] /= sum
+	}
+	return joint, sizes
+}
+
+func runExtMulti(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	joint, sizes := extMultiJoint()
+	const delta = 0.8
+
+	// Baseline: the same Warner parameter applied to every attribute,
+	// swept, kept when the record-level bound holds.
+	var basePts []pareto.Point
+	for k := 1; k < cfg.WarnerSteps; k++ {
+		p := float64(k) / float64(cfg.WarnerSteps)
+		ms := make([]*rr.Matrix, len(sizes))
+		ok := true
+		for d, n := range sizes {
+			m, err := rr.Warner(n, p)
+			if err != nil {
+				ok = false
+				break
+			}
+			ms[d] = m
+		}
+		if !ok {
+			continue
+		}
+		mp, err := metrics.JointMaxPosterior(ms, joint)
+		if err != nil || mp > delta {
+			continue
+		}
+		ev, err := metrics.JointEvaluate(ms, joint, cfg.Records)
+		if err != nil {
+			continue
+		}
+		basePts = append(basePts, pareto.Point{Privacy: ev.Privacy, Utility: ev.Utility})
+	}
+	baseFront := pareto.FrontPoints(basePts)
+
+	// Jointly optimized per-attribute tuples. The joint evaluation is ~an
+	// order of magnitude costlier than the 1-D case, so the budget is
+	// scaled down proportionally.
+	gens := cfg.Generations / 10
+	if gens < 100 {
+		gens = 100
+	}
+	res, err := core.OptimizeMulti(core.MultiConfig{
+		Joint:       joint,
+		Sizes:       sizes,
+		Records:     cfg.Records,
+		Delta:       delta,
+		Generations: gens,
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	optFront := res.FrontPoints()
+
+	covOB := pareto.Coverage(optFront, baseFront)
+	covBO := pareto.Coverage(baseFront, optFront)
+	bMin, bMax := pareto.PrivacyRange(baseFront)
+	oMin, oMax := pareto.PrivacyRange(optFront)
+
+	rep := &Report{
+		ID:         "ext-multi",
+		Title:      "Multi-dimensional OptRR vs per-attribute Warner (record-level bound 0.8)",
+		PaperClaim: "future work: extend the approach to the multi-dimensional randomized response technique (Section VII)",
+		Series: []Series{
+			{Name: "warner-tuple", Points: baseFront},
+			{Name: "optrr-multi", Points: optFront},
+		},
+		Checks: []Check{
+			{
+				Name:   "optimized tuples cover at least half of the Warner-tuple front",
+				Pass:   covOB >= 0.5,
+				Detail: fmt.Sprintf("coverage(optrr-multi over warner-tuple) = %.3f", covOB),
+			},
+			// The dense 1-parameter baseline sweep can ε-cover discrete
+			// search output where the symmetric family is near-optimal;
+			// the meaningful claim is that the optimized tuples are never
+			// meaningfully worse and win where asymmetry helps, so the
+			// second check is tolerance-based (cf. fig5b).
+		},
+		Notes: []string{
+			fmt.Sprintf("warner-tuple privacy range [%.3f, %.3f] (%d points)", bMin, bMax, len(baseFront)),
+			fmt.Sprintf("optrr-multi privacy range [%.3f, %.3f] (%d points)", oMin, oMax, len(optFront)),
+			fmt.Sprintf("coverage optrr-multi>warner-tuple %.3f, warner-tuple>optrr-multi %.3f", covOB, covBO),
+			fmt.Sprintf("search: %d generations, %d joint evaluations", res.Generations, res.Evaluations),
+			"record-level privacy: the adversary observes the full disguised record",
+		},
+	}
+	rep.Checks = append(rep.Checks, epsilonMatchCheckNamed(rep, "warner-tuple", "optrr-multi", 0.10))
+	return rep, nil
+}
+
+// ext-gain: Section IV-A defines privacy for an arbitrary accuracy function
+// G and derives the Bayes-optimal adversary; the paper then evaluates only
+// the 0/1 case. This experiment optimizes under an ordinal adversary (near
+// misses on an age-like attribute still leak) and shows that the resulting
+// matrices dominate the 0/1-optimized ones when both are judged by the
+// ordinal adversary — the metric choice materially changes which matrices
+// are optimal.
+func init() {
+	register(Experiment{
+		ID:    "ext-gain",
+		Title: "Extension: optimizing under the generalized (ordinal) adversary of Section IV-A",
+		Run:   runExtGain,
+	})
+}
+
+func runExtGain(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	prior := dataset.DefaultAdult().Generator().Prior(cfg.Categories)
+	const delta = 0.8
+	gain := metrics.OrdinalGain(cfg.Categories)
+
+	run := func(ordinal bool) (core.Result, error) {
+		cc := core.DefaultConfig(prior, cfg.Records, delta)
+		cc.Generations = cfg.Generations
+		cc.Seed = cfg.Seed
+		if ordinal {
+			cc.PrivacyFn = func(m *rr.Matrix, p []float64) (float64, error) {
+				return metrics.PrivacyWithGain(m, p, gain)
+			}
+		}
+		opt, err := core.New(cc)
+		if err != nil {
+			return core.Result{}, err
+		}
+		return opt.Run()
+	}
+	zeroOne, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	ordinal, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+
+	// Judge both fronts by the ordinal adversary.
+	rescore := func(res core.Result) ([]pareto.Point, error) {
+		var pts []pareto.Point
+		for _, ind := range res.Front {
+			m, err := ind.Genome.Matrix()
+			if err != nil {
+				return nil, err
+			}
+			priv, err := metrics.PrivacyWithGain(m, prior, gain)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, pareto.Point{Privacy: priv, Utility: ind.Eval.Utility})
+		}
+		return pareto.FrontPoints(pts), nil
+	}
+	zf, err := rescore(zeroOne)
+	if err != nil {
+		return nil, err
+	}
+	of, err := rescore(ordinal)
+	if err != nil {
+		return nil, err
+	}
+
+	covOZ := pareto.Coverage(of, zf)
+	covZO := pareto.Coverage(zf, of)
+	zMin, zMax := pareto.PrivacyRange(zf)
+	oMin, oMax := pareto.PrivacyRange(of)
+	return &Report{
+		ID:         "ext-gain",
+		Title:      "Ordinal-adversary optimization vs 0/1 optimization, judged ordinally",
+		PaperClaim: "Bayes-estimate theory provides optimal estimates for a variety of accuracy functions G (Section IV-A); the metric choice matters",
+		Series: []Series{
+			{Name: "zeroone-opt", Points: zf},
+			{Name: "ordinal-opt", Points: of},
+		},
+		Checks: []Check{
+			{
+				Name:   "optimizing the ordinal metric dominates under the ordinal adversary",
+				Pass:   covOZ >= 0.8,
+				Detail: fmt.Sprintf("coverage(ordinal-opt over zeroone-opt) = %.3f", covOZ),
+			},
+			{
+				Name:   "the 0/1-optimized front does not cover the ordinal-optimized one",
+				Pass:   covZO <= 0.1,
+				Detail: fmt.Sprintf("coverage(zeroone-opt over ordinal-opt) = %.3f", covZO),
+			},
+		},
+		Notes: []string{
+			fmt.Sprintf("zeroone-opt (rescored): %d points, ordinal privacy [%.3f, %.3f]", len(zf), zMin, zMax),
+			fmt.Sprintf("ordinal-opt:            %d points, ordinal privacy [%.3f, %.3f]", len(of), oMin, oMax),
+			"Adult-like (ordinal) age prior; delta = 0.8 enforced in both runs",
+		},
+	}, nil
+}

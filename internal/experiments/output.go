@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV emits every series of the report as rows of
+// (series, privacy, utility), suitable for external plotting.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "privacy", "utility"}); err != nil {
+		return err
+	}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			rec := []string{
+				s.Name,
+				strconv.FormatFloat(p.Privacy, 'g', 10, 64),
+				strconv.FormatFloat(p.Utility, 'g', 10, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// asciiWidth and asciiHeight size the text plot.
+const (
+	asciiWidth  = 72
+	asciiHeight = 22
+)
+
+// ASCIIPlot renders the report's series as a text scatter plot in the
+// paper's axes: privacy on x, utility (MSE) on y. Each series uses its own
+// glyph; overlapping cells show the later series.
+func (r *Report) ASCIIPlot() string {
+	glyphs := []byte{'w', 'o', 'u', 'f', '#', '+'}
+	var minX, maxX, minY, maxY float64
+	first := true
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			if first {
+				minX, maxX, minY, maxY = p.Privacy, p.Privacy, p.Utility, p.Utility
+				first = false
+				continue
+			}
+			minX = math.Min(minX, p.Privacy)
+			maxX = math.Max(maxX, p.Privacy)
+			minY = math.Min(minY, p.Utility)
+			maxY = math.Max(maxY, p.Utility)
+		}
+	}
+	if first {
+		return "(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, asciiHeight)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", asciiWidth))
+	}
+	for si, s := range r.Series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			x := int((p.Privacy - minX) / (maxX - minX) * float64(asciiWidth-1))
+			y := int((p.Utility - minY) / (maxY - minY) * float64(asciiHeight-1))
+			row := asciiHeight - 1 - y // utility grows upward
+			grid[row][x] = g
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — utility (MSE) vs privacy\n", r.Title)
+	for si, s := range r.Series {
+		fmt.Fprintf(&b, "  %c = %s (%d pts)\n", glyphs[si%len(glyphs)], s.Name, len(s.Points))
+	}
+	fmt.Fprintf(&b, "  y: [%.3e, %.3e]  x: [%.3f, %.3f]\n", minY, maxY, minX, maxX)
+	for _, row := range grid {
+		b.WriteString("  |")
+		b.Write(row)
+		b.WriteString("|\n")
+	}
+	b.WriteString("  +" + strings.Repeat("-", asciiWidth) + "+\n")
+	return b.String()
+}
+
+// Summary renders the report's claims, checks and notes as text.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s\n", r.ID, r.Title)
+	if r.PaperClaim != "" {
+		fmt.Fprintf(&b, "   paper: %s\n", r.PaperClaim)
+	}
+	for _, c := range r.Checks {
+		mark := "PASS"
+		if !c.Pass {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "   [%s] %s (%s)\n", mark, c.Name, c.Detail)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "   note: %s\n", n)
+	}
+	return b.String()
+}

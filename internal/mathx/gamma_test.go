@@ -1,0 +1,89 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGammaPExponential(t *testing.T) {
+	// Gamma(1, 1) is Exp(1): P(1, x) = 1 - e^{-x}.
+	for _, x := range []float64{0.01, 0.5, 1, 2, 5, 10} {
+		want := 1 - math.Exp(-x)
+		if got := GammaP(1, x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("GammaP(1, %v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestGammaPEdges(t *testing.T) {
+	if GammaP(2, 0) != 0 || GammaP(2, -1) != 0 {
+		t.Fatal("GammaP at x <= 0 should be 0")
+	}
+	if got := GammaP(3, 1e4); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("GammaP at large x = %v", got)
+	}
+	if GammaQ(2, 0) != 1 {
+		t.Fatal("GammaQ at 0 should be 1")
+	}
+}
+
+func TestGammaPQComplement(t *testing.T) {
+	f := func(aRaw, xRaw uint16) bool {
+		a := 0.1 + float64(aRaw%500)/25 // 0.1 .. 20.1
+		x := float64(xRaw%2000) / 50    // 0 .. 40
+		return math.Abs(GammaP(a, x)+GammaQ(a, x)-1) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGammaPMonotone(t *testing.T) {
+	f := func(aRaw, xRaw uint16) bool {
+		a := 0.2 + float64(aRaw%100)/10
+		x := float64(xRaw%1000) / 50
+		return GammaP(a, x+0.25) >= GammaP(a, x)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChiSquareKnownQuantiles(t *testing.T) {
+	// Standard table values: P(X > x) for chi-square.
+	cases := []struct {
+		k, x, pValue float64
+	}{
+		{1, 3.841, 0.05},
+		{2, 5.991, 0.05},
+		{5, 11.070, 0.05},
+		{10, 18.307, 0.05},
+		{1, 6.635, 0.01},
+		{4, 13.277, 0.01},
+	}
+	for _, c := range cases {
+		got := ChiSquareSurvival(c.k, c.x)
+		if math.Abs(got-c.pValue) > 5e-4 {
+			t.Errorf("ChiSquareSurvival(%v, %v) = %v, want %v", c.k, c.x, got, c.pValue)
+		}
+	}
+}
+
+func TestChiSquareCDFMedianOfK2(t *testing.T) {
+	// Chi-square with 2 dof is Exp(1/2): median at 2·ln 2.
+	med := 2 * math.Ln2
+	if got := ChiSquareCDF(2, med); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("CDF at median = %v", got)
+	}
+}
+
+func TestGammaCDFScale(t *testing.T) {
+	// Scaling: CDF of Gamma(a, s) at x equals P(a, x/s).
+	if got, want := GammaCDF(2, 3, 6), GammaP(2, 2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("GammaCDF scale handling: %v vs %v", got, want)
+	}
+	if GammaCDF(2, 3, 0) != 0 {
+		t.Fatal("GammaCDF at 0")
+	}
+}

@@ -1,0 +1,185 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// LU holds the LU decomposition with partial pivoting of a square matrix:
+// P·A = L·U, where L is unit lower triangular and U is upper triangular,
+// both packed into lu, and piv records the row permutation.
+type LU struct {
+	lu      *Dense
+	piv     []int
+	pivSign float64
+}
+
+// Factorize computes the LU decomposition of a square matrix using Doolittle
+// factorization with partial pivoting. It returns ErrSingular if a pivot is
+// exactly zero; near-singular matrices factorize but yield large solution
+// errors, which callers can detect via ConditionEstimate.
+func Factorize(a *Dense) (*LU, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("%w: LU of a %dx%d matrix", ErrShape, a.rows, a.cols)
+	}
+	n := a.rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1.0
+	for k := 0; k < n; k++ {
+		// Partial pivoting: pick the largest magnitude in column k at or
+		// below the diagonal.
+		p := k
+		max := math.Abs(lu.data[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu.data[i*n+k]); a > max {
+				max = a
+				p = i
+			}
+		}
+		if max == 0 {
+			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+		}
+		if p != k {
+			rk := lu.data[k*n : (k+1)*n]
+			rp := lu.data[p*n : (p+1)*n]
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		pivot := lu.data[k*n+k]
+		for i := k + 1; i < n; i++ {
+			f := lu.data[i*n+k] / pivot
+			lu.data[i*n+k] = f
+			if f == 0 {
+				continue
+			}
+			ri := lu.data[i*n : (i+1)*n]
+			rk := lu.data[k*n : (k+1)*n]
+			for j := k + 1; j < n; j++ {
+				ri[j] -= f * rk[j]
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, pivSign: sign}, nil
+}
+
+// SolveVec solves A·x = b for x using the factorization.
+func (f *LU) SolveVec(b []float64) ([]float64, error) {
+	n := f.lu.rows
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: rhs of length %d for %dx%d system", ErrShape, len(b), n, n)
+	}
+	x := make([]float64, n)
+	// Apply permutation.
+	for i, p := range f.piv {
+		x[i] = b[p]
+	}
+	// Forward substitution (L is unit lower triangular).
+	for i := 1; i < n; i++ {
+		ri := f.lu.data[i*n : i*n+i]
+		var s float64
+		for j, l := range ri {
+			s += l * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		ri := f.lu.data[i*n : (i+1)*n]
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += ri[j] * x[j]
+		}
+		x[i] = (x[i] - s) / ri[i]
+	}
+	return x, nil
+}
+
+// Det returns the determinant of the factorized matrix.
+func (f *LU) Det() float64 {
+	n := f.lu.rows
+	det := f.pivSign
+	for i := 0; i < n; i++ {
+		det *= f.lu.data[i*n+i]
+	}
+	return det
+}
+
+// Inverse returns the inverse of the factorized matrix.
+func (f *LU) Inverse() (*Dense, error) {
+	n := f.lu.rows
+	inv := New(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col, err := f.SolveVec(e)
+		if err != nil {
+			return nil, err
+		}
+		inv.SetCol(j, col)
+	}
+	return inv, nil
+}
+
+// Inverse returns m⁻¹, or ErrSingular if m is singular. m must be square.
+func (m *Dense) Inverse() (*Dense, error) {
+	f, err := Factorize(m)
+	if err != nil {
+		return nil, err
+	}
+	return f.Inverse()
+}
+
+// Solve solves m·x = b for a single right-hand side.
+func (m *Dense) Solve(b []float64) ([]float64, error) {
+	f, err := Factorize(m)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveVec(b)
+}
+
+// Det returns the determinant of m, or 0 if m is singular.
+func (m *Dense) Det() float64 {
+	f, err := Factorize(m)
+	if err != nil {
+		return 0
+	}
+	return f.Det()
+}
+
+// Norm1 returns the maximum absolute column sum of m.
+func (m *Dense) Norm1() float64 {
+	var max float64
+	for j := 0; j < m.cols; j++ {
+		var s float64
+		for i := 0; i < m.rows; i++ {
+			s += math.Abs(m.data[i*m.cols+j])
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// ConditionEstimate returns an estimate of the 1-norm condition number
+// κ₁(m) = ‖m‖₁·‖m⁻¹‖₁, computed by explicit inversion. It returns +Inf for
+// singular matrices. For the small (n ≈ 10) matrices in this repository the
+// explicit computation is cheap and exact.
+func (m *Dense) ConditionEstimate() float64 {
+	inv, err := m.Inverse()
+	if err != nil {
+		return math.Inf(1)
+	}
+	return m.Norm1() * inv.Norm1()
+}

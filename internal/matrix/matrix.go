@@ -1,0 +1,259 @@
+// Package matrix implements the dense linear algebra needed by the
+// randomized-response machinery: matrix-vector products for P* = M·P,
+// LU-based inversion for the inversion estimator P̂ = M⁻¹·P̂* (Theorem 1 of
+// the paper), and the quadratic forms behind the closed-form utility MSE
+// (Theorem 6).
+//
+// The package is deliberately small: row-major dense float64 storage,
+// Doolittle LU with partial pivoting, and the handful of operations the rest
+// of the repository needs. It is hand-rolled because the reproduction is
+// restricted to the standard library.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Dense is a row-major dense matrix of float64 values.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// Common matrix errors.
+var (
+	// ErrSingular reports that a matrix is singular (or numerically so) and
+	// cannot be inverted or used to solve a linear system.
+	ErrSingular = errors.New("matrix: singular matrix")
+	// ErrShape reports incompatible dimensions.
+	ErrShape = errors.New("matrix: dimension mismatch")
+)
+
+// New returns a rows×cols zero matrix. It panics if either dimension is not
+// positive, since a zero-sized matrix is always a caller bug here.
+func New(rows, cols int) *Dense {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("matrix: New(%d, %d): dimensions must be positive", rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equally long rows. The data is
+// copied.
+func FromRows(rows [][]float64) (*Dense, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("%w: empty row set", ErrShape)
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			return nil, fmt.Errorf("%w: row %d has %d entries, want %d", ErrShape, i, len(r), m.cols)
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], r)
+	}
+	return m, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at row i, column j.
+func (m *Dense) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Dense) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: index (%d, %d) out of range for %dx%d matrix", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns a copy of row i.
+func (m *Dense) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("matrix: row %d out of range", i))
+	}
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Dense) Col(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: column %d out of range", j))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// SetCol overwrites column j with v.
+func (m *Dense) SetCol(j int, v []float64) {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: column %d out of range", j))
+	}
+	if len(v) != m.rows {
+		panic(fmt.Sprintf("matrix: SetCol with %d values for %d rows", len(v), m.rows))
+	}
+	for i := 0; i < m.rows; i++ {
+		m.data[i*m.cols+j] = v[i]
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Equal reports whether m and other have the same shape and elements within
+// the absolute tolerance tol.
+func (m *Dense) Equal(other *Dense, tol float64) bool {
+	if other == nil || m.rows != other.rows || m.cols != other.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if math.Abs(v-other.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Dense) T() *Dense {
+	t := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.data[j*t.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return t
+}
+
+// Mul returns the product m·other.
+func (m *Dense) Mul(other *Dense) (*Dense, error) {
+	if m.cols != other.rows {
+		return nil, fmt.Errorf("%w: %dx%d times %dx%d", ErrShape, m.rows, m.cols, other.rows, other.cols)
+	}
+	out := New(m.rows, other.cols)
+	for i := 0; i < m.rows; i++ {
+		mi := m.data[i*m.cols : (i+1)*m.cols]
+		oi := out.data[i*out.cols : (i+1)*out.cols]
+		for k, mik := range mi {
+			if mik == 0 {
+				continue
+			}
+			ok := other.data[k*other.cols : (k+1)*other.cols]
+			for j, okj := range ok {
+				oi[j] += mik * okj
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns the matrix-vector product m·v.
+func (m *Dense) MulVec(v []float64) ([]float64, error) {
+	if m.cols != len(v) {
+		return nil, fmt.Errorf("%w: %dx%d times vector of length %d", ErrShape, m.rows, m.cols, len(v))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, r := range row {
+			s += r * v[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Scale multiplies every element by f in place and returns m.
+func (m *Dense) Scale(f float64) *Dense {
+	for i := range m.data {
+		m.data[i] *= f
+	}
+	return m
+}
+
+// Add returns m + other.
+func (m *Dense) Add(other *Dense) (*Dense, error) {
+	if m.rows != other.rows || m.cols != other.cols {
+		return nil, fmt.Errorf("%w: %dx%d plus %dx%d", ErrShape, m.rows, m.cols, other.rows, other.cols)
+	}
+	out := m.Clone()
+	for i, v := range other.data {
+		out.data[i] += v
+	}
+	return out, nil
+}
+
+// Sub returns m - other.
+func (m *Dense) Sub(other *Dense) (*Dense, error) {
+	if m.rows != other.rows || m.cols != other.cols {
+		return nil, fmt.Errorf("%w: %dx%d minus %dx%d", ErrShape, m.rows, m.cols, other.rows, other.cols)
+	}
+	out := m.Clone()
+	for i, v := range other.data {
+		out.data[i] -= v
+	}
+	return out, nil
+}
+
+// MaxAbs returns the largest absolute element value.
+func (m *Dense) MaxAbs() float64 {
+	var max float64
+	for _, v := range m.data {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// String renders the matrix for debugging.
+func (m *Dense) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteByte('[')
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.6g", m.data[i*m.cols+j])
+		}
+		b.WriteByte(']')
+	}
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"fmt"
+
+	"optrr/internal/randx"
+	"optrr/internal/rr"
+)
+
+// Empirical counterparts of the closed-form metrics. These simulate the full
+// pipeline — sample original records from the prior, disguise them, run the
+// adversary or the estimator — and are used by the test suite to validate
+// the closed forms and by Figure 5(d), which re-scores the optimized
+// matrices with the iterative estimator.
+
+// EmpiricalPrivacy simulates a Bayes-optimal adversary: records records are
+// drawn from the prior, disguised with m, and the adversary guesses each
+// original value with the MAP rule. The returned value is 1 minus the
+// fraction guessed correctly, converging to Privacy(m, prior) as records
+// grows.
+func EmpiricalPrivacy(m *rr.Matrix, prior []float64, records int, r *randx.Source) (float64, error) {
+	if records <= 0 {
+		return 0, fmt.Errorf("%w: %d", ErrBadRecords, records)
+	}
+	est, err := MAPEstimate(m, prior)
+	if err != nil {
+		return 0, err
+	}
+	alias, err := randx.NewAlias(prior)
+	if err != nil {
+		return 0, fmt.Errorf("metrics: %w", err)
+	}
+	originals := make([]int, records)
+	for i := range originals {
+		originals[i] = alias.Draw(r)
+	}
+	disguised, err := m.Disguise(originals, r)
+	if err != nil {
+		return 0, err
+	}
+	correct := 0
+	for i := range originals {
+		if est[disguised[i]] == originals[i] {
+			correct++
+		}
+	}
+	return 1 - float64(correct)/float64(records), nil
+}
+
+// EmpiricalUtility estimates the utility metric by Monte Carlo: trials
+// independent data sets of records records are sampled from the prior,
+// disguised, reconstructed with the inversion estimator, and the squared
+// errors against the prior are averaged per category and then across
+// categories. It converges to Utility(m, prior, records) as trials grows.
+func EmpiricalUtility(m *rr.Matrix, prior []float64, records, trials int, r *randx.Source) (float64, error) {
+	return empiricalUtility(m, prior, records, trials, r, func(disguised []int) ([]float64, error) {
+		return m.EstimateInversion(disguised)
+	})
+}
+
+// EmpiricalUtilityIterative is EmpiricalUtility with the iterative
+// (EM-style) estimator of Equation (3) in place of inversion — the utility
+// measurement of Figure 5(d). Non-convergence within the default budget is
+// tolerated: the last iterate is scored.
+func EmpiricalUtilityIterative(m *rr.Matrix, prior []float64, records, trials int, r *randx.Source) (float64, error) {
+	return empiricalUtility(m, prior, records, trials, r, func(disguised []int) ([]float64, error) {
+		p, err := m.EstimateIterative(disguised, rr.IterativeOptions{
+			MaxIterations: 2000,
+			Tolerance:     1e-9,
+		})
+		if err != nil && p == nil {
+			return nil, err
+		}
+		return p, nil
+	})
+}
+
+func empiricalUtility(
+	m *rr.Matrix,
+	prior []float64,
+	records, trials int,
+	r *randx.Source,
+	estimate func([]int) ([]float64, error),
+) (float64, error) {
+	if records <= 0 || trials <= 0 {
+		return 0, fmt.Errorf("%w: records=%d trials=%d", ErrBadRecords, records, trials)
+	}
+	if err := validatePrior(m, prior); err != nil {
+		return 0, err
+	}
+	alias, err := randx.NewAlias(prior)
+	if err != nil {
+		return 0, fmt.Errorf("metrics: %w", err)
+	}
+	n := m.N()
+	originals := make([]int, records)
+	var total float64
+	for t := 0; t < trials; t++ {
+		for i := range originals {
+			originals[i] = alias.Draw(r)
+		}
+		disguised, err := m.Disguise(originals, r)
+		if err != nil {
+			return 0, err
+		}
+		est, err := estimate(disguised)
+		if err != nil {
+			return 0, err
+		}
+		var sq float64
+		for k := 0; k < n; k++ {
+			d := est[k] - prior[k]
+			sq += d * d
+		}
+		total += sq / float64(n)
+	}
+	return total / float64(trials), nil
+}

@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"fmt"
+
+	"optrr/internal/rr"
+)
+
+// Generalized privacy quantification. Section IV-A of the paper defines
+// privacy through an accuracy function G(x̂, x) and derives the optimal
+// adversary from Bayes-estimate theory; the paper then studies the 0/1
+// accuracy function (Equation 6), for which the optimal estimate is MAP
+// (Theorem 3). This file implements the general case: for any G, the
+// optimal consistent estimate for an observed Y maximizes the posterior
+// expectation Σ_x G(x̂, x)·P(x | Y), and the adversary's expected score is
+// the P(Y)-weighted sum of those maxima. Privacy is defined relative to the
+// best blind guess (using the prior alone), so that a totally uninformative
+// disguise scores privacy 1 and an identity disguise scores 0.
+
+// Gain scores an adversary's estimate x̂ against the true value x. Larger is
+// better for the adversary. The 0/1 function of Equation (6) is ZeroOneGain.
+type Gain func(estimate, truth int) float64
+
+// ZeroOneGain is the paper's accuracy function: 1 for an exact hit.
+func ZeroOneGain(estimate, truth int) float64 {
+	if estimate == truth {
+		return 1
+	}
+	return 0
+}
+
+// OrdinalGain returns a gain for ordinal domains (e.g. discretized age):
+// a near miss still leaks information, scored 1 − |x̂−x|/(n−1).
+func OrdinalGain(n int) Gain {
+	return func(estimate, truth int) float64 {
+		d := estimate - truth
+		if d < 0 {
+			d = -d
+		}
+		return 1 - float64(d)/float64(n-1)
+	}
+}
+
+// BayesScore returns the optimal adversary's expected gain against matrix m
+// under the prior: E_Y[max_x̂ Σ_x G(x̂, x)·P(x|Y)]. For ZeroOneGain this is
+// the accuracy A of Equation (8)'s derivation.
+func BayesScore(m *rr.Matrix, prior []float64, gain Gain) (float64, error) {
+	if gain == nil {
+		return 0, fmt.Errorf("%w: nil gain", ErrBadPrior)
+	}
+	post, err := Posterior(m, prior)
+	if err != nil {
+		return 0, err
+	}
+	pStar, err := m.DisguisedDistribution(prior)
+	if err != nil {
+		return 0, err
+	}
+	n := m.N()
+	var total float64
+	for y := 0; y < n; y++ {
+		if pStar[y] == 0 {
+			continue
+		}
+		best := 0.0
+		for xhat := 0; xhat < n; xhat++ {
+			var e float64
+			for x := 0; x < n; x++ {
+				e += gain(xhat, x) * post[y][x]
+			}
+			if xhat == 0 || e > best {
+				best = e
+			}
+		}
+		total += best * pStar[y]
+	}
+	return total, nil
+}
+
+// BlindScore returns the best expected gain achievable from the prior alone
+// (no disguised value observed): max_x̂ Σ_x G(x̂, x)·P(x).
+func BlindScore(prior []float64, gain Gain) (float64, error) {
+	if gain == nil {
+		return 0, fmt.Errorf("%w: nil gain", ErrBadPrior)
+	}
+	n := len(prior)
+	if n == 0 {
+		return 0, fmt.Errorf("%w: empty prior", ErrBadPrior)
+	}
+	best := 0.0
+	for xhat := 0; xhat < n; xhat++ {
+		var e float64
+		for x := 0; x < n; x++ {
+			e += gain(xhat, x) * prior[x]
+		}
+		if xhat == 0 || e > best {
+			best = e
+		}
+	}
+	return best, nil
+}
+
+// PrivacyWithGain generalizes Equation (8) to an arbitrary gain: it returns
+// the normalized information leakage complement
+//
+//	1 − (BayesScore − BlindScore) / (PerfectScore − BlindScore),
+//
+// where PerfectScore = Σ_x G(x, x)·P(x) is the score of an adversary who
+// always guesses right. The result is 1 when observing Y does not help at
+// all and 0 when Y reveals X exactly. For ZeroOneGain and a uniform prior
+// this coincides with the paper's (1 − A) rescaled by its achievable range.
+func PrivacyWithGain(m *rr.Matrix, prior []float64, gain Gain) (float64, error) {
+	bayes, err := BayesScore(m, prior, gain)
+	if err != nil {
+		return 0, err
+	}
+	blind, err := BlindScore(prior, gain)
+	if err != nil {
+		return 0, err
+	}
+	var perfect float64
+	for x, p := range prior {
+		perfect += gain(x, x) * p
+	}
+	if perfect <= blind {
+		// The blind guess is already perfect (degenerate prior): nothing to
+		// leak, so privacy is complete.
+		return 1, nil
+	}
+	leak := (bayes - blind) / (perfect - blind)
+	if leak < 0 {
+		leak = 0
+	}
+	if leak > 1 {
+		leak = 1
+	}
+	return 1 - leak, nil
+}
+
+// BreachesPrivacy reports whether matrix m admits a ρ1-to-ρ2 privacy breach
+// (Evfimievski et al., cited as [4] in the paper): a value x with prior
+// probability below rho1 whose posterior after observing some y exceeds
+// rho2. Requires 0 < rho1 < rho2 <= 1. The returned pair locates the breach
+// (value x, observation y); x = -1 when there is none.
+func BreachesPrivacy(m *rr.Matrix, prior []float64, rho1, rho2 float64) (x, y int, err error) {
+	if !(rho1 > 0 && rho1 < rho2 && rho2 <= 1) {
+		return -1, -1, fmt.Errorf("%w: need 0 < rho1 < rho2 <= 1, got %v, %v", ErrBadPrior, rho1, rho2)
+	}
+	post, err := Posterior(m, prior)
+	if err != nil {
+		return -1, -1, err
+	}
+	n := m.N()
+	for yy := 0; yy < n; yy++ {
+		for xx := 0; xx < n; xx++ {
+			if prior[xx] < rho1 && post[yy][xx] > rho2 {
+				return xx, yy, nil
+			}
+		}
+	}
+	return -1, -1, nil
+}

@@ -1,0 +1,190 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"optrr/internal/randx"
+	"optrr/internal/rr"
+)
+
+func TestEntropy(t *testing.T) {
+	if got := Entropy([]float64{1, 0}); got != 0 {
+		t.Fatalf("deterministic entropy = %v", got)
+	}
+	if got := Entropy([]float64{0.5, 0.5}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("fair-coin entropy = %v, want 1", got)
+	}
+	if got := Entropy(uniformPrior(8)); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("uniform-8 entropy = %v, want 3", got)
+	}
+}
+
+func TestMutualInformationEndpoints(t *testing.T) {
+	prior := []float64{0.4, 0.3, 0.2, 0.1}
+	// Identity: I(X;Y) = H(X).
+	mi, err := MutualInformation(rr.Identity(4), prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mi-Entropy(prior)) > 1e-9 {
+		t.Fatalf("identity MI = %v, want H(X) = %v", mi, Entropy(prior))
+	}
+	// Totally random: I(X;Y) = 0.
+	mi, err = MutualInformation(rr.TotallyRandom(4), prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi > 1e-9 {
+		t.Fatalf("totally-random MI = %v, want 0", mi)
+	}
+}
+
+func TestMutualInformationMonotoneInNoise(t *testing.T) {
+	prior := []float64{0.4, 0.3, 0.2, 0.1}
+	last := math.Inf(1)
+	for _, p := range []float64{1.0, 0.8, 0.6, 0.4, 0.25} {
+		m := mustWarner(t, 4, p)
+		mi, err := MutualInformation(m, prior)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mi > last+1e-12 {
+			t.Fatalf("MI increased with more noise at p=%v", p)
+		}
+		last = mi
+	}
+}
+
+// TestDataProcessingInequality: composing two disguises never leaks more
+// than the inner disguise alone.
+func TestDataProcessingInequality(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, p1Raw, p2Raw uint8) bool {
+		n := int(nRaw%5) + 2
+		r := randx.New(seed)
+		prior := make([]float64, n)
+		var sum float64
+		for i := range prior {
+			prior[i] = r.Float64() + 0.01
+			sum += prior[i]
+		}
+		for i := range prior {
+			prior[i] /= sum
+		}
+		inner, err := rr.Warner(n, 0.3+0.7*float64(p1Raw)/255)
+		if err != nil {
+			return false
+		}
+		outer, err := rr.Warner(n, 0.3+0.7*float64(p2Raw)/255)
+		if err != nil {
+			return false
+		}
+		composed, err := rr.Compose(outer, inner)
+		if err != nil {
+			return false
+		}
+		miInner, err := MutualInformation(inner, prior)
+		if err != nil {
+			return false
+		}
+		miComposed, err := MutualInformation(composed, prior)
+		if err != nil {
+			return false
+		}
+		if miComposed > miInner+1e-9 {
+			return false
+		}
+		// The same inequality holds for the Bayes-adversary accuracy.
+		aInner, err := Accuracy(inner, prior)
+		if err != nil {
+			return false
+		}
+		aComposed, err := Accuracy(composed, prior)
+		if err != nil {
+			return false
+		}
+		return aComposed <= aInner+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComposeIsMatrixProduct(t *testing.T) {
+	a := mustWarner(t, 3, 0.8)
+	b := mustWarner(t, 3, 0.6)
+	c, err := rr.Compose(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot check: composing two Warner matrices gives another constant-
+	// diagonal matrix with diagonal p·q + (1−p)(1−q)/(n−1)... verify via a
+	// distribution round trip instead of re-deriving: P*_c = a·(b·P).
+	prior := []float64{0.5, 0.3, 0.2}
+	viaB, err := b.DisguisedDistribution(prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaBoth, err := a.DisguisedDistribution(viaB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := c.DisguisedDistribution(prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct {
+		if math.Abs(direct[i]-viaBoth[i]) > 1e-12 {
+			t.Fatalf("composition mismatch at %d: %v vs %v", i, direct[i], viaBoth[i])
+		}
+	}
+}
+
+func TestComposeShapeError(t *testing.T) {
+	a := mustWarner(t, 3, 0.8)
+	b := mustWarner(t, 4, 0.8)
+	if _, err := rr.Compose(a, b); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestNormalizedLeakage(t *testing.T) {
+	prior := []float64{0.4, 0.3, 0.2, 0.1}
+	l, err := NormalizedLeakage(rr.Identity(4), prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l-1) > 1e-9 {
+		t.Fatalf("identity leakage = %v, want 1", l)
+	}
+	l, err = NormalizedLeakage(rr.TotallyRandom(4), prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l > 1e-9 {
+		t.Fatalf("totally-random leakage = %v, want 0", l)
+	}
+	// Degenerate prior: nothing to learn.
+	l, err = NormalizedLeakage(rr.Identity(2), []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l != 0 {
+		t.Fatalf("degenerate-prior leakage = %v, want 0", l)
+	}
+}
+
+func BenchmarkMutualInformation(b *testing.B) {
+	m, err := rr.Warner(10, 0.7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prior := uniformPrior(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MutualInformation(m, prior); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"fmt"
+
+	"optrr/internal/matrix"
+	"optrr/internal/rr"
+)
+
+// Multi-dimensional metrics: the paper's future work (Section VII) extended
+// from its one-dimensional definitions. A record now has d attributes, each
+// disguised independently with its own RR matrix; the adversary observes the
+// full disguised record and estimates the full original record, and utility
+// is the MSE of the reconstructed joint distribution. The joint disguise
+// channel is the Kronecker product of the per-attribute matrices, so both
+// metrics reduce to their one-dimensional forms over the product space.
+
+// maxJointCells guards the explicit product-space computation: metrics are
+// exact but O(cells²) in places.
+const maxJointCells = 1 << 14
+
+// JointChannel materializes the Kronecker-product channel of the given
+// per-attribute matrices as a single RR matrix over the product category
+// space. The result's category c = ((i₁·n₂)+i₂)·n₃+… follows row-major
+// (attribute-0 slowest) ordering, matching mining.MultiRR.Index.
+func JointChannel(ms []*rr.Matrix) (*rr.Matrix, error) {
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("%w: no attributes", ErrShape)
+	}
+	total := 1
+	for _, m := range ms {
+		if m == nil {
+			return nil, fmt.Errorf("%w: nil matrix", ErrShape)
+		}
+		total *= m.N()
+	}
+	if total > maxJointCells {
+		return nil, fmt.Errorf("%w: joint space of %d cells exceeds limit %d", ErrShape, total, maxJointCells)
+	}
+	dense := matrix.New(total, total)
+	// dense[j][i] = Π_d ms[d].Theta(j_d, i_d).
+	for j := 0; j < total; j++ {
+		jd := unravel(j, ms)
+		for i := 0; i < total; i++ {
+			id := unravel(i, ms)
+			v := 1.0
+			for d, m := range ms {
+				v *= m.Theta(jd[d], id[d])
+				if v == 0 {
+					break
+				}
+			}
+			dense.Set(j, i, v)
+		}
+	}
+	return rr.FromDense(dense)
+}
+
+func unravel(idx int, ms []*rr.Matrix) []int {
+	out := make([]int, len(ms))
+	for d := len(ms) - 1; d >= 0; d-- {
+		n := ms[d].N()
+		out[d] = idx % n
+		idx /= n
+	}
+	return out
+}
+
+// JointPrivacy returns the record-level privacy of disguising d attributes
+// independently: 1 minus the accuracy of the MAP adversary who observes the
+// full disguised record and estimates the full original record, under the
+// given joint prior (row-major over the product space).
+func JointPrivacy(ms []*rr.Matrix, joint []float64) (float64, error) {
+	ch, err := JointChannel(ms)
+	if err != nil {
+		return 0, err
+	}
+	return Privacy(ch, joint)
+}
+
+// JointUtility returns the average closed-form MSE of the per-axis inversion
+// estimate of the joint distribution (Theorem 6 applied over the product
+// space), for a data set of the given size.
+func JointUtility(ms []*rr.Matrix, joint []float64, records int) (float64, error) {
+	ch, err := JointChannel(ms)
+	if err != nil {
+		return 0, err
+	}
+	return Utility(ch, joint, records)
+}
+
+// JointMaxPosterior returns the worst-case record-level posterior
+// max P(X-record | Y-record) — the multi-dimensional analogue of the bound
+// of Equation (9). Note that per-attribute bounds δ_d do not compose
+// multiplicatively in general; this is the exact joint value.
+func JointMaxPosterior(ms []*rr.Matrix, joint []float64) (float64, error) {
+	ch, err := JointChannel(ms)
+	if err != nil {
+		return 0, err
+	}
+	return MaxPosterior(ch, joint)
+}
+
+// JointEvaluate bundles the three joint metrics.
+func JointEvaluate(ms []*rr.Matrix, joint []float64, records int) (Evaluation, error) {
+	ch, err := JointChannel(ms)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	return Evaluate(ch, joint, records)
+}

@@ -1,0 +1,266 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"optrr/internal/randx"
+	"optrr/internal/rr"
+)
+
+func uniformJoint(cells int) []float64 {
+	j := make([]float64, cells)
+	for i := range j {
+		j[i] = 1 / float64(cells)
+	}
+	return j
+}
+
+func randomJoint(cells int, r *randx.Source) []float64 {
+	j := make([]float64, cells)
+	var sum float64
+	for i := range j {
+		j[i] = r.Float64() + 0.01
+		sum += j[i]
+	}
+	for i := range j {
+		j[i] /= sum
+	}
+	return j
+}
+
+func TestJointChannelValidates(t *testing.T) {
+	if _, err := JointChannel(nil); !errors.Is(err, ErrShape) {
+		t.Fatal("empty matrix list accepted")
+	}
+	if _, err := JointChannel([]*rr.Matrix{nil}); !errors.Is(err, ErrShape) {
+		t.Fatal("nil matrix accepted")
+	}
+	// 2^15 cells exceeds the guard.
+	big := make([]*rr.Matrix, 15)
+	for i := range big {
+		big[i] = rr.Identity(2)
+	}
+	if _, err := JointChannel(big); !errors.Is(err, ErrShape) {
+		t.Fatal("oversized joint space accepted")
+	}
+}
+
+func TestJointChannelSingleAttributeIsIdentityOp(t *testing.T) {
+	m := mustWarner(t, 4, 0.7)
+	ch, err := JointChannel([]*rr.Matrix{m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ch.Equal(m, 1e-15) {
+		t.Fatal("single-attribute joint channel differs from the matrix itself")
+	}
+}
+
+func TestJointChannelIsKroneckerProduct(t *testing.T) {
+	a := mustWarner(t, 2, 0.8)
+	b := mustWarner(t, 3, 0.7)
+	ch, err := JointChannel([]*rr.Matrix{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.N() != 6 {
+		t.Fatalf("joint channel size %d, want 6", ch.N())
+	}
+	// Spot-check: θ((j1,j2),(i1,i2)) = θa(j1,i1)·θb(j2,i2), with row-major
+	// flattening idx = a*3 + b.
+	for j1 := 0; j1 < 2; j1++ {
+		for j2 := 0; j2 < 3; j2++ {
+			for i1 := 0; i1 < 2; i1++ {
+				for i2 := 0; i2 < 3; i2++ {
+					want := a.Theta(j1, i1) * b.Theta(j2, i2)
+					got := ch.Theta(j1*3+j2, i1*3+i2)
+					if math.Abs(got-want) > 1e-15 {
+						t.Fatalf("theta mismatch at (%d%d, %d%d): %v vs %v", j1, j2, i1, i2, got, want)
+					}
+				}
+			}
+		}
+	}
+	if err := ch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJointPrivacyIdentityMatrices(t *testing.T) {
+	ms := []*rr.Matrix{rr.Identity(2), rr.Identity(3)}
+	r := randx.New(1)
+	joint := randomJoint(6, r)
+	priv, err := JointPrivacy(ms, joint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(priv) > 1e-12 {
+		t.Fatalf("identity joint privacy = %v, want 0", priv)
+	}
+}
+
+// TestJointPrivacyIndependentPrior: for a product prior, the joint MAP
+// adversary decomposes per attribute, so joint accuracy is the product of
+// per-attribute accuracies.
+func TestJointPrivacyIndependentPrior(t *testing.T) {
+	a := mustWarner(t, 2, 0.8)
+	b := mustWarner(t, 3, 0.7)
+	pa := []float64{0.6, 0.4}
+	pb := []float64{0.5, 0.3, 0.2}
+	joint := make([]float64, 6)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			joint[i*3+j] = pa[i] * pb[j]
+		}
+	}
+	jp, err := JointPrivacy([]*rr.Matrix{a, b}, joint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accA, err := Accuracy(a, pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accB, err := Accuracy(b, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - accA*accB
+	if math.Abs(jp-want) > 1e-12 {
+		t.Fatalf("joint privacy = %v, want %v (product decomposition)", jp, want)
+	}
+}
+
+func TestJointUtilityMatchesFlatUtility(t *testing.T) {
+	// The joint utility is exactly the 1-D utility of the Kronecker channel
+	// over the product space.
+	a := mustWarner(t, 2, 0.8)
+	b := mustWarner(t, 2, 0.75)
+	r := randx.New(2)
+	joint := randomJoint(4, r)
+	ju, err := JointUtility([]*rr.Matrix{a, b}, joint, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := JointChannel([]*rr.Matrix{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := Utility(ch, joint, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ju != u {
+		t.Fatalf("joint utility %v != channel utility %v", ju, u)
+	}
+	if ju <= 0 {
+		t.Fatalf("joint utility %v, want positive", ju)
+	}
+}
+
+func TestJointMaxPosteriorAtLeastJointMode(t *testing.T) {
+	// Theorem 5 lifts to the product space.
+	a := mustWarner(t, 2, 0.9)
+	b := mustWarner(t, 2, 0.9)
+	r := randx.New(3)
+	joint := randomJoint(4, r)
+	mp, err := JointMaxPosterior([]*rr.Matrix{a, b}, joint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp < BoundFloor(joint)-1e-12 {
+		t.Fatalf("joint max posterior %v below joint mode %v", mp, BoundFloor(joint))
+	}
+}
+
+// TestJointUtilityMatchesMonteCarlo validates the multi-dimensional utility
+// the same way Theorem 6 is validated in one dimension: the closed form over
+// the Kronecker channel must match the Monte-Carlo MSE of the actual
+// per-axis reconstruction pipeline.
+func TestJointUtilityMatchesMonteCarlo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo validation skipped in -short mode")
+	}
+	ms := []*rr.Matrix{mustWarner(t, 3, 0.8), mustWarner(t, 2, 0.75)}
+	r := randx.New(7)
+	joint := randomJoint(6, r)
+	const (
+		records = 3000
+		trials  = 400
+	)
+	closed, err := JointUtility(ms, joint, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monte Carlo: sample, disguise per axis, reconstruct the joint by
+	// inverting the Kronecker channel (equivalent to per-axis inversion).
+	ch, err := JointChannel(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alias, err := randx.NewAlias(joint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	flat := make([]int, records)
+	for trial := 0; trial < trials; trial++ {
+		for i := range flat {
+			flat[i] = alias.Draw(r)
+		}
+		disguised, err := ch.Disguise(flat, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := ch.EstimateInversion(disguised)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sq float64
+		for k := range joint {
+			d := est[k] - joint[k]
+			sq += d * d
+		}
+		total += sq / float64(len(joint))
+	}
+	emp := total / trials
+	if rel := math.Abs(emp-closed) / closed; rel > 0.15 {
+		t.Fatalf("empirical joint utility %v vs closed form %v (rel err %v)", emp, closed, rel)
+	}
+}
+
+func TestJointEvaluateBundles(t *testing.T) {
+	ms := []*rr.Matrix{mustWarner(t, 2, 0.8), mustWarner(t, 2, 0.7)}
+	joint := uniformJoint(4)
+	ev, err := JointEvaluate(ms, joint, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	priv, err := JointPrivacy(ms, joint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Privacy != priv {
+		t.Fatalf("bundle privacy %v != %v", ev.Privacy, priv)
+	}
+}
+
+func BenchmarkJointEvaluate3x4(b *testing.B) {
+	ms := make([]*rr.Matrix, 3)
+	for i := range ms {
+		m, err := rr.Warner(4, 0.8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ms[i] = m
+	}
+	joint := uniformJoint(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := JointEvaluate(ms, joint, 10000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"math"
+
+	"optrr/internal/rr"
+)
+
+// Local differential privacy. A randomized-response matrix M satisfies
+// ε-local differential privacy when no output can discriminate between two
+// possible inputs by more than a factor e^ε:
+//
+//	θ_{j,i} ≤ e^ε · θ_{j,i'}   for all outputs j and inputs i, i'.
+//
+// Unlike the paper's Bayesian privacy metric, ε-LDP is prior-free: it bounds
+// the adversary's posterior shift for every prior at once. This file
+// computes the tightest ε a matrix satisfies, letting users read an
+// optimized matrix on the modern LDP scale and compare with mechanisms such
+// as k-randomized-response.
+
+// LocalDPEpsilon returns the smallest ε such that m satisfies ε-local
+// differential privacy: max over outputs j and input pairs (i, i') of
+// ln(θ_{j,i}/θ_{j,i'}). The identity matrix (and any matrix with a zero
+// entry in a row that also has a positive entry) returns +Inf; the
+// totally-random matrix returns 0.
+func LocalDPEpsilon(m *rr.Matrix) float64 {
+	n := m.N()
+	var worst float64
+	for j := 0; j < n; j++ {
+		min, max := math.Inf(1), 0.0
+		for i := 0; i < n; i++ {
+			v := m.Theta(j, i)
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if max == 0 {
+			continue // unreachable output discriminates nothing
+		}
+		if min == 0 {
+			return math.Inf(1)
+		}
+		if r := math.Log(max / min); r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// WarnerEpsilon returns the ε-LDP level of the Warner matrix with diagonal
+// p over n categories: ln(p·(n−1)/(1−p)) for p above uniform, and the
+// symmetric value below it. Useful as a closed-form cross-check and for
+// picking p from an ε budget.
+func WarnerEpsilon(n int, p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return math.Inf(1)
+	}
+	off := (1 - p) / float64(n-1)
+	hi, lo := p, off
+	if lo > hi {
+		hi, lo = lo, hi
+	}
+	return math.Log(hi / lo)
+}
+
+// EpsilonToWarnerP inverts WarnerEpsilon on the usual branch (diagonal at
+// least uniform): the Warner p whose matrix satisfies exactly ε-LDP is
+// p = e^ε / (e^ε + n − 1) — the classic k-randomized-response mechanism.
+func EpsilonToWarnerP(n int, epsilon float64) float64 {
+	e := math.Exp(epsilon)
+	return e / (e + float64(n-1))
+}

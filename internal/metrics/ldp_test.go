@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"optrr/internal/randx"
+	"optrr/internal/rr"
+)
+
+func TestLocalDPEpsilonEndpoints(t *testing.T) {
+	if got := LocalDPEpsilon(rr.Identity(4)); !math.IsInf(got, 1) {
+		t.Fatalf("identity epsilon = %v, want +Inf", got)
+	}
+	if got := LocalDPEpsilon(rr.TotallyRandom(4)); got != 0 {
+		t.Fatalf("totally-random epsilon = %v, want 0", got)
+	}
+}
+
+func TestLocalDPEpsilonWarnerClosedForm(t *testing.T) {
+	for _, n := range []int{2, 4, 10} {
+		for _, p := range []float64{0.3, 0.5, 0.7, 0.9} {
+			m, err := rr.Warner(n, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := LocalDPEpsilon(m)
+			want := WarnerEpsilon(n, p)
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("n=%d p=%v: epsilon %v, closed form %v", n, p, got, want)
+			}
+		}
+	}
+}
+
+func TestEpsilonToWarnerPRoundTrip(t *testing.T) {
+	f := func(nRaw uint8, eRaw uint16) bool {
+		n := int(nRaw%10) + 2
+		eps := 0.1 + 5*float64(eRaw)/math.MaxUint16
+		p := EpsilonToWarnerP(n, eps)
+		if p <= 1/float64(n) || p >= 1 {
+			return false
+		}
+		return math.Abs(WarnerEpsilon(n, p)-eps) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLDPBoundsPosteriorShift verifies the defining property empirically:
+// for any prior, the posterior odds never shift by more than e^ε.
+func TestLDPBoundsPosteriorShift(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%5) + 2
+		r := randx.New(seed)
+		cols := make([][]float64, n)
+		for i := range cols {
+			col := make([]float64, n)
+			var sum float64
+			for j := range col {
+				col[j] = r.Float64() + 0.05
+				sum += col[j]
+			}
+			for j := range col {
+				col[j] /= sum
+			}
+			cols[i] = col
+		}
+		m, err := rr.FromColumns(cols)
+		if err != nil {
+			return false
+		}
+		eps := LocalDPEpsilon(m)
+		prior := make([]float64, n)
+		var sum float64
+		for i := range prior {
+			prior[i] = r.Float64() + 0.01
+			sum += prior[i]
+		}
+		for i := range prior {
+			prior[i] /= sum
+		}
+		post, err := Posterior(m, prior)
+		if err != nil {
+			return false
+		}
+		bound := math.Exp(eps)
+		for j := 0; j < n; j++ {
+			for x1 := 0; x1 < n; x1++ {
+				for x2 := 0; x2 < n; x2++ {
+					if prior[x2] == 0 || post[j][x2] == 0 {
+						continue
+					}
+					// Posterior odds ratio vs prior odds ratio ≤ e^ε.
+					shift := (post[j][x1] / post[j][x2]) / (prior[x1] / prior[x2])
+					if shift > bound*(1+1e-9) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLDPMonotoneAlongWarnerFamily: smaller ε (more noise) as p decreases
+// toward uniform.
+func TestLDPMonotoneAlongWarnerFamily(t *testing.T) {
+	const n = 5
+	last := math.Inf(1)
+	for _, p := range []float64{0.95, 0.8, 0.6, 0.4, 1.0 / n} {
+		m, err := rr.Warner(n, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps := LocalDPEpsilon(m)
+		if eps > last+1e-12 {
+			t.Fatalf("epsilon grew as p decreased at p=%v", p)
+		}
+		last = eps
+	}
+	if last > 1e-12 {
+		t.Fatalf("uniform Warner epsilon = %v, want 0", last)
+	}
+}
+
+func TestLocalDPEpsilonUnreachableOutput(t *testing.T) {
+	// A matrix whose row 2 is all zeros: that output never occurs, so it
+	// must not force epsilon to +Inf.
+	cols := [][]float64{
+		{0.5, 0.5, 0},
+		{0.4, 0.6, 0},
+		{0.6, 0.4, 0},
+	}
+	m, err := rr.FromColumns(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := LocalDPEpsilon(m)
+	if math.IsInf(eps, 1) {
+		t.Fatal("unreachable output inflated epsilon to +Inf")
+	}
+	want := math.Log(0.6 / 0.4)
+	if math.Abs(eps-want) > 1e-12 {
+		t.Fatalf("epsilon = %v, want %v", eps, want)
+	}
+}
+
+func BenchmarkLocalDPEpsilon(b *testing.B) {
+	m, err := rr.Warner(10, 0.7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = LocalDPEpsilon(m)
+	}
+}

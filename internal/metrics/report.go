@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"optrr/internal/rr"
+)
+
+// PrivacyReport is the one-call "report card" for an RR matrix under a
+// prior: every privacy view this package implements, side by side, so a
+// deployment decision can be reviewed without assembling the metrics by
+// hand.
+type PrivacyReport struct {
+	// Privacy is the paper's Equation-8 metric (1 − MAP accuracy).
+	Privacy float64
+	// OrdinalPrivacy is the generalized metric under OrdinalGain — relevant
+	// when the categories are ordered and near misses leak.
+	OrdinalPrivacy float64
+	// MaxPosterior is the worst-case per-record accuracy (Equation 9).
+	MaxPosterior float64
+	// Epsilon is the tightest ε-local-differential-privacy level
+	// (prior-free); +Inf when some output discriminates absolutely.
+	Epsilon float64
+	// LeakageBits is the mutual information I(X;Y) in bits.
+	LeakageBits float64
+	// LeakageFraction is I(X;Y)/H(X) ∈ [0, 1].
+	LeakageFraction float64
+	// Utility is the paper's Equation-10 MSE for the given record count.
+	Utility float64
+	// Records is the data-set size behind Utility.
+	Records int
+}
+
+// Report computes the full privacy report card of m under the prior for a
+// data set of the given size.
+func Report(m *rr.Matrix, prior []float64, records int) (PrivacyReport, error) {
+	ev, err := Evaluate(m, prior, records)
+	if err != nil {
+		return PrivacyReport{}, err
+	}
+	ordinal, err := PrivacyWithGain(m, prior, OrdinalGain(m.N()))
+	if err != nil {
+		return PrivacyReport{}, err
+	}
+	mi, err := MutualInformation(m, prior)
+	if err != nil {
+		return PrivacyReport{}, err
+	}
+	leak, err := NormalizedLeakage(m, prior)
+	if err != nil {
+		return PrivacyReport{}, err
+	}
+	return PrivacyReport{
+		Privacy:         ev.Privacy,
+		OrdinalPrivacy:  ordinal,
+		MaxPosterior:    ev.MaxPosterior,
+		Epsilon:         LocalDPEpsilon(m),
+		LeakageBits:     mi,
+		LeakageFraction: leak,
+		Utility:         ev.Utility,
+		Records:         records,
+	}, nil
+}
+
+// String renders the report for terminals and logs.
+func (r PrivacyReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "privacy (Eq 8):        %.4f\n", r.Privacy)
+	fmt.Fprintf(&b, "ordinal privacy:       %.4f\n", r.OrdinalPrivacy)
+	fmt.Fprintf(&b, "max posterior (Eq 9):  %.4f\n", r.MaxPosterior)
+	if math.IsInf(r.Epsilon, 1) {
+		b.WriteString("LDP epsilon:           inf (some output is fully identifying)\n")
+	} else {
+		fmt.Fprintf(&b, "LDP epsilon:           %.3f\n", r.Epsilon)
+	}
+	fmt.Fprintf(&b, "leakage:               %.3f bits (%.1f%% of H(X))\n", r.LeakageBits, 100*r.LeakageFraction)
+	fmt.Fprintf(&b, "utility MSE (Eq 10):   %.3e at N=%d", r.Utility, r.Records)
+	return b.String()
+}

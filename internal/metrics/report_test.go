@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"optrr/internal/rr"
+)
+
+func TestReportConsistentWithIndividualMetrics(t *testing.T) {
+	m := mustWarner(t, 5, 0.7)
+	prior := []float64{0.3, 0.25, 0.2, 0.15, 0.1}
+	rep, err := Report(m, prior, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	priv, _ := Privacy(m, prior)
+	util, _ := Utility(m, prior, 10000)
+	mi, _ := MutualInformation(m, prior)
+	if rep.Privacy != priv || rep.Utility != util || rep.LeakageBits != mi {
+		t.Fatalf("report disagrees with individual metrics: %+v", rep)
+	}
+	if rep.Epsilon != LocalDPEpsilon(m) {
+		t.Fatal("epsilon mismatch")
+	}
+	if rep.Records != 10000 {
+		t.Fatalf("records = %d", rep.Records)
+	}
+}
+
+func TestReportStringRendersAllFields(t *testing.T) {
+	m := mustWarner(t, 4, 0.8)
+	prior := []float64{0.4, 0.3, 0.2, 0.1}
+	rep, err := Report(m, prior, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	for _, want := range []string{"privacy (Eq 8)", "ordinal privacy", "max posterior", "LDP epsilon", "leakage", "utility MSE", "N=5000"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report string missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestReportIdentityEpsilonInf(t *testing.T) {
+	prior := []float64{0.5, 0.3, 0.2}
+	rep, err := Report(rr.Identity(3), prior, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(rep.Epsilon, 1) {
+		t.Fatalf("identity epsilon = %v", rep.Epsilon)
+	}
+	if !strings.Contains(rep.String(), "inf") {
+		t.Fatal("String does not render the infinite epsilon case")
+	}
+}
+
+func TestReportSingularMatrix(t *testing.T) {
+	prior := []float64{0.5, 0.3, 0.2}
+	if _, err := Report(rr.TotallyRandom(3), prior, 1000); err == nil {
+		t.Fatal("singular matrix accepted (utility is undefined)")
+	}
+}

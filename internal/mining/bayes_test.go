@@ -1,0 +1,154 @@
+package mining
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"optrr/internal/randx"
+)
+
+// classWorld builds records over schema [3, 3, 2]: the class (attribute 2)
+// is drawn with P(1) = 0.4; attribute d is equal to class-dependent
+// preferred values with high probability.
+func classWorld(n int, r *randx.Source) [][]int {
+	out := make([][]int, n)
+	for i := range out {
+		c := 0
+		if r.Float64() < 0.4 {
+			c = 1
+		}
+		rec := []int{0, 0, c}
+		for d := 0; d < 2; d++ {
+			pref := c + d // class 0 prefers value d, class 1 prefers d+1
+			if r.Float64() < 0.75 {
+				rec[d] = pref
+			} else {
+				rec[d] = r.Intn(3)
+			}
+		}
+		out[i] = rec
+	}
+	return out
+}
+
+func TestTrainNaiveBayesValidates(t *testing.T) {
+	mr := identityMR(t, 3, 3, 2)
+	if _, err := TrainNaiveBayes(mr, nil, 2, 1); !errors.Is(err, ErrNoData) {
+		t.Fatal("empty data accepted")
+	}
+	if _, err := TrainNaiveBayes(mr, [][]int{{0, 0, 0}}, 5, 1); !errors.Is(err, ErrSchema) {
+		t.Fatal("bad class attribute accepted")
+	}
+	if _, err := TrainNaiveBayes(mr, [][]int{{0, 0, 9}}, 2, 1); !errors.Is(err, ErrSchema) {
+		t.Fatal("bad record accepted")
+	}
+}
+
+func TestNaiveBayesOnCleanData(t *testing.T) {
+	r := randx.New(1)
+	records := classWorld(30000, r)
+	mr := identityMR(t, 3, 3, 2)
+	nb, err := TrainNaiveBayes(mr, records, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := nb.Accuracy(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.75 {
+		t.Fatalf("clean-data accuracy = %v, want > 0.75", acc)
+	}
+	prior := nb.ClassPrior()
+	if math.Abs(prior[1]-0.4) > 0.02 {
+		t.Fatalf("class prior = %v, want approx [0.6, 0.4]", prior)
+	}
+}
+
+// TestNaiveBayesFromDisguisedData: train on disguised records, evaluate on
+// clean ones — the privacy-preserving classification workflow.
+func TestNaiveBayesFromDisguisedData(t *testing.T) {
+	r := randx.New(2)
+	records := classWorld(60000, r)
+	mr := warnerMR(t, 0.8, 3, 3, 2)
+	disguised, err := mr.Disguise(records, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := TrainNaiveBayes(mr, disguised, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reconstructed model must classify CLEAN records nearly as well as
+	// a model trained on clean data.
+	clean, err := TrainNaiveBayes(identityMR(t, 3, 3, 2), records, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accClean, err := clean.Accuracy(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accDisguised, err := nb.Accuracy(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accDisguised < accClean-0.05 {
+		t.Fatalf("disguised accuracy %v lags clean accuracy %v by more than 0.05", accDisguised, accClean)
+	}
+	prior := nb.ClassPrior()
+	if math.Abs(prior[1]-0.4) > 0.03 {
+		t.Fatalf("reconstructed class prior = %v, want approx [0.6, 0.4]", prior)
+	}
+}
+
+func TestNaiveBayesClassifyValidation(t *testing.T) {
+	r := randx.New(3)
+	records := classWorld(1000, r)
+	mr := identityMR(t, 3, 3, 2)
+	nb, err := TrainNaiveBayes(mr, records, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nb.Classify([]int{0}); !errors.Is(err, ErrSchema) {
+		t.Fatal("short record accepted")
+	}
+	if _, err := nb.Classify([]int{9, 0, 0}); !errors.Is(err, ErrSchema) {
+		t.Fatal("out-of-range value accepted")
+	}
+	if _, err := nb.Accuracy(nil); !errors.Is(err, ErrNoData) {
+		t.Fatal("empty accuracy accepted")
+	}
+}
+
+func TestSmooth(t *testing.T) {
+	out := smooth([]float64{1, 0}, 1, 8)
+	// (8+1)/(8+2) and (0+1)/(8+2)
+	if math.Abs(out[0]-0.9) > 1e-12 || math.Abs(out[1]-0.1) > 1e-12 {
+		t.Fatalf("smooth = %v", out)
+	}
+	var sum float64
+	for _, v := range out {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("smoothed vector sums to %v", sum)
+	}
+}
+
+func BenchmarkTrainNaiveBayes(b *testing.B) {
+	r := randx.New(1)
+	records := classWorld(10000, r)
+	mr := warnerMR(b, 0.8, 3, 3, 2)
+	disguised, err := mr.Disguise(records, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainNaiveBayes(mr, disguised, 2, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package mining
+
+import (
+	"errors"
+	"testing"
+
+	"optrr/internal/randx"
+)
+
+// dependentWorld produces records over [3, 3] where attribute 1 copies
+// attribute 0 with the given fidelity (1 = perfect dependence, 1/3 ≈
+// independence).
+func dependentWorld(n int, fidelity float64, r *randx.Source) [][]int {
+	out := make([][]int, n)
+	for i := range out {
+		a := r.Intn(3)
+		b := a
+		if r.Float64() > fidelity {
+			b = r.Intn(3)
+		}
+		out[i] = []int{a, b}
+	}
+	return out
+}
+
+// independentWorld produces records over [3, 3] with independent attributes.
+func independentWorld(n int, r *randx.Source) [][]int {
+	out := make([][]int, n)
+	for i := range out {
+		out[i] = []int{r.Intn(3), r.Intn(3)}
+	}
+	return out
+}
+
+func TestChiSquareDetectsDependenceThroughDisguise(t *testing.T) {
+	r := randx.New(3)
+	records := dependentWorld(40000, 0.8, r)
+	mr := warnerMR(t, 0.8, 3, 3)
+	disguised, err := mr.Disguise(records, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ChiSquareIndependence(mr, disguised, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Dependent(0.01) {
+		t.Fatalf("strong dependence not detected: %+v", res)
+	}
+	if res.DegreesOfFreedom != 4 {
+		t.Fatalf("dof = %d, want 4", res.DegreesOfFreedom)
+	}
+	if res.CramersV < 0.2 {
+		t.Fatalf("effect size %v too small for a strong dependence", res.CramersV)
+	}
+}
+
+func TestChiSquareAcceptsIndependenceThroughDisguise(t *testing.T) {
+	// The adjusted test should keep roughly its nominal level: across
+	// repeated independent samples, rejections at alpha = 0.05 should be
+	// rare (the conservative effective-N adjustment pushes the level below
+	// nominal).
+	rejections := 0
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		r := randx.New(uint64(100 + trial))
+		records := independentWorld(20000, r)
+		mr := warnerMR(t, 0.8, 3, 3)
+		disguised, err := mr.Disguise(records, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ChiSquareIndependence(mr, disguised, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Dependent(0.05) {
+			rejections++
+		}
+	}
+	if rejections > 4 {
+		t.Fatalf("independent data rejected %d/%d times at alpha=0.05", rejections, trials)
+	}
+}
+
+func TestChiSquareIdentityMatchesClassicTest(t *testing.T) {
+	// With identity matrices the test reduces to the ordinary chi-square
+	// independence test at the true sample size.
+	r := randx.New(5)
+	records := dependentWorld(5000, 0.6, r)
+	mr := identityMR(t, 3, 3)
+	res, err := ChiSquareIndependence(mr, records, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EffectiveN != 5000 {
+		t.Fatalf("identity effective N = %v, want 5000", res.EffectiveN)
+	}
+	if !res.Dependent(0.001) {
+		t.Fatalf("clean dependent data not detected: %+v", res)
+	}
+}
+
+func TestChiSquareValidation(t *testing.T) {
+	mr := warnerMR(t, 0.8, 3, 3)
+	if _, err := ChiSquareIndependence(mr, nil, 0, 1); !errors.Is(err, ErrNoData) {
+		t.Fatal("empty data accepted")
+	}
+	if _, err := ChiSquareIndependence(mr, [][]int{{0, 0}}, 0, 0); !errors.Is(err, ErrSchema) {
+		t.Fatal("self test accepted")
+	}
+	if _, err := ChiSquareIndependence(mr, [][]int{{0, 0}}, 0, 5); !errors.Is(err, ErrSchema) {
+		t.Fatal("bad attribute accepted")
+	}
+	if _, err := ChiSquareIndependence(mr, [][]int{{0, 9}}, 0, 1); !errors.Is(err, ErrSchema) {
+		t.Fatal("bad record accepted")
+	}
+}
+
+func TestEffectiveSampleFactor(t *testing.T) {
+	id := identityMR(t, 3, 3)
+	f, err := EffectiveSampleFactor(id.Matrix(0), id.Matrix(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 1 {
+		t.Fatalf("identity factor = %v, want 1", f)
+	}
+	noisy := warnerMR(t, 0.6, 3, 3)
+	f2, err := EffectiveSampleFactor(noisy.Matrix(0), noisy.Matrix(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2 >= 1 || f2 <= 0 {
+		t.Fatalf("noisy factor = %v, want in (0, 1)", f2)
+	}
+}
+
+func BenchmarkChiSquareIndependence(b *testing.B) {
+	r := randx.New(1)
+	records := dependentWorld(10000, 0.7, r)
+	mr := warnerMR(b, 0.8, 3, 3)
+	disguised, err := mr.Disguise(records, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ChiSquareIndependence(mr, disguised, 0, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package pareto implements the dominance machinery of the paper's
+// multi-objective formulation (Definitions 3.1 and 5.1) and the Pareto-front
+// tooling used by the evaluation (Section VI-A): front extraction, merging,
+// and indicator metrics for comparing the fronts of two schemes.
+//
+// Points live in the paper's two-dimensional objective space: privacy
+// (larger is better) and utility measured as MSE (smaller is better).
+package pareto
+
+import (
+	"math"
+	"sort"
+)
+
+// Point is a solution's image in objective space.
+type Point struct {
+	// Privacy is objective one; larger is better.
+	Privacy float64
+	// Utility is objective two (mean squared error); smaller is better.
+	Utility float64
+}
+
+// Dominates reports whether p dominates q (Definition 5.1): p is at least as
+// good in both objectives and strictly better in at least one.
+func (p Point) Dominates(q Point) bool {
+	if p.Privacy < q.Privacy || p.Utility > q.Utility {
+		return false
+	}
+	return p.Privacy > q.Privacy || p.Utility < q.Utility
+}
+
+// WeaklyDominates reports whether p is at least as good as q in both
+// objectives (dominance or equality).
+func (p Point) WeaklyDominates(q Point) bool {
+	return p.Privacy >= q.Privacy && p.Utility <= q.Utility
+}
+
+// Distance returns the Euclidean distance between two points in objective
+// space. Callers who need scale-aware distances should normalize first.
+func (p Point) Distance(q Point) float64 {
+	dp := p.Privacy - q.Privacy
+	du := p.Utility - q.Utility
+	return math.Sqrt(dp*dp + du*du)
+}
+
+// Front returns the indices of the non-dominated points in pts (the Pareto
+// optimal set, Definition 3.1), in input order. Duplicate points are all
+// kept: a point equal to another is not dominated by it.
+func Front(pts []Point) []int {
+	var out []int
+	for i, p := range pts {
+		dominated := false
+		for j, q := range pts {
+			if i != j && q.Dominates(p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FrontPoints returns the non-dominated points themselves, sorted by
+// ascending privacy (the natural plotting order for the paper's figures).
+func FrontPoints(pts []Point) []Point {
+	idx := Front(pts)
+	out := make([]Point, len(idx))
+	for k, i := range idx {
+		out[k] = pts[i]
+	}
+	SortByPrivacy(out)
+	return out
+}
+
+// SortByPrivacy orders points by ascending privacy, breaking ties on
+// ascending utility.
+func SortByPrivacy(pts []Point) {
+	sort.Slice(pts, func(a, b int) bool {
+		if pts[a].Privacy != pts[b].Privacy {
+			return pts[a].Privacy < pts[b].Privacy
+		}
+		return pts[a].Utility < pts[b].Utility
+	})
+}
+
+// Coverage returns the C-metric C(a, b): the fraction of points in b weakly
+// dominated by at least one point in a. C(a,b) = 1 means every point of b is
+// covered by a; the metric is not symmetric. An empty b yields 0.
+func Coverage(a, b []Point) float64 {
+	if len(b) == 0 {
+		return 0
+	}
+	covered := 0
+	for _, q := range b {
+		for _, p := range a {
+			if p.WeaklyDominates(q) {
+				covered++
+				break
+			}
+		}
+	}
+	return float64(covered) / float64(len(b))
+}
+
+// PrivacyRange returns the smallest and largest privacy values in pts. It
+// returns (0, 0) for an empty slice.
+func PrivacyRange(pts []Point) (min, max float64) {
+	if len(pts) == 0 {
+		return 0, 0
+	}
+	min, max = pts[0].Privacy, pts[0].Privacy
+	for _, p := range pts[1:] {
+		if p.Privacy < min {
+			min = p.Privacy
+		}
+		if p.Privacy > max {
+			max = p.Privacy
+		}
+	}
+	return min, max
+}
+
+// UtilityAt returns the best (smallest) utility achieved by any point whose
+// privacy is at least the requested level — "what MSE do I pay for privacy
+// ≥ x under this scheme". The boolean result is false if no point qualifies.
+func UtilityAt(pts []Point, privacy float64) (float64, bool) {
+	best := math.Inf(1)
+	found := false
+	for _, p := range pts {
+		if p.Privacy >= privacy && p.Utility < best {
+			best = p.Utility
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Hypervolume returns the area of objective space dominated by the front,
+// relative to a reference point (refPrivacy, refUtility) that must be weakly
+// worse than every point (lower privacy, higher utility). Larger is better.
+// Points outside the reference box are clipped.
+func Hypervolume(pts []Point, refPrivacy, refUtility float64) float64 {
+	front := FrontPoints(pts) // sorted by ascending privacy
+	if len(front) == 0 {
+		return 0
+	}
+	// Integrate over the privacy axis from refPrivacy upward: at privacy
+	// level x the dominated depth is refUtility minus the best utility among
+	// points whose privacy is at least x.
+	suffixBest := make([]float64, len(front)+1)
+	suffixBest[len(front)] = math.Inf(1)
+	for i := len(front) - 1; i >= 0; i-- {
+		suffixBest[i] = math.Min(front[i].Utility, suffixBest[i+1])
+	}
+	var volume float64
+	x := refPrivacy
+	for i, p := range front {
+		if p.Privacy <= x {
+			continue
+		}
+		if u := suffixBest[i]; u < refUtility {
+			volume += (p.Privacy - x) * (refUtility - u)
+		}
+		x = p.Privacy
+	}
+	return volume
+}

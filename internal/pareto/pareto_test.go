@@ -1,0 +1,295 @@
+package pareto
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"optrr/internal/randx"
+)
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want bool
+	}{
+		// Better in both.
+		{Point{0.5, 0.1}, Point{0.4, 0.2}, true},
+		// Better privacy, equal utility.
+		{Point{0.5, 0.2}, Point{0.4, 0.2}, true},
+		// Equal privacy, better utility.
+		{Point{0.5, 0.1}, Point{0.5, 0.2}, true},
+		// Equal points do not dominate each other.
+		{Point{0.5, 0.1}, Point{0.5, 0.1}, false},
+		// Trade-off: neither dominates.
+		{Point{0.5, 0.2}, Point{0.4, 0.1}, false},
+		// Worse in both.
+		{Point{0.4, 0.3}, Point{0.5, 0.1}, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Dominates(c.q); got != c.want {
+			t.Errorf("%+v Dominates %+v = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestWeaklyDominates(t *testing.T) {
+	p := Point{0.5, 0.1}
+	if !p.WeaklyDominates(p) {
+		t.Fatal("a point must weakly dominate itself")
+	}
+	if !p.WeaklyDominates(Point{0.4, 0.2}) {
+		t.Fatal("strict dominance implies weak dominance")
+	}
+	if p.WeaklyDominates(Point{0.6, 0.05}) {
+		t.Fatal("weak dominance of a strictly better point")
+	}
+}
+
+func TestDominanceIrreflexiveAndAsymmetric(t *testing.T) {
+	f := func(p1, u1, p2, u2 uint16) bool {
+		a := Point{float64(p1) / 1000, float64(u1) / 1000}
+		b := Point{float64(p2) / 1000, float64(u2) / 1000}
+		if a.Dominates(a) || b.Dominates(b) {
+			return false
+		}
+		return !(a.Dominates(b) && b.Dominates(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	d := Point{0, 0}.Distance(Point{3, 4})
+	if math.Abs(d-5) > 1e-12 {
+		t.Fatalf("Distance = %v, want 5", d)
+	}
+}
+
+func TestFrontSimple(t *testing.T) {
+	pts := []Point{
+		{0.1, 0.5}, // dominated by {0.2, 0.1}
+		{0.2, 0.1}, // trade-off with {0.3, 0.2}: lower privacy, lower MSE
+		{0.3, 0.4}, // dominated by {0.3, 0.2}
+		{0.3, 0.2},
+		{0.25, 0.35}, // dominated by {0.3, 0.2}
+	}
+	idx := Front(pts)
+	want := map[int]bool{1: true, 3: true}
+	if len(idx) != 2 {
+		t.Fatalf("Front = %v, want indices {1, 3}", idx)
+	}
+	for _, i := range idx {
+		if !want[i] {
+			t.Fatalf("Front = %v, want indices {1, 3}", idx)
+		}
+	}
+}
+
+func TestFrontKeepsDuplicates(t *testing.T) {
+	pts := []Point{{0.5, 0.1}, {0.5, 0.1}}
+	if got := Front(pts); len(got) != 2 {
+		t.Fatalf("duplicates should both survive, got %v", got)
+	}
+}
+
+func TestFrontEmpty(t *testing.T) {
+	if got := Front(nil); got != nil {
+		t.Fatalf("Front(nil) = %v, want nil", got)
+	}
+}
+
+func TestFrontPointsSorted(t *testing.T) {
+	pts := []Point{{0.6, 0.2}, {0.2, 0.05}, {0.4, 0.1}}
+	front := FrontPoints(pts)
+	for i := 1; i < len(front); i++ {
+		if front[i].Privacy < front[i-1].Privacy {
+			t.Fatalf("FrontPoints not sorted: %v", front)
+		}
+	}
+}
+
+// TestFrontIsMutuallyNonDominatedAndCoversInput is the core property of
+// Definition 3.1: no front member dominates another, and every excluded
+// point is dominated by some front member.
+func TestFrontIsMutuallyNonDominatedAndCoversInput(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		r := randx.New(seed)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{r.Float64(), r.Float64()}
+		}
+		idx := Front(pts)
+		inFront := make(map[int]bool, len(idx))
+		for _, i := range idx {
+			inFront[i] = true
+		}
+		for _, i := range idx {
+			for _, j := range idx {
+				if i != j && pts[i].Dominates(pts[j]) {
+					return false
+				}
+			}
+		}
+		for i := range pts {
+			if inFront[i] {
+				continue
+			}
+			dominated := false
+			for _, j := range idx {
+				if pts[j].Dominates(pts[i]) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	a := []Point{{0.5, 0.1}}
+	b := []Point{{0.4, 0.2}, {0.6, 0.05}}
+	// a covers b[0] but not b[1].
+	if got := Coverage(a, b); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Coverage = %v, want 0.5", got)
+	}
+	if got := Coverage(a, nil); got != 0 {
+		t.Fatalf("Coverage over empty = %v, want 0", got)
+	}
+	// Every set covers itself fully (weak dominance is reflexive).
+	if got := Coverage(b, b); got != 1 {
+		t.Fatalf("self Coverage = %v, want 1", got)
+	}
+}
+
+func TestPrivacyRange(t *testing.T) {
+	min, max := PrivacyRange([]Point{{0.3, 1}, {0.1, 2}, {0.7, 3}})
+	if min != 0.1 || max != 0.7 {
+		t.Fatalf("PrivacyRange = (%v, %v), want (0.1, 0.7)", min, max)
+	}
+	min, max = PrivacyRange(nil)
+	if min != 0 || max != 0 {
+		t.Fatalf("empty PrivacyRange = (%v, %v), want (0, 0)", min, max)
+	}
+}
+
+func TestUtilityAt(t *testing.T) {
+	pts := []Point{{0.3, 0.5}, {0.5, 0.2}, {0.7, 0.4}}
+	u, ok := UtilityAt(pts, 0.4)
+	if !ok || u != 0.2 {
+		t.Fatalf("UtilityAt(0.4) = (%v, %v), want (0.2, true)", u, ok)
+	}
+	u, ok = UtilityAt(pts, 0.65)
+	if !ok || u != 0.4 {
+		t.Fatalf("UtilityAt(0.65) = (%v, %v), want (0.4, true)", u, ok)
+	}
+	if _, ok := UtilityAt(pts, 0.9); ok {
+		t.Fatal("UtilityAt beyond the range should report false")
+	}
+}
+
+func TestHypervolumeSinglePoint(t *testing.T) {
+	pts := []Point{{0.5, 0.2}}
+	// Reference (0, 1): rectangle (0.5-0) × (1-0.2) = 0.4.
+	got := Hypervolume(pts, 0, 1)
+	if math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("Hypervolume = %v, want 0.4", got)
+	}
+}
+
+func TestHypervolumeStaircase(t *testing.T) {
+	pts := []Point{{0.2, 0.1}, {0.6, 0.5}}
+	// From 0 to 0.2 best utility among {privacy >= x} is 0.1 -> area 0.2*(1-0.1)
+	// From 0.2 to 0.6 best utility is 0.5 -> area 0.4*(1-0.5)
+	want := 0.2*0.9 + 0.4*0.5
+	got := Hypervolume(pts, 0, 1)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Hypervolume = %v, want %v", got, want)
+	}
+}
+
+func TestHypervolumeEmpty(t *testing.T) {
+	if got := Hypervolume(nil, 0, 1); got != 0 {
+		t.Fatalf("Hypervolume(nil) = %v, want 0", got)
+	}
+}
+
+func TestHypervolumeIgnoresPointsOutsideReference(t *testing.T) {
+	pts := []Point{{-0.5, 0.2}, {0.5, 2}}
+	if got := Hypervolume(pts, 0, 1); got != 0 {
+		t.Fatalf("Hypervolume = %v, want 0", got)
+	}
+}
+
+// TestHypervolumeMonotoneUnderDominatingPoint: adding a point can never
+// shrink the hypervolume, and adding a dominating point grows it.
+func TestHypervolumeMonotone(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		r := randx.New(seed)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{r.Float64(), r.Float64()}
+		}
+		base := Hypervolume(pts, 0, 1)
+		extra := append(append([]Point{}, pts...), Point{r.Float64(), r.Float64()})
+		return Hypervolume(extra, 0, 1) >= base-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoverageConsistentWithHypervolume: if front a fully covers front b,
+// then a's hypervolume is at least b's.
+func TestCoverageConsistentWithHypervolume(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := randx.New(seed)
+		a := make([]Point, 8)
+		b := make([]Point, 8)
+		for i := range a {
+			a[i] = Point{r.Float64(), r.Float64()}
+			b[i] = Point{r.Float64(), r.Float64()}
+		}
+		if Coverage(a, b) < 1 {
+			return true // premise not met
+		}
+		return Hypervolume(a, 0, 1) >= Hypervolume(b, 0, 1)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFront100(b *testing.B) {
+	r := randx.New(1)
+	pts := make([]Point, 100)
+	for i := range pts {
+		pts[i] = Point{r.Float64(), r.Float64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Front(pts)
+	}
+}
+
+func BenchmarkHypervolume100(b *testing.B) {
+	r := randx.New(1)
+	pts := make([]Point, 100)
+	for i := range pts {
+		pts[i] = Point{r.Float64(), r.Float64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Hypervolume(pts, 0, 1)
+	}
+}

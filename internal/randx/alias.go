@@ -1,0 +1,87 @@
+package randx
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Alias samples from a fixed discrete distribution in O(1) per draw using
+// Vose's alias method. Construction is O(n).
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// ErrBadWeights reports that a discrete distribution could not be built.
+var ErrBadWeights = errors.New("randx: weights must be non-negative with a positive sum")
+
+// NewAlias builds an alias table for the given non-negative weights. The
+// weights need not sum to one; they are normalized internally.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty weight slice", ErrBadWeights)
+	}
+	var sum float64
+	for i, w := range weights {
+		if w < 0 || w != w { // negative or NaN
+			return nil, fmt.Errorf("%w: weight[%d] = %v", ErrBadWeights, i, w)
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("%w: sum = %v", ErrBadWeights, sum)
+	}
+
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+	}
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / sum
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		// Only reachable through floating-point round-off; treat as full.
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a, nil
+}
+
+// N returns the number of categories in the distribution.
+func (a *Alias) N() int { return len(a.prob) }
+
+// Draw returns a category index distributed according to the table's weights.
+func (a *Alias) Draw(r *Source) int {
+	i := r.Intn(len(a.prob))
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}

@@ -1,0 +1,361 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d differs: %d vs %d", i, av, bv)
+		}
+	}
+}
+
+func TestSeedsDecorrelate(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("adjacent seeds produced %d identical 64-bit draws out of 1000", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want approx 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 10, 1000} {
+		seen := make([]bool, n)
+		for i := 0; i < 50*n; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+			seen[v] = true
+		}
+		for v, ok := range seen {
+			if !ok && n <= 10 {
+				t.Errorf("Intn(%d) never produced %d in %d draws", n, v, 50*n)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(99)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	expected := float64(draws) / n
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 9 degrees of freedom; p=0.001 critical value is 27.88.
+	if chi2 > 27.88 {
+		t.Fatalf("chi-square = %v exceeds 27.88; counts = %v", chi2, counts)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(5)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean = %v, want approx 0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance = %v, want approx 1", variance)
+	}
+}
+
+func TestNormalAffine(t *testing.T) {
+	r := New(6)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 3)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("mean = %v, want approx 10", mean)
+	}
+	if math.Abs(variance-9) > 0.2 {
+		t.Errorf("variance = %v, want approx 9", variance)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	cases := []struct{ alpha, beta float64 }{
+		{1, 2},   // the paper's Figure 5(a) parameters
+		{0.5, 1}, // shape < 1 exercises the boost path
+		{3, 0.5},
+		{9, 2},
+	}
+	r := New(8)
+	const n = 300000
+	for _, c := range cases {
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			v := r.Gamma(c.alpha, c.beta)
+			if v < 0 {
+				t.Fatalf("Gamma(%v,%v) produced negative %v", c.alpha, c.beta, v)
+			}
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		wantMean := c.alpha * c.beta
+		wantVar := c.alpha * c.beta * c.beta
+		if math.Abs(mean-wantMean) > 0.03*wantMean+0.01 {
+			t.Errorf("Gamma(%v,%v) mean = %v, want approx %v", c.alpha, c.beta, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar) > 0.08*wantVar+0.02 {
+			t.Errorf("Gamma(%v,%v) variance = %v, want approx %v", c.alpha, c.beta, variance, wantVar)
+		}
+	}
+}
+
+func TestGammaPanicsOnBadParams(t *testing.T) {
+	for _, c := range []struct{ a, b float64 }{{0, 1}, {1, 0}, {-1, 1}, {1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Gamma(%v,%v) did not panic", c.a, c.b)
+				}
+			}()
+			New(1).Gamma(c.a, c.b)
+		}()
+	}
+}
+
+func TestExpMoments(t *testing.T) {
+	r := New(10)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exp(2)
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Exp(2) mean = %v, want approx 0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(4)
+	for _, n := range []int{0, 1, 2, 5, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSplitDecorrelates(t *testing.T) {
+	parent := New(77)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split stream matched parent %d times", same)
+	}
+}
+
+func TestAliasRejectsBadWeights(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{},
+		{0, 0, 0},
+		{1, -0.5},
+		{math.NaN(), 1},
+	}
+	for _, w := range cases {
+		if _, err := NewAlias(w); err == nil {
+			t.Errorf("NewAlias(%v) succeeded, want error", w)
+		}
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	weights := []float64{0.1, 0.4, 0.2, 0.05, 0.25}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != len(weights) {
+		t.Fatalf("N() = %d, want %d", a.N(), len(weights))
+	}
+	r := New(21)
+	const draws = 500000
+	counts := make([]float64, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[a.Draw(r)]++
+	}
+	for i, w := range weights {
+		got := counts[i] / draws
+		if math.Abs(got-w) > 0.005 {
+			t.Errorf("category %d frequency = %v, want approx %v", i, got, w)
+		}
+	}
+}
+
+func TestAliasUnnormalizedWeights(t *testing.T) {
+	a, err := NewAlias([]float64{2, 6}) // 0.25 / 0.75
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(13)
+	const draws = 200000
+	var ones int
+	for i := 0; i < draws; i++ {
+		if a.Draw(r) == 1 {
+			ones++
+		}
+	}
+	got := float64(ones) / draws
+	if math.Abs(got-0.75) > 0.01 {
+		t.Errorf("P(1) = %v, want approx 0.75", got)
+	}
+}
+
+func TestAliasSingleCategory(t *testing.T) {
+	a, err := NewAlias([]float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if a.Draw(r) != 0 {
+			t.Fatal("single-category alias drew non-zero index")
+		}
+	}
+}
+
+func TestAliasPropertyDrawsInRange(t *testing.T) {
+	f := func(raw []float64, seed uint64) bool {
+		weights := make([]float64, 0, len(raw))
+		for _, w := range raw {
+			weights = append(weights, math.Abs(w))
+		}
+		a, err := NewAlias(weights)
+		if err != nil {
+			return true // invalid weight vectors are allowed to fail construction
+		}
+		r := New(seed)
+		for i := 0; i < 100; i++ {
+			v := a.Draw(r)
+			if v < 0 || v >= len(weights) {
+				return false
+			}
+			if weights[v] == 0 {
+				return false // zero-weight categories must never be drawn... except round-off
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNorm(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Norm()
+	}
+}
+
+func BenchmarkGamma(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Gamma(1, 2)
+	}
+}
+
+func BenchmarkAliasDraw(b *testing.B) {
+	weights := make([]float64, 10)
+	for i := range weights {
+		weights[i] = float64(i + 1)
+	}
+	a, err := NewAlias(weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Draw(r)
+	}
+}

@@ -1,0 +1,188 @@
+package rr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file implements the two distribution-reconstruction estimators of
+// Section III-A: the inversion approach (Theorem 1) and the iterative
+// EM-style approach of Agrawal et al. (Equation 3).
+
+// Estimator errors.
+var (
+	// ErrNoConvergence reports that the iterative estimator did not reach
+	// the requested tolerance within its iteration budget.
+	ErrNoConvergence = errors.New("rr: iterative estimator did not converge")
+	// ErrEmptyData reports an estimation request over zero records.
+	ErrEmptyData = errors.New("rr: no records to estimate from")
+)
+
+// EstimateInversion reconstructs the original distribution from disguised
+// records via P̂ = M⁻¹·P̂* (Theorem 1). The estimate is an unbiased MLE but
+// individual components may fall outside [0, 1] for small samples; callers
+// that need a proper distribution can pass the result through Clip.
+func (m *Matrix) EstimateInversion(disguised []int) ([]float64, error) {
+	pStar, err := m.frequencies(disguised)
+	if err != nil {
+		return nil, err
+	}
+	return m.EstimateInversionFromDistribution(pStar)
+}
+
+// EstimateInversionFromDistribution applies the inversion estimator to an
+// already-computed disguised distribution P̂*.
+func (m *Matrix) EstimateInversionFromDistribution(pStar []float64) ([]float64, error) {
+	if len(pStar) != m.N() {
+		return nil, fmt.Errorf("%w: distribution of length %d for %d categories", ErrShape, len(pStar), m.N())
+	}
+	p, err := m.m.Solve(pStar)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSingular, err)
+	}
+	return p, nil
+}
+
+// IterativeOptions configures EstimateIterative.
+type IterativeOptions struct {
+	// MaxIterations bounds the iteration count. Zero means the default, 10000.
+	MaxIterations int
+	// Tolerance is the L∞ distance between consecutive iterates that counts
+	// as convergence. Zero means the default, 1e-10.
+	Tolerance float64
+	// Initial is the starting distribution; nil means uniform.
+	Initial []float64
+}
+
+func (o IterativeOptions) withDefaults() IterativeOptions {
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 10000
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-10
+	}
+	return o
+}
+
+// EstimateIterative reconstructs the original distribution with the
+// iterative Bayes-update procedure of Equation (3):
+//
+//	P^{k+1}(c_j) = Σ_i P*(c_i) · θ_{i,j}·P^k(c_j) / Σ_l θ_{i,l}·P^k(c_l)
+//
+// Iteration stops when two consecutive iterates are within Tolerance (L∞)
+// or the budget is exhausted (then ErrNoConvergence is returned alongside
+// the last iterate). Unlike inversion, the result is always a valid
+// distribution, and the method works for singular matrices.
+func (m *Matrix) EstimateIterative(disguised []int, opts IterativeOptions) ([]float64, error) {
+	pStar, err := m.frequencies(disguised)
+	if err != nil {
+		return nil, err
+	}
+	return m.EstimateIterativeFromDistribution(pStar, opts)
+}
+
+// EstimateIterativeFromDistribution applies the iterative estimator to an
+// already-computed disguised distribution P̂*.
+func (m *Matrix) EstimateIterativeFromDistribution(pStar []float64, opts IterativeOptions) ([]float64, error) {
+	n := m.N()
+	if len(pStar) != n {
+		return nil, fmt.Errorf("%w: distribution of length %d for %d categories", ErrShape, len(pStar), n)
+	}
+	opts = opts.withDefaults()
+
+	cur := make([]float64, n)
+	if opts.Initial != nil {
+		if len(opts.Initial) != n {
+			return nil, fmt.Errorf("%w: initial distribution of length %d for %d categories", ErrShape, len(opts.Initial), n)
+		}
+		copy(cur, opts.Initial)
+	} else {
+		for j := range cur {
+			cur[j] = 1 / float64(n)
+		}
+	}
+
+	next := make([]float64, n)
+	denom := make([]float64, n)
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		// denom[i] = Σ_l θ_{i,l}·P^k(c_l) = P*(c_i) implied by the iterate.
+		for i := 0; i < n; i++ {
+			var s float64
+			for l := 0; l < n; l++ {
+				s += m.m.At(i, l) * cur[l]
+			}
+			denom[i] = s
+		}
+		for j := 0; j < n; j++ {
+			var s float64
+			for i := 0; i < n; i++ {
+				if denom[i] == 0 {
+					continue // no disguised mass can arrive at c_i
+				}
+				s += pStar[i] * m.m.At(i, j) * cur[j] / denom[i]
+			}
+			next[j] = s
+		}
+		var maxDelta float64
+		for j := 0; j < n; j++ {
+			if d := math.Abs(next[j] - cur[j]); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		cur, next = next, cur
+		if maxDelta < opts.Tolerance {
+			out := make([]float64, n)
+			copy(out, cur)
+			return out, nil
+		}
+	}
+	out := make([]float64, n)
+	copy(out, cur)
+	return out, fmt.Errorf("%w after %d iterations", ErrNoConvergence, opts.MaxIterations)
+}
+
+// frequencies returns the MLE P̂* of the disguised distribution: category
+// frequencies of the disguised records.
+func (m *Matrix) frequencies(disguised []int) ([]float64, error) {
+	if len(disguised) == 0 {
+		return nil, ErrEmptyData
+	}
+	n := m.N()
+	p := make([]float64, n)
+	for k, rec := range disguised {
+		if rec < 0 || rec >= n {
+			return nil, fmt.Errorf("%w: record %d has category %d", ErrShape, k, rec)
+		}
+		p[rec]++
+	}
+	inv := 1 / float64(len(disguised))
+	for i := range p {
+		p[i] *= inv
+	}
+	return p, nil
+}
+
+// Clip projects an (possibly out-of-range) inversion estimate onto the
+// probability simplex: negative entries are zeroed and the rest renormalized.
+// If everything clips to zero, the uniform distribution is returned.
+func Clip(p []float64) []float64 {
+	out := make([]float64, len(p))
+	var sum float64
+	for i, v := range p {
+		if v > 0 {
+			out[i] = v
+			sum += v
+		}
+	}
+	if sum <= 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}

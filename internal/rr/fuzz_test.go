@@ -1,0 +1,109 @@
+package rr
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzInversionRoundTrip checks that for any diagonally-boosted stochastic
+// matrix and any prior assembled from fuzz bytes, disguising the exact
+// distribution and inverting returns the original.
+func FuzzInversionRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, uint8(3))
+	f.Add([]byte{200, 10, 10, 10, 200, 10, 10, 10, 200, 50, 60, 70}, uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, nRaw uint8) {
+		n := int(nRaw%5) + 2
+		if len(data) < n*n+n {
+			return
+		}
+		cols := make([][]float64, n)
+		k := 0
+		for i := range cols {
+			col := make([]float64, n)
+			var sum float64
+			for j := range col {
+				col[j] = float64(data[k]) * 0.2
+				if i == j {
+					col[j] += 256 // diagonal boost keeps the matrix invertible
+				}
+				sum += col[j]
+				k++
+			}
+			for j := range col {
+				col[j] /= sum
+			}
+			cols[i] = col
+		}
+		m, err := FromColumns(cols)
+		if err != nil {
+			t.Fatalf("fuzz-built columns rejected: %v", err)
+		}
+		prior := make([]float64, n)
+		var sum float64
+		for i := range prior {
+			prior[i] = float64(data[n*n+i]) + 1
+			sum += prior[i]
+		}
+		for i := range prior {
+			prior[i] /= sum
+		}
+		pStar, err := m.DisguisedDistribution(prior)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := m.EstimateInversionFromDistribution(pStar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range prior {
+			if math.Abs(back[i]-prior[i]) > 1e-8 {
+				t.Fatalf("round trip failed at %d: %v vs %v", i, back[i], prior[i])
+			}
+		}
+	})
+}
+
+// FuzzIterativeIsDistribution checks the EM estimator always returns a valid
+// distribution regardless of the observed disguised frequencies.
+func FuzzIterativeIsDistribution(f *testing.F) {
+	f.Add([]byte{10, 20, 30}, uint8(3), uint16(100))
+	f.Add([]byte{0, 0, 255, 1}, uint8(4), uint16(50))
+	f.Fuzz(func(t *testing.T, data []byte, nRaw uint8, iters uint16) {
+		n := int(nRaw%5) + 2
+		if len(data) < n {
+			return
+		}
+		m, err := Warner(n, 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pStar := make([]float64, n)
+		var sum float64
+		for i := range pStar {
+			pStar[i] = float64(data[i])
+			sum += pStar[i]
+		}
+		if sum == 0 {
+			return
+		}
+		for i := range pStar {
+			pStar[i] /= sum
+		}
+		est, err := m.EstimateIterativeFromDistribution(pStar, IterativeOptions{
+			MaxIterations: int(iters%2000) + 1,
+		})
+		if err != nil && est == nil {
+			t.Fatalf("estimator returned nil estimate with error %v", err)
+		}
+		var total float64
+		for i, v := range est {
+			if v < -1e-9 || math.IsNaN(v) {
+				t.Fatalf("estimate[%d] = %v", i, v)
+			}
+			total += v
+		}
+		if math.Abs(total-1) > 1e-6 {
+			t.Fatalf("estimate sums to %v", total)
+		}
+	})
+}

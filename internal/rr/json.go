@@ -1,0 +1,48 @@
+package rr
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON serialization for RR matrices, so optimized matrices can be persisted
+// and shipped to the clients that apply them. The wire form is explicit
+// about the orientation to prevent silent transposition bugs:
+//
+//	{"categories": 3, "columns": [[...], [...], [...]]}
+//
+// where columns[i][j] = θ_{j,i} = P(report c_j | true value c_i), and every
+// column sums to 1. Validation runs on decode, so a hand-edited file that
+// breaks stochasticity is rejected.
+
+type matrixJSON struct {
+	Categories int         `json:"categories"`
+	Columns    [][]float64 `json:"columns"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *Matrix) MarshalJSON() ([]byte, error) {
+	n := m.N()
+	cols := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		cols[i] = m.Column(i)
+	}
+	return json.Marshal(matrixJSON{Categories: n, Columns: cols})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, validating the RR invariants.
+func (m *Matrix) UnmarshalJSON(data []byte) error {
+	var raw matrixJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("rr: decoding matrix: %w", err)
+	}
+	if raw.Categories != len(raw.Columns) {
+		return fmt.Errorf("%w: %d categories but %d columns", ErrShape, raw.Categories, len(raw.Columns))
+	}
+	decoded, err := FromColumns(raw.Columns)
+	if err != nil {
+		return err
+	}
+	*m = *decoded
+	return nil
+}

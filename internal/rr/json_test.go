@@ -1,0 +1,83 @@
+package rr
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"optrr/internal/randx"
+)
+
+func TestMatrixJSONRoundTrip(t *testing.T) {
+	r := randx.New(1)
+	orig := randomStochastic(r, 5)
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Matrix
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !orig.Equal(&back, 0) {
+		t.Fatalf("round trip changed the matrix:\n%v\nvs\n%v", orig, &back)
+	}
+}
+
+func TestMatrixJSONFormat(t *testing.T) {
+	m, err := Warner(2, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"categories":2`, `"columns":[[0.75,0.25],[0.25,0.75]]`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("JSON %s missing %q", s, want)
+		}
+	}
+}
+
+func TestMatrixJSONRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{"categories": 2, "columns": [[0.5, 0.6], [0.5, 0.5]]}`,  // column 0 sums to 1.1
+		`{"categories": 3, "columns": [[0.5, 0.5], [0.5, 0.5]]}`,  // arity mismatch
+		`{"categories": 2, "columns": [[1.5, -0.5], [0.5, 0.5]]}`, // out of range
+		`{"categories": 2, "columns": [[0.5], [0.5, 0.5]]}`,       // ragged
+		`not json`,
+	}
+	for i, c := range cases {
+		var m Matrix
+		if err := json.Unmarshal([]byte(c), &m); err == nil {
+			t.Errorf("case %d: invalid matrix accepted", i)
+		}
+	}
+}
+
+func TestMatrixJSONDecodedIsUsable(t *testing.T) {
+	m, err := Warner(4, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Matrix
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	out, err := back.Disguise([]int{0, 1, 2, 3}, randx.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatal("decoded matrix cannot disguise")
+	}
+	if _, err := back.EstimateInversionFromDistribution([]float64{0.25, 0.25, 0.25, 0.25}); err != nil {
+		t.Fatal(err)
+	}
+}

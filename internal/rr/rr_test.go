@@ -1,0 +1,681 @@
+package rr
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"optrr/internal/matrix"
+	"optrr/internal/randx"
+)
+
+// randomStochastic builds a random column-stochastic n×n matrix for tests.
+func randomStochastic(r *randx.Source, n int) *Matrix {
+	cols := make([][]float64, n)
+	for i := range cols {
+		col := make([]float64, n)
+		var sum float64
+		for j := range col {
+			col[j] = r.Float64() + 0.01
+			sum += col[j]
+		}
+		for j := range col {
+			col[j] /= sum
+		}
+		cols[i] = col
+	}
+	m, err := FromColumns(cols)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestFromDenseValidates(t *testing.T) {
+	bad := matrix.New(2, 2)
+	bad.Set(0, 0, 0.5)
+	bad.Set(1, 0, 0.6) // column 0 sums to 1.1
+	bad.Set(0, 1, 0.5)
+	bad.Set(1, 1, 0.5)
+	if _, err := FromDense(bad); !errors.Is(err, ErrNotStochastic) {
+		t.Fatalf("err = %v, want ErrNotStochastic", err)
+	}
+	if _, err := FromDense(matrix.New(2, 3)); !errors.Is(err, ErrShape) {
+		t.Fatalf("non-square: err = %v, want ErrShape", err)
+	}
+}
+
+func TestFromDenseRejectsNegative(t *testing.T) {
+	bad := matrix.New(2, 2)
+	bad.Set(0, 0, 1.5)
+	bad.Set(1, 0, -0.5)
+	bad.Set(0, 1, 0)
+	bad.Set(1, 1, 1)
+	if _, err := FromDense(bad); !errors.Is(err, ErrNotStochastic) {
+		t.Fatalf("err = %v, want ErrNotStochastic", err)
+	}
+}
+
+func TestFromDenseClones(t *testing.T) {
+	d := matrix.Identity(2)
+	m, err := FromDense(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Set(0, 0, 0.3)
+	if m.Theta(0, 0) != 1 {
+		t.Fatal("FromDense shares storage with input")
+	}
+}
+
+func TestFromColumns(t *testing.T) {
+	m, err := FromColumns([][]float64{{0.7, 0.3}, {0.2, 0.8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Theta(0, 0) != 0.7 || m.Theta(1, 0) != 0.3 || m.Theta(0, 1) != 0.2 || m.Theta(1, 1) != 0.8 {
+		t.Fatalf("wrong layout:\n%v", m)
+	}
+	if _, err := FromColumns(nil); !errors.Is(err, ErrShape) {
+		t.Fatal("empty columns accepted")
+	}
+	if _, err := FromColumns([][]float64{{1}, {0.5, 0.5}}); !errors.Is(err, ErrShape) {
+		t.Fatal("ragged columns accepted")
+	}
+}
+
+func TestIdentityAndTotallyRandom(t *testing.T) {
+	id := Identity(4)
+	if err := id.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if id.Theta(i, i) != 1 {
+			t.Fatal("identity diagonal not 1")
+		}
+	}
+	tr := TotallyRandom(4)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 4; j++ {
+		for i := 0; i < 4; i++ {
+			if tr.Theta(j, i) != 0.25 {
+				t.Fatal("totally-random entry not 1/n")
+			}
+		}
+	}
+	if tr.Invertible() {
+		t.Fatal("totally-random matrix reported invertible")
+	}
+	if !id.Invertible() {
+		t.Fatal("identity reported non-invertible")
+	}
+}
+
+func TestDisguisedDistribution(t *testing.T) {
+	m, err := Warner(3, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := []float64{0.5, 0.3, 0.2}
+	pStar, err := m.DisguisedDistribution(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range pStar {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("P* sums to %v", sum)
+	}
+	// Manual check of first component: 0.8*0.5 + 0.1*0.3 + 0.1*0.2.
+	want := 0.8*0.5 + 0.1*0.3 + 0.1*0.2
+	if math.Abs(pStar[0]-want) > 1e-12 {
+		t.Fatalf("P*[0] = %v, want %v", pStar[0], want)
+	}
+	if _, err := m.DisguisedDistribution([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Fatal("bad length accepted")
+	}
+}
+
+func TestDisguisePreservesLengthAndRange(t *testing.T) {
+	m, err := Warner(5, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := make([]int, 1000)
+	for i := range records {
+		records[i] = i % 5
+	}
+	out, err := m.Disguise(records, randx.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(records) {
+		t.Fatalf("len = %d, want %d", len(out), len(records))
+	}
+	for _, v := range out {
+		if v < 0 || v >= 5 {
+			t.Fatalf("disguised value %d out of range", v)
+		}
+	}
+}
+
+func TestDisguiseRejectsBadRecord(t *testing.T) {
+	m := Identity(3)
+	if _, err := m.Disguise([]int{0, 3}, randx.New(1)); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestDisguiseIdentityIsNoOp(t *testing.T) {
+	m := Identity(4)
+	records := []int{0, 1, 2, 3, 2, 1, 0}
+	out, err := m.Disguise(records, randx.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range records {
+		if out[i] != records[i] {
+			t.Fatal("identity disguise changed a record")
+		}
+	}
+}
+
+func TestDisguiseMatchesMatrixStatistically(t *testing.T) {
+	m, err := Warner(3, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const per = 100000
+	records := make([]int, 3*per)
+	for i := range records {
+		records[i] = i % 3
+	}
+	out, err := m.Disguise(records, randx.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([][]float64, 3)
+	for i := range counts {
+		counts[i] = make([]float64, 3)
+	}
+	for k, orig := range records {
+		counts[orig][out[k]]++
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			got := counts[i][j] / per
+			want := m.Theta(j, i)
+			if math.Abs(got-want) > 0.01 {
+				t.Errorf("empirical theta(%d,%d) = %v, want %v", j, i, got, want)
+			}
+		}
+	}
+}
+
+func TestWarnerScheme(t *testing.T) {
+	m, err := Warner(4, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Theta(0, 0) != 0.7 {
+		t.Fatalf("diagonal = %v, want 0.7", m.Theta(0, 0))
+	}
+	if math.Abs(m.Theta(1, 0)-0.1) > 1e-12 {
+		t.Fatalf("off-diagonal = %v, want 0.1", m.Theta(1, 0))
+	}
+	if _, err := Warner(4, 1.5); err == nil {
+		t.Fatal("p > 1 accepted")
+	}
+	if _, err := Warner(1, 0.5); !errors.Is(err, ErrShape) {
+		t.Fatal("n = 1 accepted")
+	}
+}
+
+func TestUniformPerturbationScheme(t *testing.T) {
+	m, err := UniformPerturbation(4, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDiag := 0.6 + 0.4/4
+	if math.Abs(m.Theta(0, 0)-wantDiag) > 1e-12 {
+		t.Fatalf("diagonal = %v, want %v", m.Theta(0, 0), wantDiag)
+	}
+	if math.Abs(m.Theta(1, 0)-0.1) > 1e-12 {
+		t.Fatalf("off-diagonal = %v, want 0.1", m.Theta(1, 0))
+	}
+	if _, err := UniformPerturbation(4, -0.1); err == nil {
+		t.Fatal("q < 0 accepted")
+	}
+}
+
+func TestFRAPPScheme(t *testing.T) {
+	m, err := FRAPP(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDiag := 6.0 / 9.0
+	if math.Abs(m.Theta(0, 0)-wantDiag) > 1e-12 {
+		t.Fatalf("diagonal = %v, want %v", m.Theta(0, 0), wantDiag)
+	}
+	if math.Abs(m.Theta(2, 1)-1.0/9.0) > 1e-12 {
+		t.Fatalf("off-diagonal = %v, want 1/9", m.Theta(2, 1))
+	}
+	if _, err := FRAPP(4, 0); err == nil {
+		t.Fatal("lambda = 0 accepted")
+	}
+}
+
+// TestTheorem2SchemesCoincide verifies Theorem 2: the Warner, UP and FRAPP
+// solution sets are the same one-parameter family. For any γ in the shared
+// range, the three parameter maps produce identical matrices.
+func TestTheorem2SchemesCoincide(t *testing.T) {
+	const n = 10
+	for _, gamma := range []float64{0.15, 0.3, 0.5, 0.75, 0.99} {
+		w, err := Warner(n, GammaToWarnerP(n, gamma))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q := GammaToUPQ(n, gamma); q >= 0 && q <= 1 {
+			up, err := UniformPerturbation(n, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !w.Equal(up, 1e-12) {
+				t.Errorf("gamma=%v: Warner and UP matrices differ", gamma)
+			}
+		}
+		fr, err := FRAPP(n, GammaToFRAPPLambda(n, gamma))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !w.Equal(fr, 1e-12) {
+			t.Errorf("gamma=%v: Warner and FRAPP matrices differ", gamma)
+		}
+	}
+}
+
+func TestTheorem2ParameterMapsInvert(t *testing.T) {
+	const n = 7
+	f := func(raw uint16) bool {
+		gamma := 0.2 + 0.79*float64(raw)/math.MaxUint16 // [0.2, 0.99]
+		g1 := WarnerGamma(n, GammaToWarnerP(n, gamma))
+		g2 := UPGamma(n, GammaToUPQ(n, gamma))
+		g3 := FRAPPGamma(n, GammaToFRAPPLambda(n, gamma))
+		return math.Abs(g1-gamma) < 1e-12 && math.Abs(g2-gamma) < 1e-12 && math.Abs(g3-gamma) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWarnerSweep(t *testing.T) {
+	ms, err := WarnerSweep(5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 11 {
+		t.Fatalf("sweep produced %d matrices, want 11", len(ms))
+	}
+	if ms[0].Theta(0, 0) != 0 || ms[10].Theta(0, 0) != 1 {
+		t.Fatal("sweep endpoints wrong")
+	}
+	if _, err := WarnerSweep(5, 0); err == nil {
+		t.Fatal("steps = 0 accepted")
+	}
+}
+
+func TestEstimateInversionExactOnTrueDistribution(t *testing.T) {
+	m, err := Warner(4, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := []float64{0.4, 0.3, 0.2, 0.1}
+	pStar, err := m.DisguisedDistribution(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.EstimateInversionFromDistribution(pStar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p {
+		if math.Abs(got[i]-p[i]) > 1e-10 {
+			t.Fatalf("round trip failed: %v vs %v", got, p)
+		}
+	}
+}
+
+func TestEstimateInversionFromRecords(t *testing.T) {
+	m, err := Warner(4, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := []float64{0.4, 0.3, 0.2, 0.1}
+	r := randx.New(11)
+	alias, err := randx.NewAlias(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := make([]int, 100000)
+	for i := range records {
+		records[i] = alias.Draw(r)
+	}
+	disguised, err := m.Disguise(records, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.EstimateInversion(disguised)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p {
+		if math.Abs(got[i]-p[i]) > 0.02 {
+			t.Errorf("category %d: estimate %v, want approx %v", i, got[i], p[i])
+		}
+	}
+}
+
+func TestEstimateInversionSingular(t *testing.T) {
+	m := TotallyRandom(3)
+	if _, err := m.EstimateInversion([]int{0, 1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestEstimateEmptyData(t *testing.T) {
+	m := Identity(3)
+	if _, err := m.EstimateInversion(nil); !errors.Is(err, ErrEmptyData) {
+		t.Fatalf("err = %v, want ErrEmptyData", err)
+	}
+	if _, err := m.EstimateIterative(nil, IterativeOptions{}); !errors.Is(err, ErrEmptyData) {
+		t.Fatalf("iterative: err = %v, want ErrEmptyData", err)
+	}
+}
+
+func TestEstimateIterativeMatchesInversion(t *testing.T) {
+	m, err := Warner(5, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := []float64{0.3, 0.25, 0.2, 0.15, 0.1}
+	pStar, err := m.DisguisedDistribution(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := m.EstimateInversionFromDistribution(pStar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iter, err := m.EstimateIterativeFromDistribution(pStar, IterativeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p {
+		if math.Abs(inv[i]-iter[i]) > 1e-6 {
+			t.Errorf("category %d: inversion %v vs iterative %v", i, inv[i], iter[i])
+		}
+	}
+}
+
+func TestEstimateIterativeAlwaysValidDistribution(t *testing.T) {
+	// With few records the inversion estimate can go negative; the iterative
+	// estimate must remain a valid distribution.
+	m, err := Warner(4, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disguised := []int{0, 0, 1, 3}
+	got, err := m.EstimateIterative(disguised, IterativeOptions{})
+	// EM converges sublinearly when the optimum lies on the simplex
+	// boundary, as it does for this degenerate input; the iterate is still
+	// returned and must be a valid distribution.
+	if err != nil && !errors.Is(err, ErrNoConvergence) {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range got {
+		if v < -1e-12 {
+			t.Fatalf("iterative estimate has negative component: %v", got)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("iterative estimate sums to %v", sum)
+	}
+}
+
+func TestEstimateIterativeWorksOnSingularMatrix(t *testing.T) {
+	m := TotallyRandom(3)
+	got, err := m.EstimateIterativeFromDistribution([]float64{0.4, 0.3, 0.3}, IterativeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With total randomization nothing is learnable: the iterate stays at
+	// its uniform starting point.
+	for _, v := range got {
+		if math.Abs(v-1.0/3.0) > 1e-9 {
+			t.Fatalf("estimate %v, want uniform", got)
+		}
+	}
+}
+
+func TestEstimateIterativeBudgetExhaustion(t *testing.T) {
+	m, err := Warner(3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.EstimateIterativeFromDistribution(
+		[]float64{0.5, 0.3, 0.2},
+		IterativeOptions{MaxIterations: 1, Tolerance: 1e-15},
+	)
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("err = %v, want ErrNoConvergence", err)
+	}
+}
+
+func TestEstimateIterativeBadInitial(t *testing.T) {
+	m := Identity(3)
+	_, err := m.EstimateIterativeFromDistribution(
+		[]float64{0.5, 0.3, 0.2},
+		IterativeOptions{Initial: []float64{0.5, 0.5}},
+	)
+	if !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestClip(t *testing.T) {
+	got := Clip([]float64{-0.1, 0.6, 0.5})
+	if got[0] != 0 {
+		t.Fatalf("negative entry not clipped: %v", got)
+	}
+	if math.Abs(got[1]-6.0/11.0) > 1e-12 || math.Abs(got[2]-5.0/11.0) > 1e-12 {
+		t.Fatalf("Clip = %v", got)
+	}
+	uniform := Clip([]float64{-1, -2})
+	if uniform[0] != 0.5 || uniform[1] != 0.5 {
+		t.Fatalf("all-negative Clip = %v, want uniform", uniform)
+	}
+}
+
+func TestPropertyDisguisedDistributionIsDistribution(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, raw []uint8) bool {
+		n := int(nRaw%8) + 2
+		r := randx.New(seed)
+		m := randomStochastic(r, n)
+		if len(raw) < n {
+			return true
+		}
+		w := make([]float64, n)
+		var sum float64
+		for i := 0; i < n; i++ {
+			w[i] = float64(raw[i]) + 1
+			sum += w[i]
+		}
+		for i := range w {
+			w[i] /= sum
+		}
+		pStar, err := m.DisguisedDistribution(w)
+		if err != nil {
+			return false
+		}
+		var s float64
+		for _, v := range pStar {
+			if v < -1e-12 {
+				return false
+			}
+			s += v
+		}
+		return math.Abs(s-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyInversionRoundTrip(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%6) + 2
+		r := randx.New(seed)
+		// Diagonally-boosted stochastic matrices are invertible.
+		cols := make([][]float64, n)
+		for i := range cols {
+			col := make([]float64, n)
+			var sum float64
+			for j := range col {
+				col[j] = r.Float64() * 0.3
+				if j == i {
+					col[j] += 1
+				}
+				sum += col[j]
+			}
+			for j := range col {
+				col[j] /= sum
+			}
+			cols[i] = col
+		}
+		m, err := FromColumns(cols)
+		if err != nil {
+			return false
+		}
+		p := make([]float64, n)
+		var sum float64
+		for i := range p {
+			p[i] = r.Float64() + 0.05
+			sum += p[i]
+		}
+		for i := range p {
+			p[i] /= sum
+		}
+		pStar, err := m.DisguisedDistribution(p)
+		if err != nil {
+			return false
+		}
+		back, err := m.EstimateInversionFromDistribution(pStar)
+		if err != nil {
+			return false
+		}
+		for i := range p {
+			if math.Abs(back[i]-p[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySchemeMatricesAreStochastic(t *testing.T) {
+	f := func(nRaw uint8, pRaw uint16) bool {
+		n := int(nRaw%10) + 2
+		p := float64(pRaw) / math.MaxUint16
+		w, err := Warner(n, p)
+		if err != nil || w.Validate() != nil {
+			return false
+		}
+		up, err := UniformPerturbation(n, p)
+		if err != nil || up.Validate() != nil {
+			return false
+		}
+		fr, err := FRAPP(n, p*10+0.01)
+		if err != nil || fr.Validate() != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDisguise10k(b *testing.B) {
+	m, err := Warner(10, 0.7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	records := make([]int, 10000)
+	for i := range records {
+		records[i] = i % 10
+	}
+	r := randx.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Disguise(records, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateInversion(b *testing.B) {
+	m, err := Warner(10, 0.7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pStar, err := m.DisguisedDistribution(defaultPrior10())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.EstimateInversionFromDistribution(pStar); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateIterative(b *testing.B) {
+	m, err := Warner(10, 0.7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pStar, err := m.DisguisedDistribution(defaultPrior10())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.EstimateIterativeFromDistribution(pStar, IterativeOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func defaultPrior10() []float64 {
+	p := make([]float64, 10)
+	var sum float64
+	for i := range p {
+		p[i] = float64(i + 1)
+		sum += p[i]
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return p
+}

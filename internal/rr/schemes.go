@@ -1,0 +1,122 @@
+package rr
+
+import (
+	"fmt"
+
+	"optrr/internal/matrix"
+)
+
+// The three published RR schemes of Section III-B. All three produce
+// symmetric matrices with a constant diagonal γ and constant off-diagonal
+// (1−γ)/(n−1); they differ only in how their parameter maps onto γ
+// (Theorem 2 shows their solution sets coincide).
+
+// diagonalScheme builds the constant-diagonal matrix with diagonal gamma.
+func diagonalScheme(n int, gamma float64) (*Matrix, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 categories, got %d", ErrShape, n)
+	}
+	if gamma < 0 || gamma > 1 {
+		return nil, fmt.Errorf("%w: diagonal %v outside [0,1]", ErrNotStochastic, gamma)
+	}
+	off := (1 - gamma) / float64(n-1)
+	d := matrix.New(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if i == j {
+				d.Set(j, i, gamma)
+			} else {
+				d.Set(j, i, off)
+			}
+		}
+	}
+	return FromDense(d)
+}
+
+// Warner returns the Warner-scheme matrix: diagonal p, off-diagonal
+// (1−p)/(n−1). p ∈ [0, 1].
+func Warner(n int, p float64) (*Matrix, error) {
+	m, err := diagonalScheme(n, p)
+	if err != nil {
+		return nil, fmt.Errorf("rr: Warner(p=%v): %w", p, err)
+	}
+	return m, nil
+}
+
+// UniformPerturbation returns Agrawal et al.'s UP matrix: each value is
+// retained with probability q and otherwise replaced by a uniform draw over
+// the whole domain, giving diagonal q + (1−q)/n and off-diagonal (1−q)/n.
+// q ∈ [0, 1].
+func UniformPerturbation(n int, q float64) (*Matrix, error) {
+	if q < 0 || q > 1 {
+		return nil, fmt.Errorf("rr: UniformPerturbation(q=%v): %w: q outside [0,1]", q, ErrNotStochastic)
+	}
+	gamma := q + (1-q)/float64(n)
+	m, err := diagonalScheme(n, gamma)
+	if err != nil {
+		return nil, fmt.Errorf("rr: UniformPerturbation(q=%v): %w", q, err)
+	}
+	return m, nil
+}
+
+// FRAPP returns Agrawal & Haritsa's FRAPP matrix: diagonal λ/(λ+n−1),
+// off-diagonal 1/(λ+n−1). λ must be positive.
+func FRAPP(n int, lambda float64) (*Matrix, error) {
+	if lambda <= 0 {
+		return nil, fmt.Errorf("rr: FRAPP(lambda=%v): %w: lambda must be positive", lambda, ErrNotStochastic)
+	}
+	gamma := lambda / (lambda + float64(n-1))
+	m, err := diagonalScheme(n, gamma)
+	if err != nil {
+		return nil, fmt.Errorf("rr: FRAPP(lambda=%v): %w", lambda, err)
+	}
+	return m, nil
+}
+
+// Parameter maps of Theorem 2: each scheme's parameter expressed as the
+// common diagonal value γ, and the inverse maps. Warner covers γ ∈ [0, 1];
+// UP covers γ ∈ [1/n, 1]; FRAPP covers γ ∈ (0, 1).
+
+// WarnerGamma returns the diagonal γ of Warner(p): γ = p.
+func WarnerGamma(n int, p float64) float64 { return p }
+
+// UPGamma returns the diagonal γ of UniformPerturbation(q).
+func UPGamma(n int, q float64) float64 { return q + (1-q)/float64(n) }
+
+// FRAPPGamma returns the diagonal γ of FRAPP(λ).
+func FRAPPGamma(n int, lambda float64) float64 {
+	return lambda / (lambda + float64(n-1))
+}
+
+// GammaToWarnerP inverts WarnerGamma: p = γ.
+func GammaToWarnerP(n int, gamma float64) float64 { return gamma }
+
+// GammaToUPQ inverts UPGamma: q = (nγ − 1)/(n − 1). Only γ ≥ 1/n maps to a
+// valid q.
+func GammaToUPQ(n int, gamma float64) float64 {
+	return (float64(n)*gamma - 1) / float64(n-1)
+}
+
+// GammaToFRAPPLambda inverts FRAPPGamma: λ = γ(n−1)/(1−γ). Only γ < 1 maps
+// to a finite λ.
+func GammaToFRAPPLambda(n int, gamma float64) float64 {
+	return gamma * float64(n-1) / (1 - gamma)
+}
+
+// WarnerSweep returns the matrices of the Warner scheme for p = 0, 1/steps,
+// 2/steps, ..., 1 — the 1001-matrix sweep of the paper's methodology uses
+// steps = 1000.
+func WarnerSweep(n, steps int) ([]*Matrix, error) {
+	if steps < 1 {
+		return nil, fmt.Errorf("rr: WarnerSweep needs at least 1 step, got %d", steps)
+	}
+	out := make([]*Matrix, 0, steps+1)
+	for k := 0; k <= steps; k++ {
+		m, err := Warner(n, float64(k)/float64(steps))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

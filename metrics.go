@@ -1,0 +1,77 @@
+package optrr
+
+import (
+	"optrr/internal/metrics"
+	"optrr/internal/rr"
+)
+
+// This file re-exports the extended privacy-analysis toolbox: generalized
+// Bayes-adversary privacy under arbitrary gain functions (the full
+// generality of the paper's Section IV-A), privacy-breach detection, and
+// information-theoretic leakage.
+
+// Gain scores an adversary's estimate against the true value; larger is
+// better for the adversary. See ZeroOneGain and OrdinalGain.
+type Gain = metrics.Gain
+
+// ZeroOneGain is the paper's accuracy function (Equation 6): 1 for an exact
+// hit, 0 otherwise.
+func ZeroOneGain(estimate, truth int) float64 { return metrics.ZeroOneGain(estimate, truth) }
+
+// OrdinalGain returns a gain for ordinal domains where a near miss still
+// leaks information: 1 − |x̂−x|/(n−1).
+func OrdinalGain(n int) Gain { return metrics.OrdinalGain(n) }
+
+// PrivacyWithGain generalizes the paper's privacy metric to an arbitrary
+// gain function, normalized so 1 means "observing the disguised value does
+// not help the adversary at all" and 0 means full disclosure.
+func PrivacyWithGain(m *Matrix, prior []float64, gain Gain) (float64, error) {
+	return metrics.PrivacyWithGain(m, prior, gain)
+}
+
+// BreachesPrivacy reports whether m admits a ρ1-to-ρ2 privacy breach: a
+// value with prior probability below rho1 whose posterior after some
+// observation exceeds rho2. x is -1 when no breach exists.
+func BreachesPrivacy(m *Matrix, prior []float64, rho1, rho2 float64) (x, y int, err error) {
+	return metrics.BreachesPrivacy(m, prior, rho1, rho2)
+}
+
+// MutualInformation returns I(X; Y) in bits between the original and
+// disguised values.
+func MutualInformation(m *Matrix, prior []float64) (float64, error) {
+	return metrics.MutualInformation(m, prior)
+}
+
+// NormalizedLeakage returns I(X;Y)/H(X): the fraction of the original
+// value's uncertainty removed by observing its disguised value.
+func NormalizedLeakage(m *Matrix, prior []float64) (float64, error) {
+	return metrics.NormalizedLeakage(m, prior)
+}
+
+// Compose returns the matrix equivalent to disguising with inner first and
+// outer second. Composition never leaks more than either stage (data
+// processing inequality).
+func Compose(outer, inner *Matrix) (*Matrix, error) { return rr.Compose(outer, inner) }
+
+// LocalDPEpsilon returns the tightest ε-local-differential-privacy level m
+// satisfies — a prior-free privacy guarantee on the modern LDP scale.
+// Returns +Inf for matrices with discriminating zero entries (e.g. identity)
+// and 0 for the totally random matrix.
+func LocalDPEpsilon(m *Matrix) float64 { return metrics.LocalDPEpsilon(m) }
+
+// EpsilonToWarnerP returns the Warner diagonal whose matrix satisfies
+// exactly ε-LDP over n categories (the k-randomized-response mechanism):
+// p = e^ε / (e^ε + n − 1).
+func EpsilonToWarnerP(n int, epsilon float64) float64 {
+	return metrics.EpsilonToWarnerP(n, epsilon)
+}
+
+// PrivacyReport is the one-call report card for a matrix: every privacy view
+// (Equation 8, ordinal, worst-case posterior, ε-LDP, mutual information)
+// alongside the utility MSE.
+type PrivacyReport = metrics.PrivacyReport
+
+// Report computes the full privacy report card of m under the prior.
+func Report(m *Matrix, prior []float64, records int) (PrivacyReport, error) {
+	return metrics.Report(m, prior, records)
+}

@@ -1,0 +1,78 @@
+package optrr
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadePrivacyWithGain(t *testing.T) {
+	prior := []float64{0.4, 0.3, 0.2, 0.1}
+	id := Identity(4)
+	p, err := PrivacyWithGain(id, prior, ZeroOneGain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p) > 1e-9 {
+		t.Fatalf("identity gain-privacy = %v, want 0", p)
+	}
+	p, err = PrivacyWithGain(id, prior, OrdinalGain(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p) > 1e-9 {
+		t.Fatalf("identity ordinal privacy = %v, want 0", p)
+	}
+}
+
+func TestFacadeBreachesPrivacy(t *testing.T) {
+	prior := []float64{0.9, 0.1}
+	x, y, err := BreachesPrivacy(Identity(2), prior, 0.2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != 1 || y != 1 {
+		t.Fatalf("breach = (%d, %d), want (1, 1)", x, y)
+	}
+}
+
+func TestFacadeInformationMetrics(t *testing.T) {
+	prior := []float64{0.5, 0.3, 0.2}
+	m, err := Warner(3, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi, err := MutualInformation(m, prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leak, err := NormalizedLeakage(m, prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi <= 0 || leak <= 0 || leak >= 1 {
+		t.Fatalf("MI = %v, leakage = %v", mi, leak)
+	}
+}
+
+func TestFacadeCompose(t *testing.T) {
+	a, err := Warner(3, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compose(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior := []float64{0.5, 0.3, 0.2}
+	pSingle, err := Privacy(a, prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pDouble, err := Privacy(c, prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pDouble < pSingle-1e-12 {
+		t.Fatalf("double disguise privacy %v below single %v", pDouble, pSingle)
+	}
+}

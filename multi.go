@@ -1,0 +1,153 @@
+package optrr
+
+import (
+	"fmt"
+	"math"
+
+	"optrr/internal/core"
+	"optrr/internal/metrics"
+	"optrr/internal/rr"
+)
+
+// This file exposes the multi-dimensional extension (the paper's future
+// work, Section VII): jointly optimizing one RR matrix per attribute against
+// record-level privacy and joint-distribution utility.
+
+// MultiProblem describes a multi-attribute optimization task.
+type MultiProblem struct {
+	// Joint is the original joint distribution over the product space,
+	// row-major with attribute 0 slowest (MultiRR.Index order).
+	Joint []float64
+	// Sizes lists the per-attribute category counts.
+	Sizes []int
+	// Records is the data-set size N for the utility metric.
+	Records int
+	// Delta bounds the record-level posterior max P(X-record | Y-record).
+	Delta float64
+	// Seed makes the run reproducible.
+	Seed uint64
+	// Generations overrides the search budget; zero uses the default (300).
+	Generations int
+}
+
+// MultiResult is the outcome of OptimizeMulti.
+type MultiResult struct {
+	// Front lists the optimal trade-off points, ascending in privacy.
+	Front []Point
+	// tuples[i] corresponds to Front[i]: one matrix per attribute.
+	tuples [][]*Matrix
+	// Generations and Evaluations report the search effort spent.
+	Generations int
+	Evaluations int
+}
+
+// Tuples returns the per-attribute matrix tuples, index-aligned with Front.
+func (r *MultiResult) Tuples() [][]*Matrix {
+	out := make([][]*Matrix, len(r.tuples))
+	copy(out, r.tuples)
+	return out
+}
+
+// TupleWithPrivacyAtLeast returns the tuple with the best joint utility
+// among those offering at least the requested record-level privacy.
+func (r *MultiResult) TupleWithPrivacyAtLeast(privacy float64) ([]*Matrix, bool) {
+	best := -1
+	for i, p := range r.Front {
+		if p.Privacy >= privacy && (best == -1 || p.Utility < r.Front[best].Utility) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return nil, false
+	}
+	return r.tuples[best], true
+}
+
+// OptimizeMulti searches for Pareto-optimal per-attribute matrix tuples.
+func OptimizeMulti(p MultiProblem) (*MultiResult, error) {
+	cfg := core.MultiConfig{
+		Joint:       p.Joint,
+		Sizes:       p.Sizes,
+		Records:     p.Records,
+		Delta:       p.Delta,
+		Seed:        p.Seed,
+		Generations: p.Generations,
+	}
+	res, err := core.OptimizeMulti(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("optrr: %w", err)
+	}
+	out := &MultiResult{
+		Front:       res.FrontPoints(),
+		tuples:      make([][]*Matrix, 0, len(res.Front)),
+		Generations: res.Generations,
+		Evaluations: res.Evaluations,
+	}
+	// FrontPoints sorts ascending by privacy; rebuild tuples in that order.
+	type pair struct {
+		pt    Point
+		tuple []*Matrix
+	}
+	pairs := make([]pair, 0, len(res.Front))
+	for _, ind := range res.Front {
+		ms, err := ind.Matrices()
+		if err != nil {
+			return nil, fmt.Errorf("optrr: %w", err)
+		}
+		pairs = append(pairs, pair{pt: ind.Point(), tuple: ms})
+	}
+	for _, want := range out.Front {
+		for k, pr := range pairs {
+			if pr.tuple != nil && pr.pt == want {
+				out.tuples = append(out.tuples, pr.tuple)
+				pairs[k].tuple = nil
+				break
+			}
+		}
+	}
+	if len(out.tuples) != len(out.Front) {
+		return nil, fmt.Errorf("optrr: internal front/tuple misalignment")
+	}
+	return out, nil
+}
+
+// JointPrivacy returns the record-level privacy of disguising each attribute
+// independently with the given matrices, under the joint prior.
+func JointPrivacy(ms []*Matrix, joint []float64) (float64, error) {
+	return metrics.JointPrivacy(ms, joint)
+}
+
+// JointUtility returns the average closed-form MSE of the reconstructed
+// joint distribution.
+func JointUtility(ms []*Matrix, joint []float64, records int) (float64, error) {
+	return metrics.JointUtility(ms, joint, records)
+}
+
+// JointMaxPosterior returns the worst-case record-level posterior.
+func JointMaxPosterior(ms []*Matrix, joint []float64) (float64, error) {
+	return metrics.JointMaxPosterior(ms, joint)
+}
+
+// ConfidenceIntervals returns per-category half-widths of approximate
+// normal confidence intervals for an inversion estimate produced by m over
+// a data set of the given size: halfWidth[k] = z·sqrt(MSE_k) with MSE_k the
+// closed-form per-category variance of Theorem 6 evaluated at the estimated
+// distribution. z = 1.96 gives ~95% intervals. The estimate is clipped onto
+// the simplex for the variance evaluation.
+func ConfidenceIntervals(m *Matrix, estimate []float64, records int, z float64) ([]float64, error) {
+	if z <= 0 {
+		return nil, fmt.Errorf("optrr: z must be positive, got %v", z)
+	}
+	clipped := rr.Clip(estimate)
+	mses, err := metrics.PerCategoryMSE(m, clipped, records)
+	if err != nil {
+		return nil, fmt.Errorf("optrr: %w", err)
+	}
+	out := make([]float64, len(mses))
+	for k, v := range mses {
+		if v > 0 {
+			out[k] = z * math.Sqrt(v)
+		}
+	}
+	return out, nil
+}

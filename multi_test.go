@@ -1,0 +1,164 @@
+package optrr
+
+import (
+	"math"
+	"testing"
+)
+
+func testMultiProblem() MultiProblem {
+	return MultiProblem{
+		Joint:       []float64{0.25, 0.05, 0.10, 0.15, 0.05, 0.40},
+		Sizes:       []int{3, 2},
+		Records:     5000,
+		Delta:       0.85,
+		Seed:        3,
+		Generations: 50,
+	}
+}
+
+func TestOptimizeMultiFacade(t *testing.T) {
+	p := testMultiProblem()
+	res, err := OptimizeMulti(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Front) == 0 || len(res.Tuples()) != len(res.Front) {
+		t.Fatalf("front %d, tuples %d", len(res.Front), len(res.Tuples()))
+	}
+	for i := 1; i < len(res.Front); i++ {
+		if res.Front[i].Privacy < res.Front[i-1].Privacy {
+			t.Fatal("multi front not sorted")
+		}
+	}
+	// Tuple alignment: re-evaluating tuple i reproduces Front[i].
+	for i, tuple := range res.Tuples() {
+		priv, err := JointPrivacy(tuple, p.Joint)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(priv-res.Front[i].Privacy) > 1e-9 {
+			t.Fatalf("tuple %d misaligned: privacy %v vs front %v", i, priv, res.Front[i].Privacy)
+		}
+		mp, err := JointMaxPosterior(tuple, p.Joint)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mp > p.Delta+1e-9 {
+			t.Fatalf("tuple %d violates the record-level bound: %v", i, mp)
+		}
+	}
+}
+
+func TestTupleWithPrivacyAtLeast(t *testing.T) {
+	p := testMultiProblem()
+	res, err := OptimizeMulti(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := res.Front[len(res.Front)/2].Privacy
+	tuple, ok := res.TupleWithPrivacyAtLeast(mid)
+	if !ok || len(tuple) != 2 {
+		t.Fatalf("no tuple at privacy %v", mid)
+	}
+	if _, ok := res.TupleWithPrivacyAtLeast(0.999); ok {
+		t.Fatal("impossible privacy satisfied")
+	}
+}
+
+func TestOptimizeMultiInfeasible(t *testing.T) {
+	p := testMultiProblem()
+	p.Delta = 0.1 // below the joint prior mode 0.40
+	if _, err := OptimizeMulti(p); err == nil {
+		t.Fatal("delta below joint mode accepted")
+	}
+}
+
+func TestJointMetricsFacade(t *testing.T) {
+	m1, err := Warner(3, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Warner(2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint := []float64{0.25, 0.05, 0.10, 0.15, 0.05, 0.40}
+	priv, err := JointPrivacy([]*Matrix{m1, m2}, joint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if priv <= 0 || priv >= 1 {
+		t.Fatalf("joint privacy = %v", priv)
+	}
+	util, err := JointUtility([]*Matrix{m1, m2}, joint, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if util <= 0 {
+		t.Fatalf("joint utility = %v", util)
+	}
+}
+
+func TestConfidenceIntervalsCoverTruth(t *testing.T) {
+	// Empirical coverage check: 95% intervals from Theorem 6 variances must
+	// cover the true probabilities in roughly 95% of trials.
+	prior := []float64{0.4, 0.3, 0.2, 0.1}
+	m, err := Warner(4, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := NewRand(31)
+	const (
+		records = 4000
+		trials  = 300
+	)
+	covered, total := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		recs := make([]int, records)
+		cum := []float64{0.4, 0.7, 0.9, 1.0}
+		for i := range recs {
+			u := rng.Float64()
+			for k, c := range cum {
+				if u <= c {
+					recs[i] = k
+					break
+				}
+			}
+		}
+		disguised, err := m.Disguise(recs, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := m.EstimateInversion(disguised)
+		if err != nil {
+			t.Fatal(err)
+		}
+		half, err := ConfidenceIntervals(m, est, records, 1.96)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range prior {
+			total++
+			if est[k]-half[k] <= prior[k] && prior[k] <= est[k]+half[k] {
+				covered++
+			}
+		}
+	}
+	rate := float64(covered) / float64(total)
+	if rate < 0.90 || rate > 0.99 {
+		t.Fatalf("95%% CI empirical coverage = %v", rate)
+	}
+}
+
+func TestConfidenceIntervalsValidation(t *testing.T) {
+	m, err := Warner(3, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ConfidenceIntervals(m, []float64{0.5, 0.3, 0.2}, 100, 0); err == nil {
+		t.Fatal("z = 0 accepted")
+	}
+	if _, err := ConfidenceIntervals(m, []float64{0.5, 0.3, 0.2}, 0, 1.96); err == nil {
+		t.Fatal("records = 0 accepted")
+	}
+}
