@@ -15,6 +15,7 @@ package optrr
 // Full-scale: go run ./cmd/experiments -paper
 
 import (
+	"io"
 	"testing"
 
 	"optrr/internal/core"
@@ -139,6 +140,51 @@ func BenchmarkFact1(b *testing.B) {
 			b.Fatal("empty search-space size")
 		}
 	}
+}
+
+// benchProblem is the fixed small search used by the BenchmarkOptimize pair
+// (and the ci.sh smoke run); the two benches differ only in observability so
+// their delta is the tracing overhead.
+func benchProblem(seed uint64) Problem {
+	return Problem{
+		Prior:       dataset.DefaultNormal(10).Prior(10),
+		Records:     10000,
+		Delta:       0.8,
+		Seed:        seed,
+		Generations: 200,
+	}
+}
+
+// BenchmarkOptimize is the untraced baseline: no recorder, no registry —
+// the zero-overhead default path.
+func BenchmarkOptimize(b *testing.B) {
+	var res *Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = Optimize(benchProblem(uint64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.Front)), "front-size")
+}
+
+// BenchmarkOptimizeTraced runs the identical search with a JSONL recorder
+// and a metrics registry attached; compare ns/op against BenchmarkOptimize
+// to see the cost of full observability.
+func BenchmarkOptimizeTraced(b *testing.B) {
+	var res *Result
+	for i := 0; i < b.N; i++ {
+		p := benchProblem(uint64(i + 1))
+		p.Recorder = NewJSONLRecorder(io.Discard)
+		p.Metrics = NewMetrics()
+		var err error
+		res, err = Optimize(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.Front)), "front-size")
 }
 
 // benchOptimize runs the core search with the given config tweaks and

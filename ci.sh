@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# ci.sh — the repository's full check suite. Run it from anywhere; it cds to
+# the repo root. Fails fast on the first broken stage.
+#
+#   formatting   gofmt -l over all tracked Go files
+#   analysis     go vet ./...
+#   build        go build ./...
+#   tests        go test ./...
+#   race         go test -race over the concurrency-critical packages
+#   bench smoke  one iteration of the BenchmarkOptimize pair, written to
+#                BENCH_optimize.json (untraced vs fully-traced search)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "files need gofmt:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (collector, core) =="
+go test -race ./internal/collector ./internal/core
+
+echo "== bench smoke =="
+go test -run '^$' -bench '^BenchmarkOptimize' -benchtime=1x . | tee BENCH_optimize.txt
+# Render the benchmark lines ("BenchmarkName  iters  value unit ...") as a
+# JSON array so downstream tooling can diff runs.
+awk '
+BEGIN { printf "[" }
+/^Benchmark/ {
+    if (n++) printf ","
+    printf "{\"name\":\"%s\",\"iterations\":%s", $1, $2
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/[^A-Za-z0-9_@.\/-]/, "", unit)
+        printf ",\"%s\":%s", unit, $i
+    }
+    printf "}"
+}
+END { printf "]\n" }
+' BENCH_optimize.txt > BENCH_optimize.json
+rm -f BENCH_optimize.txt
+echo "bench results: BENCH_optimize.json"
+
+echo "== ci OK =="

@@ -33,6 +33,8 @@ func main() {
 		quick       = flag.Bool("quick", false, "use a smoke-test budget (seconds per experiment)")
 		csvDir      = flag.String("csv", "", "directory to write per-experiment CSV series into")
 		plot        = flag.Bool("plot", false, "print ASCII plots of the fronts")
+		tracePath   = flag.String("trace", "", "write a JSONL run trace to this path")
+		metricsAddr = flag.String("metrics-addr", "", "serve expvar, pprof and /metrics on host:port while running")
 	)
 	flag.Parse()
 
@@ -55,10 +57,12 @@ func main() {
 	cfg.Seed = *seed
 
 	os.Exit(run(options{
-		runIDs: *runIDs,
-		list:   *list,
-		cfg:    cfg,
-		csvDir: *csvDir,
-		plot:   *plot,
+		runIDs:      *runIDs,
+		list:        *list,
+		cfg:         cfg,
+		csvDir:      *csvDir,
+		plot:        *plot,
+		trace:       *tracePath,
+		metricsAddr: *metricsAddr,
 	}, os.Stdout, os.Stderr))
 }

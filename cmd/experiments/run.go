@@ -9,16 +9,19 @@ import (
 	"time"
 
 	"optrr/internal/experiments"
+	"optrr/internal/obs"
 )
 
 // options carries the parsed command-line configuration; separating it from
 // flag parsing keeps the runner testable.
 type options struct {
-	runIDs string
-	list   bool
-	cfg    experiments.Config
-	csvDir string
-	plot   bool
+	runIDs      string
+	list        bool
+	cfg         experiments.Config
+	csvDir      string
+	plot        bool
+	trace       string
+	metricsAddr string
 }
 
 // run executes the tool and returns the process exit code.
@@ -28,6 +31,16 @@ func run(opts options, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-20s %s\n", e.ID, e.Title)
 		}
 		return 0
+	}
+
+	telem, err := obs.OpenCLI(opts.trace, opts.metricsAddr, "experiments")
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	defer telem.Close()
+	if telem.MetricsURL != "" {
+		fmt.Fprintf(stdout, "metrics: %s/metrics\n", telem.MetricsURL)
 	}
 
 	var selected []experiments.Experiment
@@ -51,6 +64,22 @@ func run(opts options, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// done records the outcome of one experiment in the trace and registry.
+	done := func(id string, passed bool, start time.Time) {
+		if passed {
+			telem.Registry.Counter("experiments.passed").Add(1)
+		} else {
+			telem.Registry.Counter("experiments.failed").Add(1)
+		}
+		if telem.Recorder.Enabled() {
+			telem.Recorder.Record("experiment.done", obs.Fields{
+				"id":     id,
+				"passed": passed,
+				"ms":     float64(time.Since(start).Microseconds()) / 1e3,
+			})
+		}
+	}
+
 	failed := 0
 	for _, e := range selected {
 		start := time.Now()
@@ -58,8 +87,10 @@ func run(opts options, stdout, stderr io.Writer) int {
 		if err != nil {
 			fmt.Fprintf(stderr, "%s: %v\n", e.ID, err)
 			failed++
+			done(e.ID, false, start)
 			continue
 		}
+		done(e.ID, rep.Passed(), start)
 		fmt.Fprintf(stdout, "%s(%s)\n", rep.Summary(), time.Since(start).Round(time.Millisecond))
 		if opts.plot {
 			fmt.Fprintln(stdout, rep.ASCIIPlot())

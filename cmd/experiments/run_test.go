@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -71,5 +72,46 @@ func TestRunPlotOutput(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "utility (MSE) vs privacy") {
 		t.Fatalf("plot missing:\n%s", out.String())
+	}
+}
+
+func TestRunWritesTraceAndServesMetrics(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "run.jsonl")
+	var out, errOut bytes.Buffer
+	code := run(options{
+		runIDs:      "fact1,thm2",
+		cfg:         experiments.Config{WarnerSteps: 100, Generations: 1},
+		trace:       trace,
+		metricsAddr: "127.0.0.1:0",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "metrics: http://127.0.0.1:") {
+		t.Fatalf("metrics URL not printed:\n%s", out.String())
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var ev struct {
+			Event  string `json:"event"`
+			ID     string `json:"id"`
+			Passed bool   `json:"passed"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("trace line is not JSON: %v\n%s", err, line)
+		}
+		if ev.Event == "experiment.done" {
+			if !ev.Passed {
+				t.Errorf("experiment %s recorded as failed", ev.ID)
+			}
+			ids = append(ids, ev.ID)
+		}
+	}
+	if len(ids) != 2 || ids[0] != "fact1" || ids[1] != "thm2" {
+		t.Fatalf("experiment.done ids = %v", ids)
 	}
 }

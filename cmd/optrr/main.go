@@ -14,6 +14,12 @@
 //	optrr -dist normal -categories 10 -delta 0.8
 //	optrr -prior 0.5,0.3,0.2 -delta 0.7 -pick-privacy 0.45 -show-matrix
 //	optrr -data records.txt -categories 10 -delta 0.8 -csv front.csv
+//
+// Observability: -trace file writes a JSONL run trace (one event per
+// generation); -metrics-addr host:port serves live expvar, pprof and the
+// metric registry while the search (and any -collect campaign) runs;
+// -collect N simulates a collection campaign of N disguised reports through
+// the picked matrix with an instrumented concurrency-safe collector.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"optrr"
 	"optrr/internal/core"
 	"optrr/internal/dataset"
+	"optrr/internal/obs"
 )
 
 func main() {
@@ -46,6 +53,9 @@ func main() {
 		savePath    = flag.String("save", "", "write the picked matrix as JSON to this path")
 		csvPath     = flag.String("csv", "", "write the front as CSV to this path")
 		quiet       = flag.Bool("quiet", false, "suppress the front listing")
+		tracePath   = flag.String("trace", "", "write a JSONL run trace to this path")
+		metricsAddr = flag.String("metrics-addr", "", "serve expvar, pprof and /metrics on host:port while running")
+		collectN    = flag.Int("collect", 0, "simulate a collection campaign of this many reports through the picked matrix")
 	)
 	flag.Parse()
 
@@ -55,16 +65,34 @@ func main() {
 		os.Exit(2)
 	}
 
+	telem, err := obs.OpenCLI(*tracePath, *metricsAddr, "optrr")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer telem.Close()
+	if telem.MetricsURL != "" {
+		fmt.Printf("metrics: %s/metrics  %s/debug/vars  %s/debug/pprof/\n",
+			telem.MetricsURL, telem.MetricsURL, telem.MetricsURL)
+	}
+
 	cfg := core.DefaultConfig(prior, *records, *delta)
 	cfg.Generations = *generations
-	start := time.Now()
-	res, err := optrr.Optimize(optrr.Problem{
+	prob := optrr.Problem{
 		Prior:    prior,
 		Records:  *records,
 		Delta:    *delta,
 		Seed:     *seed,
 		Advanced: &cfg,
-	})
+	}
+	if *tracePath != "" {
+		prob.Recorder = telem.Recorder
+	}
+	if *metricsAddr != "" {
+		prob.Metrics = telem.Registry
+	}
+	start := time.Now()
+	res, err := optrr.Optimize(prob)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -102,6 +130,7 @@ func main() {
 		fmt.Printf("front written to %s\n", *csvPath)
 	}
 
+	var picked *optrr.Matrix
 	if *pickPrivacy >= 0 {
 		m, ok := res.MatrixWithPrivacyAtLeast(*pickPrivacy)
 		if !ok {
@@ -131,7 +160,82 @@ func main() {
 			}
 			fmt.Printf("matrix written to %s\n", *savePath)
 		}
+		picked = m
 	}
+
+	if *collectN > 0 {
+		m := picked
+		if m == nil {
+			// No -pick-privacy: take the middle of the front.
+			m = res.Matrices()[len(res.Front)/2]
+		}
+		if err := simulateCollection(m, prior, *collectN, *seed, telem); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// simulateCollection plays a collection campaign: *collectN respondents draw
+// their true value from the prior, disguise it with m, and report to an
+// instrumented concurrency-safe collector that snapshots its running
+// reconstruction after every batch. With -metrics-addr this is the
+// long-running scenario worth watching over expvar/pprof.
+func simulateCollection(m *optrr.Matrix, prior []float64, n int, seed uint64, telem *obs.CLI) error {
+	c := optrr.NewSafeCollector(m)
+	c.Instrument(telem.Recorder, telem.Registry)
+	rng := optrr.NewRand(seed + 1)
+
+	cum := make([]float64, len(prior))
+	var acc float64
+	for i, p := range prior {
+		acc += p
+		cum[i] = acc
+	}
+	draw := func() int {
+		u := rng.Float64() * acc
+		for i, edge := range cum {
+			if u < edge {
+				return i
+			}
+		}
+		return len(cum) - 1
+	}
+
+	const batch = 1000
+	start := time.Now()
+	buf := make([]int, 0, batch)
+	for i := 0; i < n; i++ {
+		buf = append(buf, draw())
+		if len(buf) == batch || i == n-1 {
+			disguised, err := m.Disguise(buf, rng)
+			if err != nil {
+				return err
+			}
+			if err := c.IngestBatch(disguised); err != nil {
+				return err
+			}
+			if _, err := c.Snapshot(1.96); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	sum, err := c.Snapshot(1.96)
+	if err != nil {
+		return err
+	}
+	margin, err := c.MarginOfError(1.96)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ncollection: %d reports in %v; reconstruction (±95%% half-width):\n",
+		sum.Reports, time.Since(start).Round(time.Millisecond))
+	for k, est := range sum.Estimate {
+		fmt.Printf("  c%-3d %.4f ±%.4f (true %.4f)\n", k, est, sum.HalfWidth[k], prior[k])
+	}
+	fmt.Printf("worst-case margin of error: ±%.4f\n", margin)
+	return nil
 }
 
 func resolvePrior(priorFlag, distFlag, dataFlag string, n int) ([]float64, error) {

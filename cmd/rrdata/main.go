@@ -8,6 +8,9 @@
 //	rrdata -dist normal -categories 10 -records 10000 > normal.txt
 //	rrdata -dist adult -records 30000 -seed 7 > adult.txt
 //	rrdata -disguise normal.txt -categories 10 -warner 0.7 > disguised.txt
+//
+// Observability: -trace file writes a JSONL event per generate/disguise
+// stage; -metrics-addr host:port serves expvar, pprof and /metrics.
 package main
 
 import (
@@ -17,31 +20,56 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"optrr/internal/dataset"
+	"optrr/internal/obs"
 	"optrr/internal/randx"
 	"optrr/internal/rr"
 )
 
 func main() {
 	var (
-		dist       = flag.String("dist", "normal", "prior: normal, gamma, uniform, zipf, bimodal, adult")
-		categories = flag.Int("categories", 10, "number of categories")
-		records    = flag.Int("records", 10000, "number of records")
-		seed       = flag.Uint64("seed", 1, "random seed")
-		disguise   = flag.String("disguise", "", "disguise this data file instead of generating")
-		warnerP    = flag.Float64("warner", 0.7, "Warner diagonal p for -disguise")
+		dist        = flag.String("dist", "normal", "prior: normal, gamma, uniform, zipf, bimodal, adult")
+		categories  = flag.Int("categories", 10, "number of categories")
+		records     = flag.Int("records", 10000, "number of records")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		disguise    = flag.String("disguise", "", "disguise this data file instead of generating")
+		warnerP     = flag.Float64("warner", 0.7, "Warner diagonal p for -disguise")
+		tracePath   = flag.String("trace", "", "write a JSONL run trace to this path")
+		metricsAddr = flag.String("metrics-addr", "", "serve expvar, pprof and /metrics on host:port while running")
 	)
 	flag.Parse()
+
+	telem, err := obs.OpenCLI(*tracePath, *metricsAddr, "rrdata")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer telem.Close()
+	if telem.MetricsURL != "" {
+		fmt.Fprintf(os.Stderr, "metrics: %s/metrics\n", telem.MetricsURL)
+	}
 
 	rng := randx.New(*seed)
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 
 	if *disguise != "" {
-		if err := disguiseFile(*disguise, *categories, *warnerP, rng, out); err != nil {
+		start := time.Now()
+		n, err := disguiseFile(*disguise, *categories, *warnerP, rng, out)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		telem.Registry.Counter("rrdata.records_out").Add(int64(n))
+		if telem.Recorder.Enabled() {
+			telem.Recorder.Record("rrdata.disguise", obs.Fields{
+				"input":   *disguise,
+				"records": n,
+				"warner":  *warnerP,
+				"ms":      float64(time.Since(start).Microseconds()) / 1e3,
+			})
 		}
 		return
 	}
@@ -64,6 +92,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown -dist %q\n", *dist)
 		os.Exit(2)
 	}
+	start := time.Now()
 	d, err := g.Generate(*categories, *records, rng)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -72,16 +101,27 @@ func main() {
 	for _, rec := range d.Records() {
 		fmt.Fprintln(out, rec)
 	}
+	telem.Registry.Counter("rrdata.records_out").Add(int64(len(d.Records())))
+	if telem.Recorder.Enabled() {
+		telem.Recorder.Record("rrdata.generate", obs.Fields{
+			"dist":       *dist,
+			"categories": *categories,
+			"records":    len(d.Records()),
+			"ms":         float64(time.Since(start).Microseconds()) / 1e3,
+		})
+	}
 }
 
-func disguiseFile(path string, n int, p float64, rng *randx.Source, out *bufio.Writer) error {
+// disguiseFile disguises every record of path with Warner(p) and returns how
+// many records it wrote.
+func disguiseFile(path string, n int, p float64, rng *randx.Source, out *bufio.Writer) (int, error) {
 	m, err := rr.Warner(n, p)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer f.Close()
 	var recs []int
@@ -93,19 +133,19 @@ func disguiseFile(path string, n int, p float64, rng *randx.Source, out *bufio.W
 		}
 		v, err := strconv.Atoi(text)
 		if err != nil {
-			return fmt.Errorf("%s:%d: %v", path, line, err)
+			return 0, fmt.Errorf("%s:%d: %v", path, line, err)
 		}
 		recs = append(recs, v)
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return 0, err
 	}
 	disguised, err := m.Disguise(recs, rng)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	for _, rec := range disguised {
 		fmt.Fprintln(out, rec)
 	}
-	return nil
+	return len(disguised), nil
 }

@@ -24,8 +24,12 @@ func TestDisguiseFile(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	w := bufio.NewWriter(&buf)
-	if err := disguiseFile(path, 3, 0.8, randx.New(1), w); err != nil {
+	n, err := disguiseFile(path, 3, 0.8, randx.New(1), w)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if n != 900 {
+		t.Fatalf("disguiseFile reported %d records, want 900", n)
 	}
 	if err := w.Flush(); err != nil {
 		t.Fatal(err)
@@ -49,7 +53,7 @@ func TestDisguiseFile(t *testing.T) {
 func TestDisguiseFileErrors(t *testing.T) {
 	var buf bytes.Buffer
 	w := bufio.NewWriter(&buf)
-	if err := disguiseFile("/nonexistent", 3, 0.8, randx.New(1), w); err == nil {
+	if _, err := disguiseFile("/nonexistent", 3, 0.8, randx.New(1), w); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	dir := t.TempDir()
@@ -57,17 +61,17 @@ func TestDisguiseFileErrors(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("0\nx\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := disguiseFile(bad, 3, 0.8, randx.New(1), w); err == nil {
+	if _, err := disguiseFile(bad, 3, 0.8, randx.New(1), w); err == nil {
 		t.Fatal("non-numeric record accepted")
 	}
 	outOfRange := filepath.Join(dir, "range.txt")
 	if err := os.WriteFile(outOfRange, []byte("5\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := disguiseFile(outOfRange, 3, 0.8, randx.New(1), w); err == nil {
+	if _, err := disguiseFile(outOfRange, 3, 0.8, randx.New(1), w); err == nil {
 		t.Fatal("out-of-range record accepted")
 	}
-	if err := disguiseFile(bad, 3, 1.5, randx.New(1), w); err == nil {
+	if _, err := disguiseFile(bad, 3, 1.5, randx.New(1), w); err == nil {
 		t.Fatal("invalid Warner parameter accepted")
 	}
 }

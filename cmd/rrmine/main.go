@@ -13,15 +13,21 @@
 //
 // The CSV needs a header row; category domains are inferred from the data.
 // With -demo, a built-in synthetic loan table is used instead of -data.
+//
+// Observability: -trace file writes one JSONL event per mining stage (load,
+// disguise, marginals, tree, independence, bayes) with wall-time and key
+// outcomes; -metrics-addr host:port serves expvar, pprof and /metrics.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"optrr/internal/dataset"
 	"optrr/internal/mining"
+	"optrr/internal/obs"
 	"optrr/internal/randx"
 	"optrr/internal/rr"
 )
@@ -37,14 +43,42 @@ func main() {
 		bayes        = flag.Bool("bayes", true, "train naive Bayes")
 		independence = flag.Bool("independence", false, "print a pairwise chi-square dependence table")
 		depth        = flag.Int("depth", 0, "max tree depth (0 = number of attributes)")
+		tracePath    = flag.String("trace", "", "write a JSONL run trace to this path")
+		metricsAddr  = flag.String("metrics-addr", "", "serve expvar, pprof and /metrics on host:port while running")
 	)
 	flag.Parse()
 
+	telem, err := obs.OpenCLI(*tracePath, *metricsAddr, "rrmine")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer telem.Close()
+	if telem.MetricsURL != "" {
+		fmt.Printf("metrics: %s/metrics\n", telem.MetricsURL)
+	}
+	// stage records one "rrmine.<name>" event with wall-time and outcome
+	// fields, and mirrors the duration into the metric registry.
+	stage := func(name string, start time.Time, fields obs.Fields) {
+		elapsed := time.Since(start)
+		telem.Registry.Gauge("rrmine.stage." + name + "_ms").Set(float64(elapsed.Microseconds()) / 1e3)
+		if !telem.Recorder.Enabled() {
+			return
+		}
+		if fields == nil {
+			fields = obs.Fields{}
+		}
+		fields["ms"] = float64(elapsed.Microseconds()) / 1e3
+		telem.Recorder.Record("rrmine."+name, fields)
+	}
+
+	stageStart := time.Now()
 	table, err := loadTable(*dataPath, *demo, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	stage("load", stageStart, obs.Fields{"rows": table.Len(), "attributes": len(table.Attributes())})
 	attrs := table.Attributes()
 	classIdx := len(attrs) - 1
 	if *class != "" {
@@ -58,6 +92,7 @@ func main() {
 		table.Len(), len(attrs), attrs[classIdx].Name)
 
 	// Disguise (the data owners' side).
+	stageStart = time.Now()
 	rng := randx.New(*seed)
 	ms := make([]*rr.Matrix, len(attrs))
 	for d, a := range attrs {
@@ -79,8 +114,10 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("disguised every attribute with Warner(p=%.2f); mining sees only disguised rows\n\n", *warnerP)
+	stage("disguise", stageStart, obs.Fields{"rows": len(disguised), "warner": *warnerP})
 
 	// Reconstructed marginals vs clean marginals.
+	stageStart = time.Now()
 	fmt.Println("reconstructed marginals (clean value in parentheses):")
 	for d, a := range attrs {
 		sub, err := mining.NewMultiRR(ms[d])
@@ -108,8 +145,10 @@ func main() {
 			fmt.Printf("    %-12s %.4f (%.4f)\n", label, est[v], clean[v])
 		}
 	}
+	stage("marginals", stageStart, obs.Fields{"attributes": len(attrs)})
 
 	if *tree {
+		stageStart = time.Now()
 		fmt.Println("\ndecision tree (trained on the reconstructed joint):")
 		joint, err := mr.EstimateJoint(disguised)
 		if err != nil {
@@ -127,9 +166,11 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("  accuracy on the CLEAN rows: %.1f%%\n", 100*acc)
+		stage("tree", stageStart, obs.Fields{"accuracy": acc, "depth": *depth})
 	}
 
 	if *independence {
+		stageStart = time.Now()
 		fmt.Println("\npairwise dependence (chi-square on the reconstructed joints):")
 		for a := 0; a < len(attrs); a++ {
 			for b := a + 1; b < len(attrs); b++ {
@@ -146,9 +187,11 @@ func main() {
 					attrs[a].Name, attrs[b].Name, res.Statistic, res.PValue, res.CramersV, verdict)
 			}
 		}
+		stage("independence", stageStart, obs.Fields{"pairs": len(attrs) * (len(attrs) - 1) / 2})
 	}
 
 	if *bayes {
+		stageStart = time.Now()
 		nb, err := mining.TrainNaiveBayes(mr, disguised, classIdx, 1)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -160,6 +203,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nnaive Bayes (trained on disguised rows): %.1f%% accuracy on clean rows\n", 100*acc)
+		stage("bayes", stageStart, obs.Fields{"accuracy": acc})
 	}
 }
 

@@ -27,10 +27,14 @@ var (
 // Collector accumulates disguised reports for one attribute and answers
 // distribution queries at any point during collection. It is not safe for
 // concurrent use; wrap it with a mutex if multiple goroutines ingest.
+//
+// Instrument attaches live metrics and structured trace events; a bare
+// collector carries no instrumentation and pays nothing for the hooks.
 type Collector struct {
 	m      *rr.Matrix
 	counts []int
 	total  int
+	ins    *instrumentation
 }
 
 // New returns a collector for reports disguised with the given matrix.
@@ -54,10 +58,12 @@ func (c *Collector) Counts() []int {
 // Ingest adds one disguised report.
 func (c *Collector) Ingest(report int) error {
 	if report < 0 || report >= len(c.counts) {
+		c.ins.observeBad()
 		return fmt.Errorf("%w: %d of %d categories", ErrBadReport, report, len(c.counts))
 	}
 	c.counts[report]++
 	c.total++
+	c.ins.observeIngest(report)
 	return nil
 }
 
@@ -65,13 +71,16 @@ func (c *Collector) Ingest(report int) error {
 func (c *Collector) IngestBatch(reports []int) error {
 	for _, r := range reports {
 		if r < 0 || r >= len(c.counts) {
+			c.ins.observeBad()
 			return fmt.Errorf("%w: %d of %d categories", ErrBadReport, r, len(c.counts))
 		}
 	}
 	for _, r := range reports {
 		c.counts[r]++
+		c.ins.observeIngest(r)
 	}
 	c.total += len(reports)
+	c.ins.observeBatch(len(reports), c.total)
 	return nil
 }
 
@@ -148,13 +157,15 @@ func (c *Collector) Snapshot(z float64) (Summary, error) {
 			half[k] = z * math.Sqrt(v)
 		}
 	}
-	return Summary{
+	s := Summary{
 		Reports:   c.total,
 		Disguised: disguised,
 		Estimate:  est,
 		HalfWidth: half,
 		Z:         z,
-	}, nil
+	}
+	c.ins.observeSnapshot(s)
+	return s, nil
 }
 
 // MarginOfError returns the largest confidence half-width across categories

@@ -3,6 +3,7 @@ package collector
 import (
 	"sync"
 
+	"optrr/internal/obs"
 	"optrr/internal/rr"
 )
 
@@ -17,6 +18,15 @@ type SafeCollector struct {
 // NewSafe returns a concurrency-safe collector for reports disguised with m.
 func NewSafe(m *rr.Matrix) *SafeCollector {
 	return &SafeCollector{c: New(m)}
+}
+
+// Instrument attaches a recorder and metrics registry (see
+// Collector.Instrument). The recorder and registry must themselves be safe
+// for concurrent use — everything in internal/obs is.
+func (s *SafeCollector) Instrument(rec obs.Recorder, reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.c.Instrument(rec, reg)
 }
 
 // Ingest adds one disguised report.

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"optrr/internal/obs"
+	"optrr/internal/pareto"
+)
+
+// obsTestConfig is a small, fast, fully deterministic search configuration
+// shared by the instrumentation tests.
+func obsTestConfig() Config {
+	cfg := DefaultConfig([]float64{0.4, 0.3, 0.2, 0.1}, 1000, 0.8)
+	cfg.PopulationSize = 12
+	cfg.ArchiveSize = 8
+	cfg.OmegaSize = 100
+	cfg.Generations = 6
+	cfg.Seed = 11
+	cfg.Workers = 1
+	return cfg
+}
+
+func runWith(t *testing.T, cfg Config) Result {
+	t.Helper()
+	opt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestStatsCloneDetachesFront(t *testing.T) {
+	st := Stats{Generation: 3, Front: []pareto.Point{{Privacy: 0.5, Utility: 1e-5}}}
+	cl := st.Clone()
+	if !reflect.DeepEqual(cl, st) {
+		t.Fatalf("clone differs: %+v vs %+v", cl, st)
+	}
+	st.Front[0].Privacy = 0.9
+	if cl.Front[0].Privacy != 0.5 {
+		t.Fatal("clone shares the Front backing array")
+	}
+	var empty Stats
+	if got := empty.Clone(); got.Front != nil {
+		t.Fatalf("cloning nil Front produced %v", got.Front)
+	}
+}
+
+// TestProgressRetainingCallbackCannotCorruptRun retains and corrupts the
+// Stats.Front scratch slice from inside the callback; the search must be
+// bit-for-bit identical to an unobserved run, and Clone must preserve what
+// each generation actually reported.
+func TestProgressRetainingCallbackCannotCorruptRun(t *testing.T) {
+	baseline := runWith(t, obsTestConfig())
+
+	var raws [][]pareto.Point
+	var clones []Stats
+	cfg := obsTestConfig()
+	cfg.Progress = func(s Stats) {
+		raws = append(raws, s.Front)
+		clones = append(clones, s.Clone())
+		// Hostile retention: scribble over the shared scratch buffer.
+		for i := range s.Front {
+			s.Front[i] = pareto.Point{Privacy: math.NaN(), Utility: math.NaN()}
+		}
+	}
+	observed := runWith(t, cfg)
+
+	if !reflect.DeepEqual(baseline.FrontPoints(), observed.FrontPoints()) {
+		t.Fatal("a retaining+mutating Progress callback changed the search outcome")
+	}
+	if baseline.Evaluations != observed.Evaluations {
+		t.Fatalf("evaluations diverged: %d vs %d", baseline.Evaluations, observed.Evaluations)
+	}
+	if len(clones) != cfg.Generations {
+		t.Fatalf("got %d callbacks, want %d", len(clones), cfg.Generations)
+	}
+	for g, cl := range clones {
+		if cl.Generation != g {
+			t.Fatalf("clone %d has generation %d", g, cl.Generation)
+		}
+		for _, p := range cl.Front {
+			if math.IsNaN(p.Privacy) || math.IsNaN(p.Utility) {
+				t.Fatalf("generation %d clone was corrupted by later scribbles: %+v", g, p)
+			}
+		}
+	}
+	// The raw retained slices alias the reused scratch buffer — that is the
+	// documented hazard the clones protect against.
+	for g := 0; g+1 < len(raws); g++ {
+		if len(raws[g]) > 0 && len(raws[g+1]) > 0 && &raws[g][0] != &raws[g+1][0] {
+			t.Fatalf("generations %d and %d do not share the scratch buffer; hazard test is vacuous", g, g+1)
+		}
+	}
+}
+
+// TestRecorderEventStream scripts a run and asserts the exact event
+// envelope: one start, one generation event per generation in order, one
+// done, with internally consistent fields.
+func TestRecorderEventStream(t *testing.T) {
+	rec := obs.NewMemory()
+	cfg := obsTestConfig()
+	cfg.Recorder = rec
+	res := runWith(t, cfg)
+
+	events := rec.Events()
+	if len(events) != cfg.Generations+2 {
+		t.Fatalf("got %d events, want %d", len(events), cfg.Generations+2)
+	}
+	if events[0].Name != "optimizer.start" {
+		t.Fatalf("first event = %q", events[0].Name)
+	}
+	if got := events[0].Fields["categories"]; got != 4 {
+		t.Fatalf("start.categories = %v", got)
+	}
+	last := events[len(events)-1]
+	if last.Name != "optimizer.done" {
+		t.Fatalf("last event = %q", last.Name)
+	}
+	if got := last.Fields["evaluations"]; got != res.Evaluations {
+		t.Fatalf("done.evaluations = %v, want %d", got, res.Evaluations)
+	}
+
+	prevEvals := 0
+	for g := 0; g < cfg.Generations; g++ {
+		e := events[g+1]
+		if e.Name != "optimizer.generation" {
+			t.Fatalf("event %d = %q", g+1, e.Name)
+		}
+		if e.Fields["gen"] != g {
+			t.Fatalf("event %d gen = %v, want %d", g+1, e.Fields["gen"], g)
+		}
+		evals := e.Fields["evals"].(int)
+		if evals <= prevEvals {
+			t.Fatalf("gen %d evals %d not increasing past %d", g, evals, prevEvals)
+		}
+		prevEvals = evals
+		if got := e.Fields["evals_gen"].(int); got < cfg.PopulationSize {
+			t.Fatalf("gen %d evals_gen = %d, want >= population %d", g, got, cfg.PopulationSize)
+		}
+		front := e.Fields["front"].([]pareto.Point)
+		if len(front) == 0 || len(front) != e.Fields["archive"].(int) {
+			t.Fatalf("gen %d front has %d points for archive %v", g, len(front), e.Fields["archive"])
+		}
+		for _, key := range []string{"select_ms", "vary_ms", "eval_ms", "omega_ms"} {
+			if v := e.Fields[key].(float64); v < 0 {
+				t.Fatalf("gen %d %s = %v", g, key, v)
+			}
+		}
+	}
+
+	// Each generation event must own its front points (Stats.Clone in the
+	// recorder path), not alias the optimizer's scratch buffer.
+	for g := 0; g < cfg.Generations-1; g++ {
+		a := events[g+1].Fields["front"].([]pareto.Point)
+		b := events[g+2].Fields["front"].([]pareto.Point)
+		if len(a) > 0 && len(b) > 0 && &a[0] == &b[0] {
+			t.Fatalf("generation events %d and %d share a front backing array", g, g+1)
+		}
+	}
+}
+
+// TestObservedRunMatchesBareRun: attaching a recorder and a registry must
+// not perturb the search (same seed, same result).
+func TestObservedRunMatchesBareRun(t *testing.T) {
+	bare := runWith(t, obsTestConfig())
+	cfg := obsTestConfig()
+	cfg.Recorder = obs.NewMemory()
+	cfg.Metrics = obs.NewRegistry()
+	observed := runWith(t, cfg)
+	if !reflect.DeepEqual(bare.FrontPoints(), observed.FrontPoints()) {
+		t.Fatal("observability changed the search outcome")
+	}
+}
+
+func TestMetricsRegistryUpdates(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := obsTestConfig()
+	cfg.Metrics = reg
+	res := runWith(t, cfg)
+
+	if got := reg.Counter("optimizer.evaluations").Value(); got <= 0 || got > int64(res.Evaluations) {
+		t.Fatalf("optimizer.evaluations = %d, want in (0, %d]", got, res.Evaluations)
+	}
+	if got := reg.Gauge("optimizer.generation").Value(); got != float64(cfg.Generations-1) {
+		t.Fatalf("optimizer.generation = %v, want %d", got, cfg.Generations-1)
+	}
+	if got := reg.Gauge("optimizer.front_size").Value(); got <= 0 {
+		t.Fatalf("optimizer.front_size = %v", got)
+	}
+	if got := reg.Histogram("optimizer.generation_seconds", nil).Count(); got != int64(cfg.Generations) {
+		t.Fatalf("generation_seconds count = %d, want %d", got, cfg.Generations)
+	}
+}
+
+// TestBoundRejectTalliesRejects checks the reject counter reaches the trace
+// under the ablation bound mode.
+func TestBoundRejectTalliesRejects(t *testing.T) {
+	rec := obs.NewMemory()
+	cfg := obsTestConfig()
+	cfg.BoundMode = BoundReject
+	cfg.Recorder = rec
+	runWith(t, cfg)
+	total := 0
+	for _, e := range rec.Named("optimizer.generation") {
+		total += e.Fields["rejects"].(int)
+		if e.Fields["repairs"].(int) != 0 {
+			t.Fatal("reject mode reported repairs")
+		}
+	}
+	if total == 0 {
+		t.Fatal("reject mode recorded zero rejects across the whole run")
+	}
+}
+
+// TestRepairTalliesReachTrace checks repair counts and push-back magnitudes
+// flow through under the default repair mode.
+func TestRepairTalliesReachTrace(t *testing.T) {
+	rec := obs.NewMemory()
+	cfg := obsTestConfig()
+	cfg.Recorder = rec
+	runWith(t, cfg)
+	repairs, pushBack := 0, 0.0
+	for _, e := range rec.Named("optimizer.generation") {
+		repairs += e.Fields["repairs"].(int)
+		pushBack += e.Fields["push_back"].(float64)
+	}
+	if repairs == 0 || pushBack <= 0 {
+		t.Fatalf("repair telemetry empty: repairs=%d push_back=%v", repairs, pushBack)
+	}
+}
+
+// TestEmitHelpersNopAllocations guards the disabled observability path:
+// with no recorder and no registry the emit helpers must not allocate.
+func TestEmitHelpersNopAllocations(t *testing.T) {
+	opt, err := New(obsTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.observed || opt.timed {
+		t.Fatal("bare config reports observed/timed")
+	}
+	st := Stats{Generation: 1, Front: []pareto.Point{{Privacy: 0.4, Utility: 1e-5}}}
+	var phases [phaseCount]time.Duration
+	if n := testing.AllocsPerRun(100, func() {
+		opt.emitStart()
+		opt.emitGeneration(st, phases, 10, 0, 0)
+		opt.emitDone(Result{}, time.Time{})
+	}); n != 0 {
+		t.Fatalf("disabled emit path allocated %v times per run, want 0", n)
+	}
+}

@@ -6,9 +6,11 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"optrr/internal/emoo"
 	"optrr/internal/metrics"
+	"optrr/internal/obs"
 	"optrr/internal/pareto"
 	"optrr/internal/randx"
 	"optrr/internal/rr"
@@ -131,8 +133,21 @@ type Config struct {
 	Normalize bool
 
 	// Progress, if non-nil, is invoked after every generation with running
-	// statistics. It must not retain the Stats value's slices.
+	// statistics. It must not retain the Stats value's slices — they alias a
+	// scratch buffer the optimizer overwrites next generation; callbacks
+	// that keep Stats past their return must use Stats.Clone.
 	Progress func(Stats)
+
+	// Recorder, if non-nil and enabled, receives the structured run-trace
+	// events "optimizer.start", "optimizer.generation" (one per generation,
+	// with evaluation, repair, Ω and per-phase wall-time detail) and
+	// "optimizer.done". A nil or no-op recorder costs nothing: no events
+	// are built and no extra timing is taken.
+	Recorder obs.Recorder
+	// Metrics, if non-nil, receives live counters and gauges under the
+	// "optimizer." name prefix (see newOptimizerMetrics), suitable for
+	// expvar publication while a search runs.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the configuration used throughout the paper's
@@ -241,6 +256,34 @@ type Stats struct {
 	// reference point (0, refUtility), where refUtility is the utility of
 	// the totally uninformative estimate; it grows as the front advances.
 	FrontHypervolume float64
+	// FrontSize is the number of non-dominated points in the archive.
+	FrontSize int
+	// Repairs is the number of children needing bound repair (Section V-G)
+	// this generation.
+	Repairs int
+	// RepairPushBack is the total probability mass repair moved off
+	// violating entries this generation.
+	RepairPushBack float64
+	// Redraws is the number of infeasible children replaced by fresh random
+	// genomes this generation.
+	Redraws int
+	// Rejects is the number of children discarded by BoundReject this
+	// generation.
+	Rejects int
+	// Front is the archive in objective space. The slice aliases a scratch
+	// buffer the optimizer overwrites every generation: callbacks keeping
+	// Stats past their return must use Clone.
+	Front []pareto.Point
+}
+
+// Clone returns a deep copy of the stats that is safe to retain after the
+// Progress callback returns: the Front slice is copied out of the
+// optimizer's reused scratch buffer.
+func (s Stats) Clone() Stats {
+	if s.Front != nil {
+		s.Front = append([]pareto.Point(nil), s.Front...)
+	}
+	return s
 }
 
 // Result is the outcome of a Run.
@@ -291,6 +334,31 @@ type Optimizer struct {
 	omega *Omega
 
 	evaluations int
+
+	// Observability plumbing. rec is never nil (OrNop); met is nil without
+	// a registry. observed gates all per-generation Stats assembly, timed
+	// gates wall-clock sampling, so the bare configuration pays for none of
+	// it.
+	rec      obs.Recorder
+	met      *optimizerMetrics
+	observed bool
+	timed    bool
+	// frontBuf is the objective-space scratch buffer reused every
+	// generation for mating selection and Stats.Front — the reuse is why
+	// Progress callbacks must not retain Stats slices without Clone.
+	frontBuf []pareto.Point
+	// tally accumulates per-generation repair/redraw/reject counts inside
+	// realize; Run resets it at the top of every generation.
+	tally generationTally
+}
+
+// generationTally counts the feasibility work done by one generation's
+// realize pass.
+type generationTally struct {
+	repairs  int
+	pushBack float64
+	redraws  int
+	rejects  int
 }
 
 // New validates the configuration and returns a ready optimizer.
@@ -299,10 +367,16 @@ func New(cfg Config) (*Optimizer, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
+	rec := obs.OrNop(cfg.Recorder)
+	met := newOptimizerMetrics(cfg.Metrics)
 	return &Optimizer{
-		cfg:   cfg,
-		rng:   randx.New(cfg.Seed),
-		omega: NewOmega(cfg.OmegaSize),
+		cfg:      cfg,
+		rng:      randx.New(cfg.Seed),
+		omega:    NewOmega(cfg.OmegaSize),
+		rec:      rec,
+		met:      met,
+		observed: cfg.Progress != nil || rec.Enabled() || met != nil,
+		timed:    rec.Enabled() || met != nil,
 	}, nil
 }
 
@@ -317,6 +391,11 @@ func New(cfg Config) (*Optimizer, error) {
 //  7. termination on the generation budget or Ω stagnation.
 func (o *Optimizer) Run() (Result, error) {
 	cfg := o.cfg
+	o.emitStart()
+	var wallStart time.Time
+	if o.timed {
+		wallStart = time.Now()
+	}
 	population, err := o.seedPopulation()
 	if err != nil {
 		return Result{}, err
@@ -328,6 +407,21 @@ func (o *Optimizer) Run() (Result, error) {
 	stagnated := false
 	refUtility := o.referenceUtility()
 	for ; gen < cfg.Generations; gen++ {
+		o.tally = generationTally{}
+		evalsBefore := o.evaluations
+		var phases [phaseCount]time.Duration
+		var mark time.Time
+		if o.timed {
+			mark = time.Now()
+		}
+		lap := func(p int) {
+			if o.timed {
+				now := time.Now()
+				phases[p] = now.Sub(mark)
+				mark = now
+			}
+		}
+
 		union := append(append([]Individual{}, population...), archive...)
 		pts := make([]pareto.Point, len(union))
 		for i, ind := range union {
@@ -341,12 +435,25 @@ func (o *Optimizer) Run() (Result, error) {
 		for k, i := range selIdx {
 			nextArchive[k] = union[i]
 		}
-
-		// Mating selection over the new archive.
-		archivePts := make([]pareto.Point, len(nextArchive))
-		for i, ind := range nextArchive {
-			archivePts[i] = ind.Point()
+		// Environmental-selection truncation pressure: how many of the
+		// union's non-dominated points did not fit into the archive.
+		truncated := 0
+		if o.observed {
+			if fs := len(pareto.Front(pts)); fs > len(nextArchive) {
+				truncated = fs - len(nextArchive)
+			}
 		}
+		lap(phaseSelect)
+
+		// Mating selection over the new archive. frontBuf is the scratch
+		// buffer shared with Stats.Front; it is rebuilt from the archive
+		// individuals every generation, so consumers mutating or retaining
+		// it cannot corrupt the search state.
+		o.frontBuf = o.frontBuf[:0]
+		for _, ind := range nextArchive {
+			o.frontBuf = append(o.frontBuf, ind.Point())
+		}
+		archivePts := o.frontBuf
 		archiveFit := o.assignFitness(archivePts)
 
 		// Crossover + mutation produce the next population; a small
@@ -383,29 +490,42 @@ func (o *Optimizer) Run() (Result, error) {
 			}
 			genomes = append(genomes, g)
 		}
+		lap(phaseVary)
 
 		nextPopulation, err := o.realize(genomes)
 		if err != nil {
 			return Result{}, err
 		}
+		lap(phaseEval)
 
 		// Three-set update (Section V-H).
 		improved := o.omega.UpdateAll(nextPopulation)
 		improved += o.omega.UpdateAll(nextArchive)
-		o.omega.ImproveArchive(nextArchive)
+		backfilled := o.omega.ImproveArchive(nextArchive)
+		lap(phaseOmega)
 
 		population = nextPopulation
 		archive = nextArchive
 
-		if cfg.Progress != nil {
-			cfg.Progress(Stats{
+		if o.observed {
+			st := Stats{
 				Generation:       gen,
 				Evaluations:      o.evaluations,
 				ArchiveSize:      len(archive),
 				OmegaOccupied:    o.omega.Len(),
 				OmegaImproved:    improved,
 				FrontHypervolume: pareto.Hypervolume(archivePts, 0, refUtility),
-			})
+				FrontSize:        len(pareto.Front(archivePts)),
+				Repairs:          o.tally.repairs,
+				RepairPushBack:   o.tally.pushBack,
+				Redraws:          o.tally.redraws,
+				Rejects:          o.tally.rejects,
+				Front:            archivePts,
+			}
+			o.emitGeneration(st, phases, o.evaluations-evalsBefore, truncated, backfilled)
+			if cfg.Progress != nil {
+				cfg.Progress(st)
+			}
 		}
 
 		if cfg.StagnationLimit > 0 {
@@ -435,13 +555,15 @@ func (o *Optimizer) Run() (Result, error) {
 			front = append(front, Individual{Genome: archive[i].Genome.Clone(), Eval: archive[i].Eval})
 		}
 	}
-	return Result{
+	res := Result{
 		Front:       front,
 		Archive:     archive,
 		Generations: gen,
 		Evaluations: o.evaluations,
 		Stagnated:   stagnated,
-	}, nil
+	}
+	o.emitDone(res, wallStart)
+	return res, nil
 }
 
 // assignFitness computes the configured engine's fitness over points.
@@ -500,48 +622,55 @@ func (o *Optimizer) seedPopulation() ([]Individual, error) {
 func (o *Optimizer) realize(genomes []Genome) ([]Individual, error) {
 	cfg := o.cfg
 	out := make([]Individual, len(genomes))
-	ok := make([]bool, len(genomes))
+	oc := make([]genomeOutcome, len(genomes))
 
-	process := func(g Genome) (Individual, bool) {
-		feasible := true
+	process := func(g Genome) (Individual, genomeOutcome) {
+		var c genomeOutcome
 		switch cfg.BoundMode {
 		case BoundReject:
 			m, err := g.Matrix()
 			if err != nil {
-				return Individual{}, false
+				return Individual{}, c
 			}
 			holds, err := metrics.MeetsBound(m, cfg.Prior, cfg.Delta)
 			if err != nil || !holds {
-				return Individual{}, false
+				c.rejected = true
+				return Individual{}, c
 			}
 		default:
-			feasible = MeetBound(g, cfg.Prior, cfg.Delta, cfg.SymmetricOnly)
-		}
-		if !feasible {
-			return Individual{}, false
+			feasible, rst := MeetBoundStats(g, cfg.Prior, cfg.Delta, cfg.SymmetricOnly)
+			c.repaired = rst.Rounds > 0 || rst.Blended
+			c.pushBack = rst.PushBack
+			if !feasible {
+				return Individual{}, c
+			}
 		}
 		m, err := g.Matrix()
 		if err != nil {
-			return Individual{}, false
+			return Individual{}, c
 		}
 		ev, err := metrics.Evaluate(m, cfg.Prior, cfg.Records)
 		if err != nil {
-			return Individual{}, false // singular: inversion utility undefined
+			return Individual{}, c // singular: inversion utility undefined
 		}
 		if cfg.PrivacyFn != nil {
 			priv, err := cfg.PrivacyFn(m, cfg.Prior)
 			if err != nil {
-				return Individual{}, false
+				return Individual{}, c
 			}
 			ev.Privacy = priv
 		}
-		return Individual{Genome: g, Eval: ev}, true
+		c.ok = true
+		return Individual{Genome: g, Eval: ev}, c
 	}
 
 	o.parallelFor(len(genomes), func(i int) {
-		out[i], ok[i] = process(genomes[i])
+		out[i], oc[i] = process(genomes[i])
 	})
 	o.evaluations += len(genomes)
+	for i := range oc {
+		o.tally.add(oc[i])
+	}
 
 	// Replace failures sequentially (deterministic RNG use), re-drawing
 	// until feasible. A fresh Dirichlet genome repairs successfully with
@@ -550,7 +679,7 @@ func (o *Optimizer) realize(genomes []Genome) ([]Individual, error) {
 	const maxRedraws = 10000
 	redraws := 0
 	for i := range out {
-		for !ok[i] {
+		for !oc[i].ok {
 			if redraws++; redraws > maxRedraws {
 				return nil, fmt.Errorf("%w: could not generate a feasible matrix for delta=%v", ErrInfeasibleBound, cfg.Delta)
 			}
@@ -558,11 +687,32 @@ func (o *Optimizer) realize(genomes []Genome) ([]Individual, error) {
 			if cfg.SymmetricOnly {
 				g.Symmetrize()
 			}
-			out[i], ok[i] = process(g)
+			out[i], oc[i] = process(g)
 			o.evaluations++
+			o.tally.redraws++
+			o.tally.add(oc[i])
 		}
 	}
 	return out, nil
+}
+
+// genomeOutcome is one genome's trip through realize, for tallying.
+type genomeOutcome struct {
+	ok       bool
+	repaired bool
+	pushBack float64
+	rejected bool
+}
+
+// add folds one outcome into the generation's tally.
+func (t *generationTally) add(c genomeOutcome) {
+	if c.repaired {
+		t.repairs++
+	}
+	t.pushBack += c.pushBack
+	if c.rejected {
+		t.rejects++
+	}
 }
 
 // parallelFor runs fn(i) for i in [0, n) on the configured worker count.

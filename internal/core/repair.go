@@ -33,37 +33,59 @@ import (
 // is far beyond what any matrix in the test corpus needs.
 const repairRoundsPerEntry = 25
 
+// RepairStats quantifies the work one MeetBound call performed, for
+// observability: a zero value means the genome was already feasible.
+type RepairStats struct {
+	// Rounds is the number of fix-worst-violation iterations applied.
+	Rounds int
+	// PushBack is the total probability mass removed from violating entries
+	// across all rounds — the magnitude of the repair.
+	PushBack float64
+	// Blended reports that the iterative repair cycled and the
+	// blend-toward-uniform fallback finished the job.
+	Blended bool
+}
+
 // MeetBound adjusts the genome in place so that, under the given prior, the
 // maximum posterior does not exceed delta. It reports whether the bound was
 // achieved. By Theorem 5 the bound is unachievable when delta is below the
 // prior mode; MeetBound detects that case immediately and returns false.
 func MeetBound(g Genome, prior []float64, delta float64, symmetric bool) bool {
+	ok, _ := MeetBoundStats(g, prior, delta, symmetric)
+	return ok
+}
+
+// MeetBoundStats is MeetBound reporting how much repair work was done.
+func MeetBoundStats(g Genome, prior []float64, delta float64, symmetric bool) (bool, RepairStats) {
+	var st RepairStats
 	n := g.N()
 	if n == 0 || len(prior) != n {
-		return false
+		return false, st
 	}
 	if delta <= 0 || delta >= 1 {
 		// delta >= 1 always holds; delta <= 0 never does.
-		return delta >= 1
+		return delta >= 1, st
 	}
 	if metrics.BoundFloor(prior) > delta+1e-12 {
-		return false
+		return false, st
 	}
 	maxRounds := repairRoundsPerEntry * n * n
 	for round := 0; round < maxRounds; round++ {
 		r, c, post := worstPosterior(g, prior)
 		if post <= delta+1e-12 {
-			return true
+			return true, st
 		}
-		repairEntry(g, prior, delta, r, c)
+		st.Rounds++
+		st.PushBack += repairEntry(g, prior, delta, r, c)
 		if symmetric {
 			g.Symmetrize()
 		}
 	}
 	if _, _, post := worstPosterior(g, prior); post <= delta+1e-12 {
-		return true
+		return true, st
 	}
-	return blendTowardUniform(g, prior, delta)
+	st.Blended = true
+	return blendTowardUniform(g, prior, delta), st
 }
 
 // blendTowardUniform is the repair fallback for bounds so tight that the
@@ -116,7 +138,8 @@ func blendTowardUniform(g Genome, prior []float64, delta float64) bool {
 
 // repairEntry lowers g[c][r] to its bound target and redistributes the
 // removed mass over the rest of column c proportionally to per-entry slack.
-func repairEntry(g Genome, prior []float64, delta float64, r, c int) {
+// It returns the mass actually moved off the violating entry.
+func repairEntry(g Genome, prior []float64, delta float64, r, c int) float64 {
 	n := g.N()
 	col := g[c]
 	target := boundTarget(g, prior, delta, r, c)
@@ -164,14 +187,14 @@ func repairEntry(g Genome, prior []float64, delta float64, r, c int) {
 		}
 		if headroom <= 0 {
 			col[r] = cur // cannot move any mass; undo
-			return
+			return 0
 		}
 		for k := 0; k < n; k++ {
 			if k != r {
 				col[k] += a * (1 - col[k]) / headroom
 			}
 		}
-		return
+		return a
 	}
 	if a > total {
 		// Fill every slack completely and park the remainder back on the
@@ -180,11 +203,12 @@ func repairEntry(g Genome, prior []float64, delta float64, r, c int) {
 			col[k] += slack[k]
 		}
 		col[r] += a - total
-		return
+		return total
 	}
 	for k := 0; k < n; k++ {
 		col[k] += a * slack[k] / total
 	}
+	return a
 }
 
 // boundTarget returns the value θ'_{r,c} at which the posterior

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+)
+
+// CLI bundles the observability endpoints shared by the command-line tools:
+// an optional JSONL trace file (-trace) and an optional live debug server
+// (-metrics-addr). Fields are never nil / always usable; with both flags
+// empty the bundle is free.
+type CLI struct {
+	// Recorder is the trace sink: a JSONLRecorder when -trace was given,
+	// Nop otherwise.
+	Recorder Recorder
+	// Registry collects the tool's metrics. Always non-nil so instrumented
+	// code can register unconditionally; only served when -metrics-addr was
+	// given.
+	Registry *Registry
+	// MetricsURL is the base URL of the debug server ("" when disabled).
+	MetricsURL string
+
+	trace  *os.File
+	jsonl  *JSONLRecorder
+	server *Server
+}
+
+// OpenCLI materializes the observability endpoints for one tool run.
+// tracePath == "" disables tracing; metricsAddr == "" disables the debug
+// server; expvarName is the expvar variable the registry publishes under
+// (e.g. "optrr"). Call Close when the run ends.
+func OpenCLI(tracePath, metricsAddr, expvarName string) (*CLI, error) {
+	c := &CLI{Recorder: Nop, Registry: NewRegistry()}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: trace file: %w", err)
+		}
+		c.trace = f
+		c.jsonl = NewJSONL(f)
+		c.Recorder = c.jsonl
+	}
+	if metricsAddr != "" {
+		c.Registry.PublishExpvar(expvarName)
+		srv, err := Serve(metricsAddr, c.Registry)
+		if err != nil {
+			c.Close() //nolint:errcheck // the listen error wins
+			return nil, err
+		}
+		c.server = srv
+		c.MetricsURL = "http://" + srv.Addr()
+	}
+	return c, nil
+}
+
+// Close flushes the trace and stops the debug server.
+func (c *CLI) Close() error {
+	var first error
+	if c.jsonl != nil {
+		if err := c.jsonl.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if c.trace != nil {
+		if err := c.trace.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if c.server != nil {
+		if err := c.server.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

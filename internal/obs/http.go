@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server exposes the debug endpoints of a running process:
+//
+//	/debug/vars    expvar (all published variables, incl. registries)
+//	/debug/pprof/  net/http/pprof profiles (cpu, heap, goroutine, ...)
+//	/metrics       the registry passed to Serve, as one JSON object
+//
+// It deliberately uses its own mux, not http.DefaultServeMux, so importing
+// this package never changes the behavior of an application's own server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts a debug server on addr ("host:port"; ":0" picks a free port).
+// reg may be nil; when non-nil it is additionally served at /metrics. The
+// server runs until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			fmt.Fprintln(w, reg.String())
+		})
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s := &Server{ln: ln, srv: srv}
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:43561".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the port.
+func (s *Server) Close() error { return s.srv.Close() }

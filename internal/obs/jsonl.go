@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// JSONLRecorder writes one JSON object per event to an io.Writer — the
+// run-trace format consumed by jq, pandas and the like. Each line carries a
+// fixed envelope followed by the event fields in sorted key order:
+//
+//	{"ts":"2026-08-06T12:00:00.000Z","seq":3,"event":"optimizer.generation","gen":2,...}
+//
+// The recorder is safe for concurrent use; lines are written atomically.
+type JSONLRecorder struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	seq int
+	now func() time.Time // test hook; nil means time.Now
+	buf bytes.Buffer
+}
+
+// NewJSONL returns a recorder writing JSONL events to w. Call Flush (or
+// Close on the underlying writer after Flush) when done.
+func NewJSONL(w io.Writer) *JSONLRecorder {
+	return &JSONLRecorder{w: bufio.NewWriter(w)}
+}
+
+// Enabled reports true.
+func (r *JSONLRecorder) Enabled() bool { return true }
+
+// Record writes the event as one JSON line.
+func (r *JSONLRecorder) Record(event string, fields Fields) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now
+	if r.now != nil {
+		now = r.now
+	}
+	b := &r.buf
+	b.Reset()
+	b.WriteByte('{')
+	b.WriteString(`"ts":`)
+	appendJSON(b, now().UTC().Format("2006-01-02T15:04:05.000Z07:00"))
+	fmt.Fprintf(b, `,"seq":%d,"event":`, r.seq)
+	appendJSON(b, event)
+	for _, k := range sortedKeys(fields) {
+		b.WriteByte(',')
+		appendJSON(b, k)
+		b.WriteByte(':')
+		appendJSON(b, fields[k])
+	}
+	b.WriteString("}\n")
+	r.seq++
+	r.w.Write(b.Bytes()) //nolint:errcheck // surfaced by Flush
+}
+
+// Flush forces buffered lines out to the underlying writer.
+func (r *JSONLRecorder) Flush() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.w.Flush()
+}
+
+// appendJSON marshals v onto b, degrading to a quoted %v representation for
+// values encoding/json cannot handle (NaN, Inf, channels, ...): a trace line
+// must never be lost to an exotic field value.
+func appendJSON(b *bytes.Buffer, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data, _ = json.Marshal(fmt.Sprintf("%v", v))
+	}
+	b.Write(data)
+}

@@ -1,0 +1,170 @@
+// Package obs is the repository's observability layer: a concurrency-safe
+// metrics registry (counters, gauges, fixed-bucket histograms) publishable
+// through expvar, and a structured event Recorder producing machine-readable
+// JSONL run traces. Everything is standard library only, and every
+// integration point is designed so that the disabled path (NopRecorder, nil
+// *Registry) costs nothing: no allocations, no locks, no syscalls.
+//
+// The subsystem exists because the paper's deployment story — a collector
+// aggregating disguised reports from millions of respondents while an
+// optimizer maintains the disguise matrices — is operated by watching
+// reconstruction error, ingestion rates and search progress over time.
+// Counters answer "how much, right now" (expvar + pprof for live services),
+// traces answer "what happened, in order" (JSONL for offline analysis).
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Fields carries the payload of one structured event. Keys must not collide
+// with the envelope keys "ts", "seq" and "event" reserved by the JSONL
+// encoding.
+type Fields map[string]any
+
+// Recorder consumes structured events. Implementations must be safe for
+// concurrent use.
+//
+// Instrumented code must guard event construction with Enabled so the
+// disabled path allocates nothing:
+//
+//	if rec.Enabled() {
+//	    rec.Record("optimizer.generation", obs.Fields{"gen": gen})
+//	}
+type Recorder interface {
+	// Enabled reports whether Record does anything; callers use it to skip
+	// building Fields maps entirely.
+	Enabled() bool
+	// Record consumes one event. The Fields map must not be mutated after
+	// the call; implementations may retain it.
+	Record(event string, fields Fields)
+}
+
+// NopRecorder discards everything; its Enabled returns false. The zero value
+// is ready to use.
+type NopRecorder struct{}
+
+// Enabled reports false: events should not even be constructed.
+func (NopRecorder) Enabled() bool { return false }
+
+// Record discards the event.
+func (NopRecorder) Record(string, Fields) {}
+
+// Nop is a shared ready-to-use NopRecorder.
+var Nop Recorder = NopRecorder{}
+
+// OrNop returns rec, or Nop when rec is nil, so instrumented code can hold a
+// never-nil Recorder.
+func OrNop(rec Recorder) Recorder {
+	if rec == nil {
+		return Nop
+	}
+	return rec
+}
+
+// MultiRecorder fans every event out to several recorders.
+type MultiRecorder struct {
+	recs []Recorder
+}
+
+// NewMulti returns a recorder forwarding to every non-nil, enabled argument.
+func NewMulti(recs ...Recorder) *MultiRecorder {
+	m := &MultiRecorder{}
+	for _, r := range recs {
+		if r != nil && r.Enabled() {
+			m.recs = append(m.recs, r)
+		}
+	}
+	return m
+}
+
+// Enabled reports whether any target recorder is enabled.
+func (m *MultiRecorder) Enabled() bool { return len(m.recs) > 0 }
+
+// Record forwards the event to every target.
+func (m *MultiRecorder) Record(event string, fields Fields) {
+	for _, r := range m.recs {
+		r.Record(event, fields)
+	}
+}
+
+// Event is one recorded event as captured by MemoryRecorder.
+type Event struct {
+	// Seq is the zero-based arrival index within the recorder.
+	Seq int
+	// Time is the arrival time.
+	Time time.Time
+	// Name is the event name, e.g. "optimizer.generation".
+	Name string
+	// Fields is the event payload.
+	Fields Fields
+}
+
+// MemoryRecorder captures events in memory, for tests and programmatic
+// consumers. The zero value is ready to use.
+type MemoryRecorder struct {
+	mu     sync.Mutex
+	events []Event
+	now    func() time.Time
+}
+
+// NewMemory returns an empty in-memory recorder.
+func NewMemory() *MemoryRecorder { return &MemoryRecorder{} }
+
+// Enabled reports true.
+func (m *MemoryRecorder) Enabled() bool { return true }
+
+// Record appends the event.
+func (m *MemoryRecorder) Record(event string, fields Fields) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := time.Now
+	if m.now != nil {
+		now = m.now
+	}
+	m.events = append(m.events, Event{
+		Seq:    len(m.events),
+		Time:   now(),
+		Name:   event,
+		Fields: fields,
+	})
+}
+
+// Events returns a copy of the captured events in arrival order.
+func (m *MemoryRecorder) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Event, len(m.events))
+	copy(out, m.events)
+	return out
+}
+
+// Named returns the captured events with the given name, in arrival order.
+func (m *MemoryRecorder) Named(name string) []Event {
+	var out []Event
+	for _, e := range m.Events() {
+		if e.Name == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Len returns the number of captured events.
+func (m *MemoryRecorder) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.events)
+}
+
+// sortedKeys returns the field keys in deterministic order.
+func sortedKeys(f Fields) []string {
+	keys := make([]string, 0, len(f))
+	for k := range f {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNopRecorder(t *testing.T) {
+	if Nop.Enabled() {
+		t.Fatal("Nop.Enabled() = true")
+	}
+	Nop.Record("x", Fields{"a": 1}) // must not panic
+	if OrNop(nil) != Nop {
+		t.Fatal("OrNop(nil) != Nop")
+	}
+	m := NewMemory()
+	if OrNop(m) != Recorder(m) {
+		t.Fatal("OrNop(rec) != rec")
+	}
+}
+
+func TestNopRecordAllocatesNothing(t *testing.T) {
+	rec := OrNop(nil)
+	if n := testing.AllocsPerRun(100, func() {
+		if rec.Enabled() {
+			rec.Record("event", Fields{"k": 1})
+		}
+	}); n != 0 {
+		t.Fatalf("guarded nop path allocated %v times per run, want 0", n)
+	}
+}
+
+func TestMemoryRecorder(t *testing.T) {
+	m := NewMemory()
+	m.Record("a", Fields{"x": 1})
+	m.Record("b", nil)
+	m.Record("a", Fields{"x": 2})
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", m.Len())
+	}
+	evs := m.Named("a")
+	if len(evs) != 2 || evs[0].Fields["x"] != 1 || evs[1].Fields["x"] != 2 {
+		t.Fatalf("Named(a) = %+v", evs)
+	}
+	if evs[0].Seq >= evs[1].Seq {
+		t.Fatalf("sequence not increasing: %d, %d", evs[0].Seq, evs[1].Seq)
+	}
+}
+
+func TestMultiRecorder(t *testing.T) {
+	a, b := NewMemory(), NewMemory()
+	m := NewMulti(a, nil, Nop, b)
+	if !m.Enabled() {
+		t.Fatal("multi with live targets reports disabled")
+	}
+	m.Record("e", Fields{"v": 7})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("fan-out missed a target: %d, %d", a.Len(), b.Len())
+	}
+	if NewMulti(nil, Nop).Enabled() {
+		t.Fatal("multi with no live targets reports enabled")
+	}
+}
+
+func TestJSONLRecorderLines(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewJSONL(&buf)
+	r.now = func() time.Time { return time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC) }
+	r.Record("optimizer.generation", Fields{"gen": 0, "hv": 1.5, "name": "x"})
+	r.Record("optimizer.done", nil)
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 is not JSON: %v\n%s", err, lines[0])
+	}
+	if first["event"] != "optimizer.generation" || first["gen"] != float64(0) ||
+		first["hv"] != 1.5 || first["seq"] != float64(0) {
+		t.Fatalf("line 0 = %v", first)
+	}
+	if first["ts"] != "2026-08-06T12:00:00.000Z" {
+		t.Fatalf("ts = %v", first["ts"])
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatalf("line 1 is not JSON: %v", err)
+	}
+	if second["seq"] != float64(1) {
+		t.Fatalf("seq = %v, want 1", second["seq"])
+	}
+}
+
+func TestJSONLRecorderDeterministicKeyOrder(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewJSONL(&buf)
+	r.Record("e", Fields{"zeta": 1, "alpha": 2, "mid": 3})
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	if !(strings.Index(line, `"alpha"`) < strings.Index(line, `"mid"`) &&
+		strings.Index(line, `"mid"`) < strings.Index(line, `"zeta"`)) {
+		t.Fatalf("field keys not sorted: %s", line)
+	}
+}
+
+func TestJSONLRecorderSurvivesUnmarshalableValues(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewJSONL(&buf)
+	r.Record("e", Fields{"ch": make(chan int)})
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &parsed); err != nil {
+		t.Fatalf("fallback line is not JSON: %v\n%s", err, buf.String())
+	}
+}
+
+func TestJSONLRecorderConcurrentLinesStayWhole(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	safe := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	r := NewJSONL(safe)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r.Record("e", Fields{"worker": w, "i": i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var parsed map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &parsed); err != nil {
+			t.Fatalf("torn line %d: %v\n%s", n, err, sc.Text())
+		}
+		n++
+	}
+	if n != 200 {
+		t.Fatalf("got %d lines, want 200", n)
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestServeExposesVarsMetricsAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("reports").Add(5)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		var b bytes.Buffer
+		b.ReadFrom(resp.Body) //nolint:errcheck
+		return b.String()
+	}
+
+	var metrics map[string]any
+	if err := json.Unmarshal([]byte(get("/metrics")), &metrics); err != nil {
+		t.Fatalf("/metrics is not JSON: %v", err)
+	}
+	if metrics["reports"] != float64(5) {
+		t.Fatalf("/metrics = %v", metrics)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "cmdline") {
+		t.Fatalf("/debug/vars missing expvar defaults: %s", body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ missing profile index: %.200s", body)
+	}
+}
+
+func TestOpenCLI(t *testing.T) {
+	dir := t.TempDir()
+	cli, err := OpenCLI(dir+"/run.jsonl", "127.0.0.1:0", "test-obs-cli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cli.Recorder.Enabled() {
+		t.Fatal("trace recorder disabled")
+	}
+	if cli.MetricsURL == "" {
+		t.Fatal("no metrics URL")
+	}
+	cli.Registry.Counter("x").Inc()
+	cli.Recorder.Record("hello", Fields{"a": 1})
+	resp, err := http.Get(cli.MetricsURL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Disabled bundle: free and usable.
+	off, err := OpenCLI("", "", "unused")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Recorder.Enabled() || off.MetricsURL != "" {
+		t.Fatal("disabled bundle is not disabled")
+	}
+	off.Registry.Counter("y").Inc() // registry always usable
+	if err := off.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"optrr/internal/obs"
 )
 
 // This file implements the two distribution-reconstruction estimators of
@@ -53,6 +55,10 @@ type IterativeOptions struct {
 	Tolerance float64
 	// Initial is the starting distribution; nil means uniform.
 	Initial []float64
+	// Recorder, if non-nil and enabled, receives one "estimator.iteration"
+	// event per Bayes-update step with the L∞ convergence delta, and a
+	// final "estimator.done" event. Nil costs nothing.
+	Recorder obs.Recorder
 }
 
 func (o IterativeOptions) withDefaults() IterativeOptions {
@@ -103,6 +109,7 @@ func (m *Matrix) EstimateIterativeFromDistribution(pStar []float64, opts Iterati
 		}
 	}
 
+	rec := obs.OrNop(opts.Recorder)
 	next := make([]float64, n)
 	denom := make([]float64, n)
 	for iter := 0; iter < opts.MaxIterations; iter++ {
@@ -131,11 +138,30 @@ func (m *Matrix) EstimateIterativeFromDistribution(pStar []float64, opts Iterati
 			}
 		}
 		cur, next = next, cur
+		if rec.Enabled() {
+			rec.Record("estimator.iteration", obs.Fields{
+				"iter":  iter,
+				"delta": maxDelta,
+			})
+		}
 		if maxDelta < opts.Tolerance {
+			if rec.Enabled() {
+				rec.Record("estimator.done", obs.Fields{
+					"iterations": iter + 1,
+					"converged":  true,
+					"delta":      maxDelta,
+				})
+			}
 			out := make([]float64, n)
 			copy(out, cur)
 			return out, nil
 		}
+	}
+	if rec.Enabled() {
+		rec.Record("estimator.done", obs.Fields{
+			"iterations": opts.MaxIterations,
+			"converged":  false,
+		})
 	}
 	out := make([]float64, n)
 	copy(out, cur)

@@ -1,0 +1,97 @@
+package rr
+
+import (
+	"testing"
+
+	"optrr/internal/obs"
+)
+
+// TestEstimateIterativeTracesConvergence asserts the iterative estimator
+// emits one event per Bayes-update step with strictly positive, eventually
+// sub-tolerance deltas, and a terminal done event.
+func TestEstimateIterativeTracesConvergence(t *testing.T) {
+	m, err := Warner(4, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pStar := []float64{0.4, 0.3, 0.2, 0.1}
+	rec := obs.NewMemory()
+	opts := IterativeOptions{Tolerance: 1e-8, Recorder: rec}
+	if _, err := m.EstimateIterativeFromDistribution(pStar, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	iters := rec.Named("estimator.iteration")
+	if len(iters) == 0 {
+		t.Fatal("no iteration events")
+	}
+	for i, e := range iters {
+		if e.Fields["iter"] != i {
+			t.Fatalf("event %d has iter %v", i, e.Fields["iter"])
+		}
+	}
+	last := iters[len(iters)-1].Fields["delta"].(float64)
+	if last >= 1e-8 {
+		t.Fatalf("final delta %v not under tolerance", last)
+	}
+	done := rec.Named("estimator.done")
+	if len(done) != 1 {
+		t.Fatalf("got %d done events, want 1", len(done))
+	}
+	if done[0].Fields["converged"] != true ||
+		done[0].Fields["iterations"] != len(iters) {
+		t.Fatalf("done event = %v (want converged after %d iterations)", done[0].Fields, len(iters))
+	}
+	// The trace must record monotone-ish convergence overall: the last
+	// delta is far below the first.
+	first := iters[0].Fields["delta"].(float64)
+	if first <= last {
+		t.Fatalf("deltas did not shrink: first %v, last %v", first, last)
+	}
+}
+
+// TestEstimateIterativeNonConvergenceTrace: an impossible budget yields a
+// done event with converged=false alongside ErrNoConvergence.
+func TestEstimateIterativeNonConvergenceTrace(t *testing.T) {
+	m, err := Warner(4, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewMemory()
+	opts := IterativeOptions{MaxIterations: 2, Tolerance: 1e-15, Recorder: rec}
+	if _, err := m.EstimateIterativeFromDistribution([]float64{0.4, 0.3, 0.2, 0.1}, opts); err == nil {
+		t.Fatal("expected ErrNoConvergence")
+	}
+	done := rec.Named("estimator.done")
+	if len(done) != 1 || done[0].Fields["converged"] != false {
+		t.Fatalf("done events = %v", done)
+	}
+	if len(rec.Named("estimator.iteration")) != 2 {
+		t.Fatal("iteration events missing")
+	}
+}
+
+// TestEstimateIterativeNilRecorderUnchanged: the untraced path returns the
+// same estimate as the traced one.
+func TestEstimateIterativeNilRecorderUnchanged(t *testing.T) {
+	m, err := Warner(5, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pStar := []float64{0.3, 0.25, 0.2, 0.15, 0.1}
+	opts := IterativeOptions{Tolerance: 1e-7}
+	plain, err := m.EstimateIterativeFromDistribution(pStar, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Recorder = obs.NewMemory()
+	traced, err := m.EstimateIterativeFromDistribution(pStar, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i] != traced[i] {
+			t.Fatalf("estimates diverge at %d: %v vs %v", i, plain[i], traced[i])
+		}
+	}
+}

@@ -139,9 +139,16 @@ type Problem struct {
 	// Generations overrides the search budget; zero uses the default (500).
 	// The paper's experiments use 20000.
 	Generations int
+	// Recorder, if non-nil, receives the optimizer's structured run-trace
+	// events (optimizer.start / optimizer.generation / optimizer.done); see
+	// NewJSONLRecorder. Nil disables tracing at zero cost.
+	Recorder Recorder
+	// Metrics, if non-nil, receives live optimizer counters and gauges,
+	// suitable for serving with ServeDebug while the search runs.
+	Metrics *Metrics
 	// Advanced exposes every tuning knob of the optimizer. If non-nil, its
 	// Prior/Records/Delta/Seed/Generations are overwritten by the fields
-	// above.
+	// above (Recorder/Metrics too, when set here).
 	Advanced *core.Config
 }
 
@@ -209,6 +216,12 @@ func Optimize(p Problem) (*Result, error) {
 	cfg.Seed = p.Seed
 	if p.Generations != 0 {
 		cfg.Generations = p.Generations
+	}
+	if p.Recorder != nil {
+		cfg.Recorder = p.Recorder
+	}
+	if p.Metrics != nil {
+		cfg.Metrics = p.Metrics
 	}
 	if cfg.OmegaSize == 0 && p.Advanced == nil {
 		cfg.OmegaSize = 1000
