@@ -6,9 +6,15 @@
 #   analysis     go vet ./...
 #   build        go build ./...
 #   tests        go test ./...
-#   race         go test -race over the concurrency-critical packages
-#   bench smoke  one iteration of the BenchmarkOptimize pair, written to
-#                BENCH_optimize.json (untraced vs fully-traced search)
+#   race           go test -race over the concurrency-critical packages
+#   bench smoke    the BenchmarkOptimize pair plus the hot-path
+#                  micro-benchmarks (fused evaluation, SPEA2 scratch, bound
+#                  repair) at pinned -benchtime/-count with -benchmem, all
+#                  rendered into BENCH_optimize.json
+#   bench compare  warn-only diff of the fresh run against the committed
+#                  BENCH_optimize.json via cmd/benchdiff (allocation counts
+#                  are deterministic, so allocs/op growth is a real change
+#                  even when wall time wobbles)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -33,7 +39,13 @@ echo "== go test -race (collector, core) =="
 go test -race ./internal/collector ./internal/core
 
 echo "== bench smoke =="
-go test -run '^$' -bench '^BenchmarkOptimize' -benchtime=1x . | tee BENCH_optimize.txt
+# Iteration counts are pinned (-benchtime=Nx -count=1) so runs are
+# comparable: allocation counts become exactly reproducible and wall-time
+# noise is bounded by the fixed workload.
+go test -run '^$' -bench '^BenchmarkOptimize' -benchtime=3x -count=1 -benchmem . | tee BENCH_optimize.txt
+go test -run '^$' -bench '^(BenchmarkEvaluate|BenchmarkMaxPosterior)$' -benchtime=2000x -count=1 -benchmem ./internal/metrics | tee -a BENCH_optimize.txt
+go test -run '^$' -bench '^(BenchmarkAssignFitness|BenchmarkTruncate)$' -benchtime=50x -count=1 -benchmem ./internal/emoo | tee -a BENCH_optimize.txt
+go test -run '^$' -bench '^(BenchmarkRepair|BenchmarkRealizeSteadyState)$' -benchtime=200x -count=1 -benchmem ./internal/core | tee -a BENCH_optimize.txt
 # Render the benchmark lines ("BenchmarkName  iters  value unit ...") as a
 # JSON array so downstream tooling can diff runs.
 awk '
@@ -49,8 +61,16 @@ BEGIN { printf "[" }
     printf "}"
 }
 END { printf "]\n" }
-' BENCH_optimize.txt > BENCH_optimize.json
+' BENCH_optimize.txt > BENCH_new.json
 rm -f BENCH_optimize.txt
+
+echo "== bench compare (warn-only) =="
+if [ -f BENCH_optimize.json ]; then
+    go run ./cmd/benchdiff BENCH_optimize.json BENCH_new.json || true
+else
+    echo "no committed baseline; skipping"
+fi
+mv BENCH_new.json BENCH_optimize.json
 echo "bench results: BENCH_optimize.json"
 
 echo "== ci OK =="

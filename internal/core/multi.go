@@ -162,28 +162,34 @@ func OptimizeMulti(cfg MultiConfig) (MultiResult, error) {
 	rng := randx.New(cfg.Seed)
 	omega := NewOmega(cfg.OmegaSize)
 	ecfg := emoo.Config{KNearest: 1, Normalize: true}
+	es := emoo.NewScratch()
 
 	evaluations := 0
+	// The loop is sequential, so one set of per-attribute scratch matrices
+	// serves every evaluation; SetColumns validates exactly as Genome.Matrix.
+	ms := make([]*rr.Matrix, len(cfg.Sizes))
+	for d, s := range cfg.Sizes {
+		ms[d] = rr.NewScratchMatrix(s)
+	}
+	materialize := func(gs []Genome) bool {
+		for d, g := range gs {
+			if err := ms[d].SetColumns(g); err != nil {
+				return false
+			}
+		}
+		return true
+	}
 	evaluate := func(gs []Genome) (MultiIndividual, bool) {
 		evaluations++
-		ms := make([]*rr.Matrix, len(gs))
-		for d, g := range gs {
-			m, err := g.Matrix()
-			if err != nil {
-				return MultiIndividual{}, false
-			}
-			ms[d] = m
+		if !materialize(gs) {
+			return MultiIndividual{}, false
 		}
 		if !meetJointBound(gs, ms, cfg) {
 			return MultiIndividual{}, false
 		}
 		// Re-materialize after repair.
-		for d, g := range gs {
-			m, err := g.Matrix()
-			if err != nil {
-				return MultiIndividual{}, false
-			}
-			ms[d] = m
+		if !materialize(gs) {
+			return MultiIndividual{}, false
 		}
 		ev, err := metrics.JointEvaluate(ms, cfg.Joint, cfg.Records)
 		if err != nil {
@@ -277,8 +283,10 @@ func OptimizeMulti(cfg MultiConfig) (MultiResult, error) {
 		for i, ind := range union {
 			pts[i] = ind.Point()
 		}
-		fit := emoo.AssignFitness(pts, ecfg)
-		selIdx, err := emoo.SelectEnvironment(pts, fit, cfg.ArchiveSize, ecfg)
+		// fit aliases the scratch; it is consumed (selIdx) before the next
+		// AssignFitness call overwrites it.
+		fit := es.AssignFitness(pts, ecfg)
+		selIdx, err := es.SelectEnvironment(pts, fit, cfg.ArchiveSize, ecfg)
 		if err != nil {
 			return MultiResult{}, err
 		}
@@ -290,7 +298,7 @@ func OptimizeMulti(cfg MultiConfig) (MultiResult, error) {
 		for i, ind := range nextArchive {
 			archivePts[i] = ind.Point()
 		}
-		archiveFit := emoo.AssignFitness(archivePts, ecfg)
+		archiveFit := es.AssignFitness(archivePts, ecfg)
 
 		children := make([][]Genome, 0, cfg.PopulationSize)
 		for len(children) < cfg.PopulationSize {

@@ -350,6 +350,16 @@ type Optimizer struct {
 	// tally accumulates per-generation repair/redraw/reject counts inside
 	// realize; Run resets it at the top of every generation.
 	tally generationTally
+
+	// Hot-path scratch, persistent across generations. emooScratch backs
+	// SPEA2 fitness/selection; workers holds one evaluation workspace per
+	// configured worker; unionBuf/unionPts/outcomes are the per-generation
+	// population ∪ archive buffers.
+	emooScratch *emoo.Scratch
+	workers     []*workerScratch
+	unionBuf    []Individual
+	unionPts    []pareto.Point
+	outcomes    []genomeOutcome
 }
 
 // generationTally counts the feasibility work done by one generation's
@@ -369,14 +379,20 @@ func New(cfg Config) (*Optimizer, error) {
 	cfg = cfg.withDefaults()
 	rec := obs.OrNop(cfg.Recorder)
 	met := newOptimizerMetrics(cfg.Metrics)
+	workers := make([]*workerScratch, cfg.Workers)
+	for i := range workers {
+		workers[i] = newWorkerScratch()
+	}
 	return &Optimizer{
-		cfg:      cfg,
-		rng:      randx.New(cfg.Seed),
-		omega:    NewOmega(cfg.OmegaSize),
-		rec:      rec,
-		met:      met,
-		observed: cfg.Progress != nil || rec.Enabled() || met != nil,
-		timed:    rec.Enabled() || met != nil,
+		cfg:         cfg,
+		rng:         randx.New(cfg.Seed),
+		omega:       NewOmega(cfg.OmegaSize),
+		rec:         rec,
+		met:         met,
+		observed:    cfg.Progress != nil || rec.Enabled() || met != nil,
+		timed:       rec.Enabled() || met != nil,
+		emooScratch: emoo.NewScratch(),
+		workers:     workers,
 	}, nil
 }
 
@@ -422,8 +438,15 @@ func (o *Optimizer) Run() (Result, error) {
 			}
 		}
 
-		union := append(append([]Individual{}, population...), archive...)
-		pts := make([]pareto.Point, len(union))
+		// population ∪ archive, in reused scratch buffers: the union is
+		// copied into nextArchive below, so nothing retains these slices
+		// past the generation.
+		union := append(append(o.unionBuf[:0], population...), archive...)
+		o.unionBuf = union[:0]
+		if cap(o.unionPts) < len(union) {
+			o.unionPts = make([]pareto.Point, len(union))
+		}
+		pts := o.unionPts[:len(union)]
 		for i, ind := range union {
 			pts[i] = ind.Point()
 		}
@@ -566,21 +589,26 @@ func (o *Optimizer) Run() (Result, error) {
 	return res, nil
 }
 
-// assignFitness computes the configured engine's fitness over points.
+// assignFitness computes the configured engine's fitness over points. The
+// SPEA2 path runs on the optimizer's persistent scratch: the returned
+// Fitness aliases it and is valid until the next assignFitness or
+// selectEnvironment call.
 func (o *Optimizer) assignFitness(pts []pareto.Point) emoo.Fitness {
 	if o.cfg.Engine == EngineNSGA2 {
 		return emoo.NSGA2Fitness(pts)
 	}
-	return emoo.AssignFitness(pts, o.cfg.emooConfig())
+	return o.emooScratch.AssignFitness(pts, o.cfg.emooConfig())
 }
 
 // selectEnvironment runs the configured engine's environmental selection.
+// The returned index slice aliases the scratch and must be consumed before
+// the next scratch call.
 func (o *Optimizer) selectEnvironment(pts []pareto.Point) ([]int, error) {
 	if o.cfg.Engine == EngineNSGA2 {
 		return emoo.NSGA2Select(pts, o.cfg.ArchiveSize)
 	}
-	fit := emoo.AssignFitness(pts, o.cfg.emooConfig())
-	return emoo.SelectEnvironment(pts, fit, o.cfg.ArchiveSize, o.cfg.emooConfig())
+	fit := o.emooScratch.AssignFitness(pts, o.cfg.emooConfig())
+	return o.emooScratch.SelectEnvironment(pts, fit, o.cfg.ArchiveSize, o.cfg.emooConfig())
 }
 
 // referenceUtility is the hypervolume reference: the closed-form utility of
@@ -617,39 +645,46 @@ func (o *Optimizer) seedPopulation() ([]Individual, error) {
 
 // realize repairs, evaluates and — where evaluation is impossible (singular
 // matrix, unrepairable bound) — replaces genomes with fresh random feasible
-// ones. Repair and evaluation are pure, so they run on a worker pool; genome
+// ones. Repair and evaluation are pure, so they run on a worker pool, each
+// worker evaluating through its own persistent workerScratch; genome
 // replacement draws from the sequential RNG to keep runs deterministic.
 func (o *Optimizer) realize(genomes []Genome) ([]Individual, error) {
 	cfg := o.cfg
 	out := make([]Individual, len(genomes))
-	oc := make([]genomeOutcome, len(genomes))
+	if cap(o.outcomes) < len(genomes) {
+		o.outcomes = make([]genomeOutcome, len(genomes))
+	}
+	oc := o.outcomes[:len(genomes)]
 
-	process := func(g Genome) (Individual, genomeOutcome) {
+	process := func(g Genome, sc *workerScratch) (Individual, genomeOutcome) {
 		var c genomeOutcome
+		var m *rr.Matrix
 		switch cfg.BoundMode {
 		case BoundReject:
-			m, err := g.Matrix()
+			var err error
+			m, err = sc.matrixFor(g)
 			if err != nil {
 				return Individual{}, c
 			}
-			holds, err := metrics.MeetsBound(m, cfg.Prior, cfg.Delta)
+			holds, err := sc.ws.MeetsBound(m, cfg.Prior, cfg.Delta)
 			if err != nil || !holds {
 				c.rejected = true
 				return Individual{}, c
 			}
 		default:
-			feasible, rst := MeetBoundStats(g, cfg.Prior, cfg.Delta, cfg.SymmetricOnly)
+			feasible, rst := meetBoundStats(g, cfg.Prior, cfg.Delta, cfg.SymmetricOnly, sc.slackFor(g.N()))
 			c.repaired = rst.Rounds > 0 || rst.Blended
 			c.pushBack = rst.PushBack
 			if !feasible {
 				return Individual{}, c
 			}
+			var err error
+			m, err = sc.matrixFor(g)
+			if err != nil {
+				return Individual{}, c
+			}
 		}
-		m, err := g.Matrix()
-		if err != nil {
-			return Individual{}, c
-		}
-		ev, err := metrics.Evaluate(m, cfg.Prior, cfg.Records)
+		ev, err := sc.ws.Evaluate(m, cfg.Prior, cfg.Records)
 		if err != nil {
 			return Individual{}, c // singular: inversion utility undefined
 		}
@@ -664,8 +699,8 @@ func (o *Optimizer) realize(genomes []Genome) ([]Individual, error) {
 		return Individual{Genome: g, Eval: ev}, c
 	}
 
-	o.parallelFor(len(genomes), func(i int) {
-		out[i], oc[i] = process(genomes[i])
+	o.parallelFor(len(genomes), func(w, i int) {
+		out[i], oc[i] = process(genomes[i], o.workers[w])
 	})
 	o.evaluations += len(genomes)
 	for i := range oc {
@@ -687,7 +722,7 @@ func (o *Optimizer) realize(genomes []Genome) ([]Individual, error) {
 			if cfg.SymmetricOnly {
 				g.Symmetrize()
 			}
-			out[i], oc[i] = process(g)
+			out[i], oc[i] = process(g, o.workers[0])
 			o.evaluations++
 			o.tally.redraws++
 			o.tally.add(oc[i])
@@ -715,15 +750,18 @@ func (t *generationTally) add(c genomeOutcome) {
 	}
 }
 
-// parallelFor runs fn(i) for i in [0, n) on the configured worker count.
-func (o *Optimizer) parallelFor(n int, fn func(int)) {
+// parallelFor runs fn(worker, i) for i in [0, n) on the configured worker
+// count. The worker index identifies which goroutine is calling, so callers
+// can hand each goroutine exclusive scratch state; the index partition never
+// affects results because scratch contents are overwritten per item.
+func (o *Optimizer) parallelFor(n int, fn func(worker, i int)) {
 	workers := o.cfg.Workers
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -731,12 +769,12 @@ func (o *Optimizer) parallelFor(n int, fn func(int)) {
 	next := make(chan int)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range next {
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		next <- i

@@ -3,9 +3,11 @@ package core
 import (
 	"errors"
 	"math"
+	"runtime"
 	"testing"
 
 	"optrr/internal/metrics"
+	"optrr/internal/obs"
 	"optrr/internal/pareto"
 	"optrr/internal/rr"
 )
@@ -130,9 +132,14 @@ func TestRunFrontIsMutuallyNonDominated(t *testing.T) {
 }
 
 func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
-	run := func(workers int) []pareto.Point {
+	// Workers share nothing but their private scratch (workerScratch), so
+	// fronts AND every telemetry counter driven by the evaluation path must
+	// be identical regardless of parallelism.
+	run := func(workers int) ([]pareto.Point, int, map[string]string) {
 		cfg := quickConfig()
 		cfg.Workers = workers
+		reg := obs.NewRegistry()
+		cfg.Metrics = reg
 		opt, err := New(cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -141,16 +148,29 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return res.FrontPoints()
+		return res.FrontPoints(), res.Evaluations, reg.Snapshot()
 	}
-	a := run(1)
-	b := run(4)
-	if len(a) != len(b) {
-		t.Fatalf("front sizes differ across worker counts: %d vs %d", len(a), len(b))
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatalf("front differs across worker counts at %d: %v vs %v", i, a[i], b[i])
+	a, evalsA, snapA := run(1)
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		b, evalsB, snapB := run(workers)
+		if len(a) != len(b) {
+			t.Fatalf("front sizes differ across worker counts 1 vs %d: %d vs %d", workers, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("front differs across worker counts at %d: %v vs %v", i, a[i], b[i])
+			}
+		}
+		if evalsA != evalsB {
+			t.Fatalf("evaluation counts differ across worker counts: %d vs %d", evalsA, evalsB)
+		}
+		for _, name := range []string{
+			"optimizer.evaluations", "optimizer.repairs", "optimizer.redraws",
+			"optimizer.rejects", "optimizer.repair_push_back",
+		} {
+			if snapA[name] != snapB[name] {
+				t.Fatalf("telemetry %q differs across worker counts: %s vs %s", name, snapA[name], snapB[name])
+			}
 		}
 	}
 }

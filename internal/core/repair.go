@@ -57,6 +57,14 @@ func MeetBound(g Genome, prior []float64, delta float64, symmetric bool) bool {
 
 // MeetBoundStats is MeetBound reporting how much repair work was done.
 func MeetBoundStats(g Genome, prior []float64, delta float64, symmetric bool) (bool, RepairStats) {
+	return meetBoundStats(g, prior, delta, symmetric, nil)
+}
+
+// meetBoundStats is the scratch-threaded implementation: slack, when
+// non-nil, is the caller's reusable per-column slack buffer (length ≥ n), so
+// the repair loop allocates nothing. A nil slack allocates one buffer for
+// the whole call. The arithmetic is identical either way.
+func meetBoundStats(g Genome, prior []float64, delta float64, symmetric bool, slack []float64) (bool, RepairStats) {
 	var st RepairStats
 	n := g.N()
 	if n == 0 || len(prior) != n {
@@ -69,6 +77,9 @@ func MeetBoundStats(g Genome, prior []float64, delta float64, symmetric bool) (b
 	if metrics.BoundFloor(prior) > delta+1e-12 {
 		return false, st
 	}
+	if len(slack) < n {
+		slack = make([]float64, n)
+	}
 	maxRounds := repairRoundsPerEntry * n * n
 	for round := 0; round < maxRounds; round++ {
 		r, c, post := worstPosterior(g, prior)
@@ -76,7 +87,7 @@ func MeetBoundStats(g Genome, prior []float64, delta float64, symmetric bool) (b
 			return true, st
 		}
 		st.Rounds++
-		st.PushBack += repairEntry(g, prior, delta, r, c)
+		st.PushBack += repairEntry(g, prior, delta, r, c, slack)
 		if symmetric {
 			g.Symmetrize()
 		}
@@ -138,8 +149,9 @@ func blendTowardUniform(g Genome, prior []float64, delta float64) bool {
 
 // repairEntry lowers g[c][r] to its bound target and redistributes the
 // removed mass over the rest of column c proportionally to per-entry slack.
-// It returns the mass actually moved off the violating entry.
-func repairEntry(g Genome, prior []float64, delta float64, r, c int) float64 {
+// It returns the mass actually moved off the violating entry. slack is a
+// caller-provided buffer of length ≥ n.
+func repairEntry(g Genome, prior []float64, delta float64, r, c int, slack []float64) float64 {
 	n := g.N()
 	col := g[c]
 	target := boundTarget(g, prior, delta, r, c)
@@ -154,7 +166,10 @@ func repairEntry(g Genome, prior []float64, delta float64, r, c int) float64 {
 
 	// Slack of every other entry in column c: how far it can grow before
 	// its own posterior hits delta (capped by the simplex headroom 1−θ).
-	slack := make([]float64, n)
+	// The violating entry's slot must be zero: the redistribution loops
+	// below add a·slack[k]/total to every entry including k == r.
+	slack = slack[:n]
+	slack[r] = 0
 	var total float64
 	for k := 0; k < n; k++ {
 		if k == r {

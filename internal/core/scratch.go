@@ -1,0 +1,46 @@
+package core
+
+import (
+	"optrr/internal/metrics"
+	"optrr/internal/rr"
+)
+
+// workerScratch is the per-worker evaluation state: one metrics workspace,
+// one reusable RR matrix the worker materializes genomes into, and the
+// repair slack buffer. Each worker goroutine of realize owns exactly one
+// workerScratch for the lifetime of the optimizer, so steady-state
+// evaluation allocates nothing per genome. None of the scratch contents
+// influence results — every buffer is fully overwritten per genome — which
+// keeps runs bit-for-bit reproducible regardless of how genomes are
+// distributed over workers.
+type workerScratch struct {
+	ws    *metrics.Workspace
+	mat   *rr.Matrix
+	slack []float64
+}
+
+func newWorkerScratch() *workerScratch {
+	return &workerScratch{ws: metrics.NewWorkspace()}
+}
+
+// matrixFor materializes the genome into the worker's reusable matrix,
+// validating exactly as Genome.Matrix does. The returned matrix aliases the
+// scratch: it is valid until the worker's next matrixFor call.
+func (sc *workerScratch) matrixFor(g Genome) (*rr.Matrix, error) {
+	n := g.N()
+	if sc.mat == nil || sc.mat.N() != n {
+		sc.mat = rr.NewScratchMatrix(n)
+	}
+	if err := sc.mat.SetColumns(g); err != nil {
+		return nil, err
+	}
+	return sc.mat, nil
+}
+
+// slackFor returns the repair slack buffer sized for n categories.
+func (sc *workerScratch) slackFor(n int) []float64 {
+	if cap(sc.slack) < n {
+		sc.slack = make([]float64, n)
+	}
+	return sc.slack[:n]
+}

@@ -82,16 +82,18 @@ func OptimizeWeightedSum(cfg WeightedSumConfig) (Result, error) {
 	uRef := weightedReferenceUtility(cfg)
 	evaluations := 0
 
+	// The sweep is sequential, so one scratch serves every evaluation.
+	sc := newWorkerScratch()
 	evaluate := func(g Genome) (Individual, bool) {
 		evaluations++
-		if !MeetBound(g, cfg.Prior, cfg.Delta, false) {
+		if ok, _ := meetBoundStats(g, cfg.Prior, cfg.Delta, false, sc.slackFor(n)); !ok {
 			return Individual{}, false
 		}
-		m, err := g.Matrix()
+		m, err := sc.matrixFor(g)
 		if err != nil {
 			return Individual{}, false
 		}
-		ev, err := metrics.Evaluate(m, cfg.Prior, cfg.Records)
+		ev, err := sc.ws.Evaluate(m, cfg.Prior, cfg.Records)
 		if err != nil {
 			return Individual{}, false
 		}

@@ -7,6 +7,14 @@
 // The package is genome-agnostic: it works purely on objective-space points
 // (pareto.Point) and index slices, so internal/core can drive it with RR
 // matrices and tests can drive it with synthetic point clouds.
+//
+// The operators run on a reusable Scratch: flat dominance and distance
+// buffers instead of per-call [][]-allocations, k-th-element selection
+// instead of full row sorts for the density estimate, and incremental
+// nearest-neighbour maintenance during truncation. The package-level
+// functions remain as one-shot conveniences over a throwaway Scratch and the
+// scratch paths are bit-for-bit identical to them (see the reference
+// equivalence tests).
 package emoo
 
 import (
@@ -50,53 +58,126 @@ type Fitness struct {
 	Value []float64
 }
 
-// AssignFitness computes SPEA2 fitness for the union of archive and
-// population points (Section V-B of the paper).
-func AssignFitness(pts []pareto.Point, cfg Config) Fitness {
-	n := len(pts)
-	f := Fitness{
-		Strength: make([]int, n),
-		Raw:      make([]float64, n),
-		Density:  make([]float64, n),
-		Value:    make([]float64, n),
+// Scratch holds the reusable state behind SPEA2 fitness assignment and
+// environmental selection: flat dominance and distance matrices, the
+// selection buffers, and the incremental truncation structures. A persistent
+// Scratch makes the per-generation selection loop allocation-free in steady
+// state.
+//
+// Slices returned by the Scratch methods (Fitness fields, selection index
+// slices) alias the scratch buffers: they are valid until the next call on
+// the same Scratch. A Scratch is not safe for concurrent use.
+type Scratch struct {
+	// Fitness buffers.
+	strength []int
+	raw      []float64
+	density  []float64
+	value    []float64
+	dom      []bool
+	dist     []float64 // flat n×n pairwise distances
+	kbuf     []float64 // k-th-element selection buffer
+
+	// Selection buffers.
+	sel  []int
+	rest []int
+
+	// Truncation state.
+	live   []int     // working copy of the selected index set
+	alive  []bool    // per-slot liveness
+	tdist  []float64 // flat m×m distances over the selected slots
+	vec    []float64 // per-slot sorted distance vectors, stride m
+	vecLen []int
+}
+
+// NewScratch returns an empty scratch; buffers grow on demand and are reused
+// across calls.
+func NewScratch() *Scratch { return &Scratch{} }
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
 	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+// AssignFitness computes SPEA2 fitness for the union of archive and
+// population points (Section V-B of the paper). The returned Fitness slices
+// alias the scratch and are valid until the next AssignFitness call.
+func (s *Scratch) AssignFitness(pts []pareto.Point, cfg Config) Fitness {
+	n := len(pts)
+	s.strength = growInts(s.strength, n)
+	s.raw = growFloats(s.raw, n)
+	s.density = growFloats(s.density, n)
+	s.value = growFloats(s.value, n)
+	f := Fitness{Strength: s.strength, Raw: s.raw, Density: s.density, Value: s.value}
 	if n == 0 {
 		return f
 	}
-	dom := make([][]bool, n)
-	for i := range dom {
-		dom[i] = make([]bool, n)
-		for j := range dom[i] {
-			if i != j && pts[i].Dominates(pts[j]) {
-				dom[i][j] = true
+	for i := 0; i < n; i++ {
+		f.Strength[i] = 0
+		f.Raw[i] = 0
+	}
+	s.dom = growBools(s.dom, n*n)
+	dom := s.dom
+	for i := 0; i < n; i++ {
+		ri := dom[i*n : (i+1)*n]
+		for j := range ri {
+			d := i != j && pts[i].Dominates(pts[j])
+			ri[j] = d
+			if d {
 				f.Strength[i]++
 			}
 		}
 	}
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
-			if dom[j][i] {
+			if dom[j*n+i] {
 				f.Raw[i] += float64(f.Strength[j])
 			}
 		}
 	}
-	d := distanceMatrix(pts, cfg)
+	s.distanceMatrix(pts, cfg)
 	k := cfg.k()
 	if k > n-1 {
 		k = n - 1
 	}
-	buf := make([]float64, 0, n-1)
 	for i := 0; i < n; i++ {
-		buf = buf[:0]
-		for j := 0; j < n; j++ {
-			if j != i {
-				buf = append(buf, d[i][j])
-			}
-		}
 		var sigma float64
-		if len(buf) > 0 {
-			sort.Float64s(buf)
-			sigma = buf[k-1]
+		if n > 1 {
+			row := s.dist[i*n : (i+1)*n]
+			if k == 1 {
+				// σ is the nearest-neighbour distance: a plain minimum,
+				// no sort needed.
+				sigma = math.Inf(1)
+				for j, d := range row {
+					if j != i && d < sigma {
+						sigma = d
+					}
+				}
+			} else {
+				buf := s.kbuf[:0]
+				for j, d := range row {
+					if j != i {
+						buf = append(buf, d)
+					}
+				}
+				sigma = kthSmallest(buf, k)
+				s.kbuf = buf[:0]
+			}
 		}
 		f.Density[i] = 1 / (sigma + 2)
 		f.Value[i] = f.Raw[i] + f.Density[i]
@@ -104,11 +185,86 @@ func AssignFitness(pts []pareto.Point, cfg Config) Fitness {
 	return f
 }
 
-// distanceMatrix returns pairwise objective-space distances, optionally
-// normalized per objective by the range over pts.
-func distanceMatrix(pts []pareto.Point, cfg Config) [][]float64 {
+// AssignFitness is the one-shot form of (*Scratch).AssignFitness: the
+// returned Fitness owns freshly allocated slices.
+func AssignFitness(pts []pareto.Point, cfg Config) Fitness {
+	return NewScratch().AssignFitness(pts, cfg)
+}
+
+// kthSmallest returns the k-th smallest value (1-based) of buf, which it
+// partially reorders in place: Hoare quickselect with a median-of-three
+// pivot. Pure element selection — the result is the exact value sorting
+// would put at index k-1.
+func kthSmallest(buf []float64, k int) float64 {
+	if len(buf) == 0 {
+		return 0
+	}
+	target := k - 1
+	lo, hi := 0, len(buf)-1
+	for lo < hi {
+		// Median-of-three pivot, moved to buf[lo].
+		mid := lo + (hi-lo)/2
+		if buf[mid] < buf[lo] {
+			buf[mid], buf[lo] = buf[lo], buf[mid]
+		}
+		if buf[hi] < buf[lo] {
+			buf[hi], buf[lo] = buf[lo], buf[hi]
+		}
+		if buf[hi] < buf[mid] {
+			buf[hi], buf[mid] = buf[mid], buf[hi]
+		}
+		pivot := buf[mid]
+		i, j := lo, hi
+		for i <= j {
+			for buf[i] < pivot {
+				i++
+			}
+			for buf[j] > pivot {
+				j--
+			}
+			if i <= j {
+				buf[i], buf[j] = buf[j], buf[i]
+				i++
+				j--
+			}
+		}
+		if target <= j {
+			hi = j
+		} else if target >= i {
+			lo = i
+		} else {
+			return buf[target]
+		}
+	}
+	return buf[target]
+}
+
+// distanceMatrix fills s.dist with the flat n×n pairwise objective-space
+// distances of pts, optionally normalized per objective by the range over
+// pts. The expressions match the historical [][]-based implementation
+// exactly.
+func (s *Scratch) distanceMatrix(pts []pareto.Point, cfg Config) {
 	n := len(pts)
-	scaleP, scaleU := 1.0, 1.0
+	scaleP, scaleU := objectiveScales(pts, cfg)
+	s.dist = growFloats(s.dist, n*n)
+	s.kbuf = growFloats(s.kbuf, n)[:0]
+	d := s.dist
+	for i := 0; i < n; i++ {
+		d[i*n+i] = 0
+		for j := i + 1; j < n; j++ {
+			dp := (pts[i].Privacy - pts[j].Privacy) * scaleP
+			du := (pts[i].Utility - pts[j].Utility) * scaleU
+			dist := math.Sqrt(dp*dp + du*du)
+			d[i*n+j] = dist
+			d[j*n+i] = dist
+		}
+	}
+}
+
+// objectiveScales returns the per-objective normalization factors over pts.
+func objectiveScales(pts []pareto.Point, cfg Config) (scaleP, scaleU float64) {
+	scaleP, scaleU = 1.0, 1.0
+	n := len(pts)
 	if cfg.Normalize && n > 1 {
 		minP, maxP := pts[0].Privacy, pts[0].Privacy
 		minU, maxU := pts[0].Utility, pts[0].Utility
@@ -125,20 +281,7 @@ func distanceMatrix(pts []pareto.Point, cfg Config) [][]float64 {
 			scaleU = 1 / r
 		}
 	}
-	d := make([][]float64, n)
-	for i := range d {
-		d[i] = make([]float64, n)
-	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			dp := (pts[i].Privacy - pts[j].Privacy) * scaleP
-			du := (pts[i].Utility - pts[j].Utility) * scaleU
-			dist := math.Sqrt(dp*dp + du*du)
-			d[i][j] = dist
-			d[j][i] = dist
-		}
-	}
-	return d
+	return scaleP, scaleU
 }
 
 // SelectEnvironment performs SPEA2 environmental selection (Section V-C):
@@ -146,74 +289,220 @@ func distanceMatrix(pts []pareto.Point, cfg Config) [][]float64 {
 // archive of size capacity. All non-dominated individuals (fitness < 1) are
 // taken first; a shortfall is filled with the best dominated individuals; an
 // overflow is reduced with the iterative nearest-neighbour truncation
-// operator, which preserves spread.
-func SelectEnvironment(pts []pareto.Point, fit Fitness, capacity int, cfg Config) ([]int, error) {
+// operator, which preserves spread. The returned slice aliases the scratch
+// and is valid until the next SelectEnvironment call.
+func (s *Scratch) SelectEnvironment(pts []pareto.Point, fit Fitness, capacity int, cfg Config) ([]int, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("emoo: archive capacity must be positive, got %d", capacity)
 	}
 	if len(fit.Value) != len(pts) {
 		return nil, fmt.Errorf("emoo: fitness for %d points, got %d values", len(pts), len(fit.Value))
 	}
-	var next []int
+	s.sel = growInts(s.sel, len(pts))[:0]
+	next := s.sel
 	for i, v := range fit.Value {
 		if v < 1 {
 			next = append(next, i)
 		}
 	}
+	s.sel = next
 	switch {
 	case len(next) == capacity:
 		return next, nil
 	case len(next) < capacity:
 		// Fill with the best dominated individuals.
-		var rest []int
+		s.rest = growInts(s.rest, len(pts))[:0]
+		rest := s.rest
 		for i, v := range fit.Value {
 			if v >= 1 {
 				rest = append(rest, i)
 			}
 		}
+		s.rest = rest
 		sort.Slice(rest, func(a, b int) bool { return fit.Value[rest[a]] < fit.Value[rest[b]] })
 		need := capacity - len(next)
 		if need > len(rest) {
 			need = len(rest)
 		}
-		return append(next, rest[:need]...), nil
+		next = append(next, rest[:need]...)
+		s.sel = next
+		return next, nil
 	default:
-		return truncate(pts, next, capacity, cfg), nil
+		return s.truncate(pts, next, capacity, cfg), nil
 	}
+}
+
+// SelectEnvironment is the one-shot form of (*Scratch).SelectEnvironment.
+func SelectEnvironment(pts []pareto.Point, fit Fitness, capacity int, cfg Config) ([]int, error) {
+	return NewScratch().SelectEnvironment(pts, fit, capacity, cfg)
 }
 
 // truncate iteratively removes, from the selected index set, the individual
 // with the lexicographically smallest sorted distance vector to the other
 // selected individuals — i.e. the one crowding the densest spot — until the
 // set fits the capacity.
-func truncate(pts []pareto.Point, selected []int, capacity int, cfg Config) []int {
-	live := append([]int(nil), selected...)
-	for len(live) > capacity {
-		sub := make([]pareto.Point, len(live))
-		for k, idx := range live {
-			sub[k] = pts[idx]
-		}
-		d := distanceMatrix(sub, cfg)
-		vecs := make([][]float64, len(live))
-		for i := range live {
-			v := make([]float64, 0, len(live)-1)
-			for j := range live {
-				if j != i {
-					v = append(v, d[i][j])
-				}
-			}
-			sort.Float64s(v)
-			vecs[i] = v
-		}
-		victim := 0
-		for i := 1; i < len(live); i++ {
-			if lexLess(vecs[i], vecs[victim]) {
-				victim = i
-			}
-		}
-		live = append(live[:victim], live[victim+1:]...)
+//
+// The loop maintains the nearest-neighbour structures incrementally: the
+// pairwise distances and each survivor's sorted distance vector are computed
+// once and, after a removal, only the victim's distance is deleted from each
+// vector (an O(m) ordered delete instead of an O(m log m) re-sort, with no
+// distance recomputation). The historical implementation rebuilt and
+// re-sorted everything per removal. The one case that forces a rebuild is a
+// change of the normalization scales — the victim was the sole extremum of
+// an objective — which the loop detects by recomputing the min/max ranges
+// over the survivors.
+func (s *Scratch) truncate(pts []pareto.Point, selected []int, capacity int, cfg Config) []int {
+	m := len(selected)
+	s.live = growInts(s.live, m)
+	copy(s.live, selected)
+	s.alive = growBools(s.alive, m)
+	for i := range s.alive {
+		s.alive[i] = true
 	}
-	return live
+	count := m
+
+	s.tdist = growFloats(s.tdist, m*m)
+	s.vec = growFloats(s.vec, m*m)
+	s.vecLen = growInts(s.vecLen, m)
+
+	scaleP, scaleU := s.truncScales(pts, cfg)
+	s.truncDistances(pts, scaleP, scaleU)
+	s.truncVectors()
+
+	for count > capacity {
+		// Victim: first live slot with the lexicographically smallest
+		// sorted distance vector. Scanning slots in ascending order visits
+		// the survivors in the same order the historical live-list
+		// implementation did.
+		victim := -1
+		for a := 0; a < m; a++ {
+			if !s.alive[a] {
+				continue
+			}
+			if victim < 0 || lexLess(s.vec[a*m:a*m+s.vecLen[a]], s.vec[victim*m:victim*m+s.vecLen[victim]]) {
+				victim = a
+			}
+		}
+		s.alive[victim] = false
+		count--
+		if count <= capacity {
+			break
+		}
+		if cfg.Normalize {
+			if p, u := s.truncScales(pts, cfg); p != scaleP || u != scaleU {
+				// The victim carried an objective extremum: ranges and
+				// therefore all normalized distances changed. Rebuild.
+				scaleP, scaleU = p, u
+				s.truncDistances(pts, scaleP, scaleU)
+				s.truncVectors()
+				continue
+			}
+		}
+		// Scales unchanged: drop the victim's distance from every
+		// survivor's sorted vector in place.
+		for a := 0; a < m; a++ {
+			if !s.alive[a] {
+				continue
+			}
+			row := s.vec[a*m : a*m+s.vecLen[a]]
+			d := s.tdist[a*m+victim]
+			idx := sort.SearchFloat64s(row, d)
+			copy(row[idx:], row[idx+1:])
+			s.vecLen[a]--
+		}
+	}
+
+	out := selected[:0]
+	for a := 0; a < m; a++ {
+		if s.alive[a] {
+			out = append(out, s.live[a])
+		}
+	}
+	s.sel = out
+	return out
+}
+
+// truncScales returns the normalization factors over the currently live
+// subset, with the same min/max recurrence as objectiveScales.
+func (s *Scratch) truncScales(pts []pareto.Point, cfg Config) (scaleP, scaleU float64) {
+	scaleP, scaleU = 1.0, 1.0
+	if !cfg.Normalize {
+		return scaleP, scaleU
+	}
+	first := true
+	var minP, maxP, minU, maxU float64
+	live := 0
+	for a, ok := range s.alive {
+		if !ok {
+			continue
+		}
+		p := pts[s.live[a]]
+		if first {
+			minP, maxP = p.Privacy, p.Privacy
+			minU, maxU = p.Utility, p.Utility
+			first = false
+		} else {
+			minP = math.Min(minP, p.Privacy)
+			maxP = math.Max(maxP, p.Privacy)
+			minU = math.Min(minU, p.Utility)
+			maxU = math.Max(maxU, p.Utility)
+		}
+		live++
+	}
+	if live <= 1 {
+		return scaleP, scaleU
+	}
+	if r := maxP - minP; r > 0 {
+		scaleP = 1 / r
+	}
+	if r := maxU - minU; r > 0 {
+		scaleU = 1 / r
+	}
+	return scaleP, scaleU
+}
+
+// truncDistances fills s.tdist with pairwise distances over the live slots
+// under the given scales. Dead slots are skipped; their entries are stale
+// and must not be read.
+func (s *Scratch) truncDistances(pts []pareto.Point, scaleP, scaleU float64) {
+	m := len(s.live)
+	for a := 0; a < m; a++ {
+		if !s.alive[a] {
+			continue
+		}
+		pa := pts[s.live[a]]
+		s.tdist[a*m+a] = 0
+		for b := a + 1; b < m; b++ {
+			if !s.alive[b] {
+				continue
+			}
+			pb := pts[s.live[b]]
+			dp := (pa.Privacy - pb.Privacy) * scaleP
+			du := (pa.Utility - pb.Utility) * scaleU
+			dist := math.Sqrt(dp*dp + du*du)
+			s.tdist[a*m+b] = dist
+			s.tdist[b*m+a] = dist
+		}
+	}
+}
+
+// truncVectors rebuilds every live slot's sorted distance vector from
+// s.tdist.
+func (s *Scratch) truncVectors() {
+	m := len(s.live)
+	for a := 0; a < m; a++ {
+		if !s.alive[a] {
+			continue
+		}
+		row := s.vec[a*m : a*m]
+		for b := 0; b < m; b++ {
+			if b != a && s.alive[b] {
+				row = append(row, s.tdist[a*m+b])
+			}
+		}
+		sort.Float64s(row)
+		s.vecLen[a] = len(row)
+	}
 }
 
 // lexLess reports whether distance vector a is lexicographically smaller

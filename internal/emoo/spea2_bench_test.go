@@ -1,0 +1,88 @@
+package emoo
+
+import (
+	"fmt"
+	"testing"
+
+	"optrr/internal/pareto"
+	"optrr/internal/randx"
+)
+
+// benchPoints draws a cloud sized like the optimizer's union (population ∪
+// archive) with realistic objective scales: privacy in [0.3, 0.65], utility
+// a few orders of magnitude smaller.
+func benchPoints(n int, seed uint64) []pareto.Point {
+	r := randx.New(seed)
+	pts := make([]pareto.Point, n)
+	for i := range pts {
+		pts[i] = pareto.Point{
+			Privacy: 0.3 + 0.35*r.Float64(),
+			Utility: 1e-4 * (1 + 10*r.Float64()),
+		}
+	}
+	return pts
+}
+
+// BenchmarkAssignFitness compares the historical per-call-allocating
+// implementation (reference, preserved in spea2_ref_test.go) against the
+// reused Scratch. The scratch variant is the per-generation hot path.
+func BenchmarkAssignFitness(b *testing.B) {
+	cfg := Config{KNearest: 1, Normalize: true}
+	for _, n := range []int{32, 80, 200} {
+		pts := benchPoints(n, uint64(n))
+		b.Run(fmt.Sprintf("reference/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				refAssignFitness(pts, cfg)
+			}
+		})
+		b.Run(fmt.Sprintf("scratch/n=%d", n), func(b *testing.B) {
+			s := NewScratch()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.AssignFitness(pts, cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkTruncate forces the worst-case environmental-selection path:
+// every point non-dominated (mutually incomparable), capacity half the
+// cloud, so half the points are removed one nearest-neighbour victim at a
+// time. This is where the seed implementation spent ~45% of optimizer CPU.
+func BenchmarkTruncate(b *testing.B) {
+	cfg := Config{KNearest: 1, Normalize: true}
+	for _, n := range []int{32, 80, 200} {
+		// A strictly trade-off front: ascending privacy, ascending utility
+		// (larger privacy is better, smaller utility is better, so no point
+		// dominates another and truncation does all the work).
+		pts := make([]pareto.Point, n)
+		r := randx.New(uint64(n))
+		for i := range pts {
+			pts[i] = pareto.Point{
+				Privacy: 0.3 + 0.35*(float64(i)+r.Float64())/float64(n),
+				Utility: 1e-4 * (float64(i) + r.Float64()),
+			}
+		}
+		capacity := n / 2
+		b.Run(fmt.Sprintf("reference/n=%d", n), func(b *testing.B) {
+			fit := refAssignFitness(pts, cfg)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := refSelectEnvironment(pts, fit, capacity, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("scratch/n=%d", n), func(b *testing.B) {
+			s := NewScratch()
+			fit := s.AssignFitness(pts, cfg)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.SelectEnvironment(pts, fit, capacity, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

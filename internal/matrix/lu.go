@@ -8,23 +8,59 @@ import (
 // LU holds the LU decomposition with partial pivoting of a square matrix:
 // P·A = L·U, where L is unit lower triangular and U is upper triangular,
 // both packed into lu, and piv records the row permutation.
+//
+// An LU value doubles as a reusable factorization workspace: NewLU returns an
+// empty one and (*LU).Factorize recomputes the decomposition in place,
+// reusing the internal buffers whenever the matrix size is unchanged. This is
+// the allocation-free path the optimizer's fused objective evaluation runs
+// on; the package-level Factorize remains the convenient one-shot form.
 type LU struct {
 	lu      *Dense
 	piv     []int
 	pivSign float64
+	// valid reports that the last Factorize succeeded; solve and inverse
+	// calls on an invalid factorization return ErrSingular.
+	valid bool
+	// col and rhs are scratch columns for InverseInto.
+	col []float64
+	rhs []float64
 }
+
+// NewLU returns an empty factorization workspace. Call (*LU).Factorize to
+// populate it; until then every solve or inverse call fails.
+func NewLU() *LU { return &LU{} }
 
 // Factorize computes the LU decomposition of a square matrix using Doolittle
 // factorization with partial pivoting. It returns ErrSingular if a pivot is
 // exactly zero; near-singular matrices factorize but yield large solution
 // errors, which callers can detect via ConditionEstimate.
 func Factorize(a *Dense) (*LU, error) {
+	f := NewLU()
+	if err := f.Factorize(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Factorize recomputes the decomposition of a in place, reusing the
+// receiver's buffers when a's size matches the previous factorization. The
+// arithmetic is identical to the package-level Factorize, so a reused
+// workspace produces bit-for-bit the same factors.
+func (f *LU) Factorize(a *Dense) error {
+	f.valid = false
 	if a.rows != a.cols {
-		return nil, fmt.Errorf("%w: LU of a %dx%d matrix", ErrShape, a.rows, a.cols)
+		return fmt.Errorf("%w: LU of a %dx%d matrix", ErrShape, a.rows, a.cols)
 	}
 	n := a.rows
-	lu := a.Clone()
-	piv := make([]int, n)
+	if f.lu == nil || f.lu.rows != n {
+		f.lu = New(n, n)
+		f.piv = make([]int, n)
+		f.col = make([]float64, n)
+		f.rhs = make([]float64, n)
+	}
+	lu := f.lu
+	copy(lu.data, a.data)
+	piv := f.piv
 	for i := range piv {
 		piv[i] = i
 	}
@@ -41,7 +77,7 @@ func Factorize(a *Dense) (*LU, error) {
 			}
 		}
 		if max == 0 {
-			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+			return fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
 		}
 		if p != k {
 			rk := lu.data[k*n : (k+1)*n]
@@ -54,28 +90,45 @@ func Factorize(a *Dense) (*LU, error) {
 		}
 		pivot := lu.data[k*n+k]
 		for i := k + 1; i < n; i++ {
-			f := lu.data[i*n+k] / pivot
-			lu.data[i*n+k] = f
-			if f == 0 {
+			mult := lu.data[i*n+k] / pivot
+			lu.data[i*n+k] = mult
+			if mult == 0 {
 				continue
 			}
 			ri := lu.data[i*n : (i+1)*n]
 			rk := lu.data[k*n : (k+1)*n]
 			for j := k + 1; j < n; j++ {
-				ri[j] -= f * rk[j]
+				ri[j] -= mult * rk[j]
 			}
 		}
 	}
-	return &LU{lu: lu, piv: piv, pivSign: sign}, nil
+	f.pivSign = sign
+	f.valid = true
+	return nil
 }
 
 // SolveVec solves A·x = b for x using the factorization.
 func (f *LU) SolveVec(b []float64) ([]float64, error) {
+	x := make([]float64, f.lu.rows)
+	if err := f.SolveVecInto(x, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveVecInto solves A·x = b into the caller-provided x, which must not
+// alias b. It is the allocation-free form of SolveVec.
+func (f *LU) SolveVecInto(x, b []float64) error {
+	if !f.valid {
+		return fmt.Errorf("%w: factorization is not valid", ErrSingular)
+	}
 	n := f.lu.rows
 	if len(b) != n {
-		return nil, fmt.Errorf("%w: rhs of length %d for %dx%d system", ErrShape, len(b), n, n)
+		return fmt.Errorf("%w: rhs of length %d for %dx%d system", ErrShape, len(b), n, n)
 	}
-	x := make([]float64, n)
+	if len(x) != n {
+		return fmt.Errorf("%w: solution of length %d for %dx%d system", ErrShape, len(x), n, n)
+	}
 	// Apply permutation.
 	for i, p := range f.piv {
 		x[i] = b[p]
@@ -98,7 +151,7 @@ func (f *LU) SolveVec(b []float64) ([]float64, error) {
 		}
 		x[i] = (x[i] - s) / ri[i]
 	}
-	return x, nil
+	return nil
 }
 
 // Det returns the determinant of the factorized matrix.
@@ -113,21 +166,35 @@ func (f *LU) Det() float64 {
 
 // Inverse returns the inverse of the factorized matrix.
 func (f *LU) Inverse() (*Dense, error) {
+	inv := New(f.lu.rows, f.lu.rows)
+	if err := f.InverseInto(inv); err != nil {
+		return nil, err
+	}
+	return inv, nil
+}
+
+// InverseInto writes the inverse of the factorized matrix into dst, reusing
+// the workspace's scratch columns. It is the allocation-free form of Inverse.
+func (f *LU) InverseInto(dst *Dense) error {
+	if !f.valid {
+		return fmt.Errorf("%w: factorization is not valid", ErrSingular)
+	}
 	n := f.lu.rows
-	inv := New(n, n)
-	e := make([]float64, n)
+	if dst.rows != n || dst.cols != n {
+		return fmt.Errorf("%w: inverse of a %dx%d matrix into %dx%d", ErrShape, n, n, dst.rows, dst.cols)
+	}
+	e := f.rhs
 	for j := 0; j < n; j++ {
 		for i := range e {
 			e[i] = 0
 		}
 		e[j] = 1
-		col, err := f.SolveVec(e)
-		if err != nil {
-			return nil, err
+		if err := f.SolveVecInto(f.col, e); err != nil {
+			return err
 		}
-		inv.SetCol(j, col)
+		dst.SetCol(j, f.col)
 	}
-	return inv, nil
+	return nil
 }
 
 // Inverse returns m⁻¹, or ErrSingular if m is singular. m must be square.

@@ -181,19 +181,40 @@ func (m *Dense) Mul(other *Dense) (*Dense, error) {
 
 // MulVec returns the matrix-vector product m·v.
 func (m *Dense) MulVec(v []float64) ([]float64, error) {
-	if m.cols != len(v) {
-		return nil, fmt.Errorf("%w: %dx%d times vector of length %d", ErrShape, m.rows, m.cols, len(v))
-	}
 	out := make([]float64, m.rows)
+	if err := m.MulVecInto(out, v); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MulVecInto computes the matrix-vector product m·v into the caller-provided
+// dst, which must not alias v. It is the allocation-free form of MulVec.
+func (m *Dense) MulVecInto(dst, v []float64) error {
+	if m.cols != len(v) {
+		return fmt.Errorf("%w: %dx%d times vector of length %d", ErrShape, m.rows, m.cols, len(v))
+	}
+	if len(dst) != m.rows {
+		return fmt.Errorf("%w: product of length %d for %d rows", ErrShape, len(dst), m.rows)
+	}
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		var s float64
 		for j, r := range row {
 			s += r * v[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out, nil
+	return nil
+}
+
+// RowView returns row i aliasing the matrix storage — no copy. Callers must
+// treat the slice as read-only; it is valid until the matrix is resized.
+func (m *Dense) RowView(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("matrix: row %d out of range", i))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
 }
 
 // Scale multiplies every element by f in place and returns m.

@@ -240,8 +240,17 @@ type Evaluation struct {
 	MaxPosterior float64
 }
 
-// Evaluate computes both objectives and the bound value in one pass.
+// Evaluate computes both objectives and the bound value in one pass. It runs
+// the fused single-sweep evaluator on a throwaway Workspace; callers in hot
+// loops should hold a Workspace of their own and call its Evaluate directly.
 func Evaluate(m *rr.Matrix, prior []float64, records int) (Evaluation, error) {
+	return NewWorkspace().Evaluate(m, prior, records)
+}
+
+// EvaluateComposed computes the same Evaluation through the three standalone
+// metric functions. It exists as the reference implementation the fused
+// Workspace path is tested against; Evaluate is the faster equivalent.
+func EvaluateComposed(m *rr.Matrix, prior []float64, records int) (Evaluation, error) {
 	priv, err := Privacy(m, prior)
 	if err != nil {
 		return Evaluation{}, err

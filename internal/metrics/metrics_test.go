@@ -534,17 +534,3 @@ func BenchmarkUtilityIterative(b *testing.B) {
 		}
 	}
 }
-
-func BenchmarkEvaluate(b *testing.B) {
-	m, err := rr.Warner(10, 0.7)
-	if err != nil {
-		b.Fatal(err)
-	}
-	prior := uniformPrior(10)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := Evaluate(m, prior, 10000); err != nil {
-			b.Fatal(err)
-		}
-	}
-}

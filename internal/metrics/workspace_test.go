@@ -1,0 +1,177 @@
+package metrics
+
+import (
+	"errors"
+	"testing"
+
+	"optrr/internal/randx"
+	"optrr/internal/rr"
+)
+
+// randomStochastic draws a random column-stochastic matrix of size n. shape
+// tilts the draw: 0 uniform Dirichlet-ish columns, 1 near-deterministic
+// (diagonal mass ≈ 1, exercising the MSE round-off clamp), 2 near-singular
+// (all columns pulled toward one shared column, stressing the LU path).
+func randomStochastic(r *randx.Source, n, shape int) *rr.Matrix {
+	cols := make([][]float64, n)
+	draw := func() []float64 {
+		c := make([]float64, n)
+		var sum float64
+		for j := range c {
+			c[j] = r.Exp(1)
+			sum += c[j]
+		}
+		for j := range c {
+			c[j] /= sum
+		}
+		return c
+	}
+	switch shape {
+	case 1:
+		for i := range cols {
+			c := make([]float64, n)
+			eps := 1e-9 * (1 + r.Float64())
+			for j := range c {
+				c[j] = eps / float64(n-1)
+			}
+			c[i] = 1 - eps
+			cols[i] = c
+		}
+	case 2:
+		base := draw()
+		for i := range cols {
+			c := make([]float64, n)
+			noise := draw()
+			t := 1e-7 * (1 + r.Float64())
+			for j := range c {
+				c[j] = (1-t)*base[j] + t*noise[j]
+			}
+			cols[i] = c
+		}
+	default:
+		for i := range cols {
+			cols[i] = draw()
+		}
+	}
+	m, err := rr.FromColumns(cols)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func randomPrior(r *randx.Source, n int) []float64 {
+	p := make([]float64, n)
+	var sum float64
+	for i := range p {
+		p[i] = 0.01 + r.Float64()
+		sum += p[i]
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return p
+}
+
+// TestWorkspaceEvaluateMatchesComposed is the fused-path equivalence
+// property: on random column-stochastic matrices — including near-singular
+// and near-deterministic ones — the single-sweep Workspace evaluator must
+// reproduce the composed Privacy/Utility/MaxPosterior values bit-for-bit
+// (the optimizer's reproducibility guarantee depends on exact, not
+// approximate, agreement). One Workspace is reused across all trials and
+// sizes to exercise buffer reuse and resizing.
+func TestWorkspaceEvaluateMatchesComposed(t *testing.T) {
+	r := randx.New(2024)
+	ws := NewWorkspace()
+	trials := 0
+	for trial := 0; trial < 400; trial++ {
+		n := 2 + r.Intn(15)
+		shape := trial % 3
+		m := randomStochastic(r, n, shape)
+		prior := randomPrior(r, n)
+		records := 1 + r.Intn(100000)
+
+		want, wantErr := EvaluateComposed(m, prior, records)
+		got, gotErr := ws.Evaluate(m, prior, records)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("n=%d shape=%d: error mismatch: composed=%v fused=%v", n, shape, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if !errors.Is(gotErr, rr.ErrSingular) != !errors.Is(wantErr, rr.ErrSingular) {
+				t.Fatalf("n=%d shape=%d: error kind mismatch: composed=%v fused=%v", n, shape, wantErr, gotErr)
+			}
+			continue
+		}
+		trials++
+		if got != want {
+			t.Fatalf("n=%d shape=%d: fused %+v != composed %+v", n, shape, got, want)
+		}
+		// The package-level Evaluate must be the same fused result.
+		pkg, err := Evaluate(m, prior, records)
+		if err != nil || pkg != want {
+			t.Fatalf("n=%d shape=%d: Evaluate %+v (err %v) != composed %+v", n, shape, pkg, err, want)
+		}
+	}
+	if trials < 300 {
+		t.Fatalf("only %d feasible trials; generator is broken", trials)
+	}
+}
+
+// TestWorkspaceEvaluateHitsClampAndSingular pins the two edge branches the
+// random sweep must cover: the round-off clamp (near-deterministic matrices
+// drive quad−mean² slightly negative) and singular-matrix rejection.
+func TestWorkspaceEvaluateHitsClampAndSingular(t *testing.T) {
+	r := randx.New(7)
+	ws := NewWorkspace()
+
+	m := randomStochastic(r, 6, 1) // near-identity
+	prior := randomPrior(r, 6)
+	if _, err := ws.Evaluate(m, prior, 1000); err != nil {
+		t.Fatalf("near-deterministic matrix should evaluate: %v", err)
+	}
+
+	// Exactly singular: two identical columns.
+	col := []float64{0.5, 0.25, 0.25}
+	sing, err := rr.FromColumns([][]float64{col, col, {0.2, 0.3, 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ws.Evaluate(sing, []float64{0.3, 0.3, 0.4}, 1000); !errors.Is(err, rr.ErrSingular) {
+		t.Fatalf("singular matrix: got err %v, want ErrSingular", err)
+	}
+	// The workspace must stay usable after a singular failure.
+	if _, err := ws.Evaluate(randomStochastic(r, 3, 0), []float64{0.3, 0.3, 0.4}, 1000); err != nil {
+		t.Fatalf("workspace unusable after singular input: %v", err)
+	}
+}
+
+// TestWorkspaceMaxPosteriorMatchesPackage checks the allocation-free
+// MaxPosterior/MeetsBound against the posterior-matrix-based package
+// functions, bit-for-bit.
+func TestWorkspaceMaxPosteriorMatchesPackage(t *testing.T) {
+	r := randx.New(99)
+	ws := NewWorkspace()
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + r.Intn(15)
+		m := randomStochastic(r, n, trial%3)
+		prior := randomPrior(r, n)
+
+		want, wantErr := MaxPosterior(m, prior)
+		got, gotErr := ws.MaxPosterior(m, prior)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("n=%d: error mismatch: %v vs %v", n, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if got != want {
+			t.Fatalf("n=%d: workspace MaxPosterior %.17g != package %.17g", n, got, want)
+		}
+		delta := r.Float64()
+		wantOK, err1 := MeetsBound(m, prior, delta)
+		gotOK, err2 := ws.MeetsBound(m, prior, delta)
+		if err1 != nil || err2 != nil || wantOK != gotOK {
+			t.Fatalf("n=%d delta=%v: MeetsBound mismatch: %v/%v vs %v/%v", n, delta, wantOK, err1, gotOK, err2)
+		}
+	}
+}

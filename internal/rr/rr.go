@@ -69,6 +69,33 @@ func FromColumns(cols [][]float64) (*Matrix, error) {
 	return FromDense(d)
 }
 
+// NewScratchMatrix returns an n-category matrix intended as reusable storage
+// for SetColumns: the evaluation hot path materializes one genome after
+// another into the same matrix instead of allocating per genome. The initial
+// contents are the totally-random matrix (every entry 1/n), so the value is
+// valid even before the first SetColumns.
+func NewScratchMatrix(n int) *Matrix {
+	return TotallyRandom(n)
+}
+
+// SetColumns overwrites the matrix in place from column vectors
+// (cols[i][j] = θ_{j,i}) and re-validates. On error the matrix contents are
+// unspecified and must not be used until a successful SetColumns. The checks
+// and error values match FromColumns.
+func (m *Matrix) SetColumns(cols [][]float64) error {
+	n := m.N()
+	if len(cols) != n {
+		return fmt.Errorf("%w: %d columns for %d categories", ErrShape, len(cols), n)
+	}
+	for i, col := range cols {
+		if len(col) != n {
+			return fmt.Errorf("%w: column %d has %d entries, want %d", ErrShape, i, len(col), n)
+		}
+		m.m.SetCol(i, col)
+	}
+	return m.Validate()
+}
+
 // Validate checks the RR invariants and returns ErrNotStochastic on failure.
 func (m *Matrix) Validate() error {
 	n := m.N()
@@ -119,6 +146,34 @@ func (m *Matrix) DisguisedDistribution(p []float64) ([]float64, error) {
 		return nil, fmt.Errorf("%w: distribution of length %d for %d categories", ErrShape, len(p), m.N())
 	}
 	return m.m.MulVec(p)
+}
+
+// DisguisedDistributionInto computes P* = M·P into the caller-provided dst
+// (length n, must not alias p) — the allocation-free form of
+// DisguisedDistribution.
+func (m *Matrix) DisguisedDistributionInto(dst, p []float64) error {
+	if len(p) != m.N() {
+		return fmt.Errorf("%w: distribution of length %d for %d categories", ErrShape, len(p), m.N())
+	}
+	return m.m.MulVecInto(dst, p)
+}
+
+// ThetaRow returns row j of the matrix — the vector (θ_{j,0}, …, θ_{j,n-1})
+// of probabilities that each original category reports c_j — aliasing the
+// matrix storage. Callers must treat the slice as read-only.
+func (m *Matrix) ThetaRow(j int) []float64 { return m.m.RowView(j) }
+
+// FactorizeInto recomputes f as the LU factorization of the matrix, reusing
+// f's buffers — the allocation-free path behind Inverse. It returns
+// ErrSingular for singular matrices.
+func (m *Matrix) FactorizeInto(f *matrix.LU) error {
+	if err := f.Factorize(m.m); err != nil {
+		if errors.Is(err, matrix.ErrSingular) {
+			return fmt.Errorf("%w: %v", ErrSingular, err)
+		}
+		return err
+	}
+	return nil
 }
 
 // Inverse returns M⁻¹ or ErrSingular.
