@@ -3,13 +3,14 @@
 # the repo root. Fails fast on the first broken stage.
 #
 #   formatting   gofmt -l over all tracked Go files
-#   analysis     go vet ./...
+#   analysis     go vet ./...; staticcheck when installed (warn-only)
 #   build        go build ./...
 #   tests        go test ./...
 #   race           go test -race over the concurrency-critical packages
 #   bench smoke    the BenchmarkOptimize pair plus the hot-path
 #                  micro-benchmarks (fused evaluation, SPEA2 scratch, bound
-#                  repair) at pinned -benchtime/-count with -benchmem, all
+#                  repair) and the safe-vs-sharded collector contention
+#                  matrix, at pinned -benchtime/-count with -benchmem, all
 #                  rendered into BENCH_optimize.json
 #   bench compare  warn-only diff of the fresh run against the committed
 #                  BENCH_optimize.json via cmd/benchdiff (allocation counts
@@ -29,6 +30,14 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== staticcheck (warn-only) =="
+# Not part of the baked toolchain; run it when available, never fail on it.
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./... || echo "staticcheck reported issues (warn-only)" >&2
+else
+    echo "staticcheck not installed; skipping"
+fi
+
 echo "== go build =="
 go build ./...
 
@@ -46,6 +55,7 @@ go test -run '^$' -bench '^BenchmarkOptimize' -benchtime=3x -count=1 -benchmem .
 go test -run '^$' -bench '^(BenchmarkEvaluate|BenchmarkMaxPosterior)$' -benchtime=2000x -count=1 -benchmem ./internal/metrics | tee -a BENCH_optimize.txt
 go test -run '^$' -bench '^(BenchmarkAssignFitness|BenchmarkTruncate)$' -benchtime=50x -count=1 -benchmem ./internal/emoo | tee -a BENCH_optimize.txt
 go test -run '^$' -bench '^(BenchmarkRepair|BenchmarkRealizeSteadyState)$' -benchtime=200x -count=1 -benchmem ./internal/core | tee -a BENCH_optimize.txt
+go test -run '^$' -bench '^BenchmarkCollectorContention' -benchtime=100000x -count=1 -benchmem ./internal/collector | tee -a BENCH_optimize.txt
 # Render the benchmark lines ("BenchmarkName  iters  value unit ...") as a
 # JSON array so downstream tooling can diff runs.
 awk '

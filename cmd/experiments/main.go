@@ -15,8 +15,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"os"
+	"os/signal"
 
 	"optrr/internal/experiments"
 )
@@ -35,8 +37,20 @@ func main() {
 		plot        = flag.Bool("plot", false, "print ASCII plots of the fronts")
 		tracePath   = flag.String("trace", "", "write a JSONL run trace to this path")
 		metricsAddr = flag.String("metrics-addr", "", "serve expvar, pprof and /metrics on host:port while running")
+		timeout     = flag.Duration("timeout", 0, "stop the whole run after this long (0 = no limit); Ctrl-C also stops gracefully")
 	)
 	flag.Parse()
+
+	// Ctrl-C (and -timeout) cancel the run between generations: the current
+	// experiment aborts with the context error and later experiments are
+	// skipped, instead of the process dying mid-search.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	cfg := experiments.Config{}
 	if *paper {
@@ -55,6 +69,7 @@ func main() {
 		cfg.Categories = *categories
 	}
 	cfg.Seed = *seed
+	cfg.Context = ctx
 
 	os.Exit(run(options{
 		runIDs:      *runIDs,

@@ -82,6 +82,13 @@ func run(opts options, stdout, stderr io.Writer) int {
 
 	failed := 0
 	for _, e := range selected {
+		// A cancelled run (Ctrl-C, -timeout) stops between experiments;
+		// the interrupted experiment itself has already reported its error.
+		if ctx := opts.cfg.Context; ctx != nil && ctx.Err() != nil {
+			fmt.Fprintf(stderr, "run stopped (%v); skipping remaining experiments\n", ctx.Err())
+			failed++
+			break
+		}
 		start := time.Now()
 		rep, err := e.Run(opts.cfg)
 		if err != nil {

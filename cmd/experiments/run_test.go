@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -10,6 +11,28 @@ import (
 
 	"optrr/internal/experiments"
 )
+
+// TestRunCancelledContext: a cancelled context makes the run stop — the
+// first experiment aborts with the context error, the rest are skipped, and
+// the exit code is non-zero.
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errOut bytes.Buffer
+	code := run(options{
+		runIDs: "fig4a,fig4b",
+		cfg:    experiments.Config{WarnerSteps: 100, Generations: 50, Context: ctx},
+	}, &out, &errOut)
+	if code == 0 {
+		t.Fatalf("exit code 0 for a cancelled run; stdout: %s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "context canceled") {
+		t.Fatalf("stderr does not surface the cancellation: %s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "skipping remaining experiments") {
+		t.Fatalf("run did not stop between experiments: %s", errOut.String())
+	}
+}
 
 func TestRunList(t *testing.T) {
 	var out, errOut bytes.Buffer

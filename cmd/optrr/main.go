@@ -24,10 +24,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -56,9 +59,14 @@ func main() {
 		tracePath   = flag.String("trace", "", "write a JSONL run trace to this path")
 		metricsAddr = flag.String("metrics-addr", "", "serve expvar, pprof and /metrics on host:port while running")
 		collectN    = flag.Int("collect", 0, "simulate a collection campaign of this many reports through the picked matrix")
+		timeout     = flag.Duration("timeout", 0, "stop the search after this long and report the best-so-far front (0 = no limit); Ctrl-C does the same")
 	)
 	flag.Parse()
 
+	if err := validateFlags(*records, *delta, *generations, *collectN); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	prior, err := resolvePrior(*priorFlag, *distFlag, *dataFlag, *categories)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -91,11 +99,26 @@ func main() {
 	if *metricsAddr != "" {
 		prob.Metrics = telem.Registry
 	}
+	// Ctrl-C (and -timeout) stop the search at the next generation boundary;
+	// the best-so-far front is still reported, so a long run interrupted
+	// late loses nothing but the remaining budget.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	start := time.Now()
-	res, err := optrr.Optimize(prob)
+	res, err := optrr.OptimizeContext(ctx, prob)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		if res == nil || len(res.Front) == 0 ||
+			!(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "search interrupted (%v); reporting the best-so-far front\n", err)
 	}
 	fmt.Printf("prior: %s\n", formatVec(prior))
 	fmt.Printf("front: %d optimal matrices in %v (%d evaluations)\n",
@@ -235,6 +258,24 @@ func simulateCollection(m *optrr.Matrix, prior []float64, n int, seed uint64, te
 		fmt.Printf("  c%-3d %.4f ±%.4f (true %.4f)\n", k, est, sum.HalfWidth[k], prior[k])
 	}
 	fmt.Printf("worst-case margin of error: ±%.4f\n", margin)
+	return nil
+}
+
+// validateFlags fails fast on flag values that would otherwise surface as a
+// confusing optimizer or collector error minutes into a run.
+func validateFlags(records int, delta float64, generations, collectN int) error {
+	if records <= 0 {
+		return fmt.Errorf("-records must be positive, got %d", records)
+	}
+	if delta <= 0 || delta > 1 {
+		return fmt.Errorf("-delta must be in (0, 1], got %v", delta)
+	}
+	if generations <= 0 {
+		return fmt.Errorf("-generations must be positive, got %d", generations)
+	}
+	if collectN < 0 {
+		return fmt.Errorf("-collect must be non-negative, got %d", collectN)
+	}
 	return nil
 }
 

@@ -97,6 +97,30 @@ func TestResolvePriorDataFileErrors(t *testing.T) {
 	}
 }
 
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(10000, 0.8, 3000, 0); err != nil {
+		t.Fatalf("default flags rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name        string
+		records     int
+		delta       float64
+		generations int
+		collectN    int
+	}{
+		{"zero records", 0, 0.8, 3000, 0},
+		{"negative records", -5, 0.8, 3000, 0},
+		{"zero delta", 10000, 0, 3000, 0},
+		{"delta above one", 10000, 1.5, 3000, 0},
+		{"zero generations", 10000, 0.8, 0, 0},
+		{"negative collect", 10000, 0.8, 3000, -1},
+	} {
+		if err := validateFlags(tc.records, tc.delta, tc.generations, tc.collectN); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}
+
 func TestFormatVec(t *testing.T) {
 	got := formatVec([]float64{0.5, 0.25})
 	if got != "[0.5000 0.2500]" {

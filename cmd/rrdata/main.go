@@ -41,6 +41,11 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := validateFlags(*categories, *records, *warnerP); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	telem, err := obs.OpenCLI(*tracePath, *metricsAddr, "rrdata")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -110,6 +115,21 @@ func main() {
 			"ms":         float64(time.Since(start).Microseconds()) / 1e3,
 		})
 	}
+}
+
+// validateFlags fails fast on flag values that rr or dataset would only
+// reject after the generator has started producing output.
+func validateFlags(categories, records int, warnerP float64) error {
+	if categories < 2 {
+		return fmt.Errorf("-categories must be at least 2, got %d", categories)
+	}
+	if records <= 0 {
+		return fmt.Errorf("-records must be positive, got %d", records)
+	}
+	if warnerP < 0 || warnerP > 1 {
+		return fmt.Errorf("-warner must be in [0, 1], got %v", warnerP)
+	}
+	return nil
 }
 
 // disguiseFile disguises every record of path with Warner(p) and returns how

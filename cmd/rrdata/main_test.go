@@ -50,6 +50,27 @@ func TestDisguiseFile(t *testing.T) {
 	}
 }
 
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(10, 10000, 0.7); err != nil {
+		t.Fatalf("default flags rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name       string
+		categories int
+		records    int
+		warnerP    float64
+	}{
+		{"one category", 1, 10000, 0.7},
+		{"zero records", 10, 0, 0.7},
+		{"negative warner", 10, 10000, -0.1},
+		{"warner above one", 10, 10000, 1.5},
+	} {
+		if err := validateFlags(tc.categories, tc.records, tc.warnerP); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}
+
 func TestDisguiseFileErrors(t *testing.T) {
 	var buf bytes.Buffer
 	w := bufio.NewWriter(&buf)

@@ -48,6 +48,11 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := validateFlags(*warnerP, *depth); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	telem, err := obs.OpenCLI(*tracePath, *metricsAddr, "rrmine")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -205,6 +210,18 @@ func main() {
 		fmt.Printf("\nnaive Bayes (trained on disguised rows): %.1f%% accuracy on clean rows\n", 100*acc)
 		stage("bayes", stageStart, obs.Fields{"accuracy": acc})
 	}
+}
+
+// validateFlags fails fast on flag values that would only be rejected after
+// the table is loaded and disguising has begun.
+func validateFlags(warnerP float64, depth int) error {
+	if warnerP < 0 || warnerP > 1 {
+		return fmt.Errorf("-warner must be in [0, 1], got %v", warnerP)
+	}
+	if depth < 0 {
+		return fmt.Errorf("-depth must be non-negative, got %d", depth)
+	}
+	return nil
 }
 
 // loadTable reads the CSV or synthesizes the demo table.

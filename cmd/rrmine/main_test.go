@@ -7,6 +7,21 @@ import (
 	"testing"
 )
 
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(0.8, 0); err != nil {
+		t.Fatalf("default flags rejected: %v", err)
+	}
+	if err := validateFlags(-0.1, 0); err == nil {
+		t.Error("negative warner accepted")
+	}
+	if err := validateFlags(1.5, 0); err == nil {
+		t.Error("warner above one accepted")
+	}
+	if err := validateFlags(0.8, -1); err == nil {
+		t.Error("negative depth accepted")
+	}
+}
+
 func TestLoadTableDemo(t *testing.T) {
 	table, err := loadTable("", true, 1)
 	if err != nil {

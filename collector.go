@@ -23,6 +23,12 @@ type Respondent = collector.Respondent
 // SafeCollector is a Collector safe for concurrent ingestion and querying.
 type SafeCollector = collector.SafeCollector
 
+// ShardedCollector is a concurrency-safe collector that stripes counts
+// across independently locked shards, for ingestion rates where a single
+// mutex becomes the bottleneck. Queries are consistent points in time and
+// match SafeCollector bit for bit on identical streams.
+type ShardedCollector = collector.ShardedCollector
+
 // NewCollector returns a collector for reports disguised with m. It is not
 // safe for concurrent use; see NewSafeCollector.
 func NewCollector(m *Matrix) *Collector { return collector.New(m) }
@@ -30,6 +36,19 @@ func NewCollector(m *Matrix) *Collector { return collector.New(m) }
 // NewSafeCollector returns a concurrency-safe collector for reports
 // disguised with m.
 func NewSafeCollector(m *Matrix) *SafeCollector { return collector.NewSafe(m) }
+
+// NewShardedCollector returns a sharded collector for reports disguised
+// with m, striped across the given number of shards (<= 0 picks a default
+// sized to GOMAXPROCS).
+func NewShardedCollector(m *Matrix, shards int) *ShardedCollector {
+	return collector.NewSharded(m, shards)
+}
+
+// RestoreShardedCollector rebuilds a sharded collector from a snapshot
+// produced by its MarshalJSON, for crash recovery of a running campaign.
+func RestoreShardedCollector(data []byte, shards int) (*ShardedCollector, error) {
+	return collector.RestoreSharded(data, shards)
+}
 
 // NewRespondent prepares a respondent holding the given private value.
 func NewRespondent(m *Matrix, value int) (*Respondent, error) {

@@ -1,0 +1,101 @@
+package optrr_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"optrr"
+	"optrr/internal/core"
+)
+
+// TestOptimizeContextAlreadyCancelled: the public contract — a cancelled
+// context returns promptly with a non-nil (empty-front) Result and an error
+// wrapping context.Canceled.
+func TestOptimizeContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := optrr.OptimizeContext(ctx, optrr.Problem{
+		Prior:       []float64{0.4, 0.3, 0.2, 0.1},
+		Records:     1000,
+		Delta:       0.8,
+		Seed:        1,
+		Generations: 100,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapping context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("result is nil; want a partial (empty-front) result")
+	}
+	if len(res.Front) != 0 {
+		t.Fatalf("front has %d points before any work", len(res.Front))
+	}
+}
+
+// TestOptimizeContextMidRun cancels deterministically from a Progress
+// callback a few generations in and checks the partial front is returned,
+// sorted and aligned with usable matrices.
+func TestOptimizeContextMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := core.DefaultConfig([]float64{0.4, 0.3, 0.2, 0.1}, 1000, 0.8)
+	cfg.Generations = 1000
+	cfg.PopulationSize = 12
+	cfg.ArchiveSize = 12
+	cfg.Workers = 1
+	cfg.Progress = func(st core.Stats) {
+		if st.Generation >= 4 {
+			cancel()
+		}
+	}
+	res, err := optrr.OptimizeContext(ctx, optrr.Problem{
+		Prior:    []float64{0.4, 0.3, 0.2, 0.1},
+		Records:  1000,
+		Delta:    0.8,
+		Seed:     1,
+		Advanced: &cfg,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapping context.Canceled", err)
+	}
+	if res == nil || len(res.Front) == 0 {
+		t.Fatal("cancelled run returned no best-so-far front")
+	}
+	if res.Generations >= 1000 {
+		t.Fatalf("generations = %d; cancellation did not stop the run", res.Generations)
+	}
+	ms := res.Matrices()
+	if len(ms) != len(res.Front) {
+		t.Fatalf("front/matrices misaligned: %d vs %d", len(res.Front), len(ms))
+	}
+	for i := 1; i < len(res.Front); i++ {
+		if res.Front[i].Privacy < res.Front[i-1].Privacy {
+			t.Fatalf("partial front not sorted by privacy at %d", i)
+		}
+	}
+	// The partial matrices are valid RR matrices the caller can deploy.
+	for i, m := range ms {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("matrix %d invalid: %v", i, err)
+		}
+	}
+}
+
+// TestOptimizeBackgroundUnaffected pins that Optimize still succeeds with no
+// error under the refactor to OptimizeContext.
+func TestOptimizeBackgroundUnaffected(t *testing.T) {
+	res, err := optrr.Optimize(optrr.Problem{
+		Prior:       []float64{0.5, 0.3, 0.2},
+		Records:     1000,
+		Delta:       0.8,
+		Seed:        1,
+		Generations: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("empty front")
+	}
+}

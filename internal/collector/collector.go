@@ -9,9 +9,7 @@ package collector
 import (
 	"errors"
 	"fmt"
-	"math"
 
-	"optrr/internal/metrics"
 	"optrr/internal/randx"
 	"optrr/internal/rr"
 )
@@ -26,7 +24,8 @@ var (
 
 // Collector accumulates disguised reports for one attribute and answers
 // distribution queries at any point during collection. It is not safe for
-// concurrent use; wrap it with a mutex if multiple goroutines ingest.
+// concurrent use; wrap it with a mutex (SafeCollector) or stripe it
+// (ShardedCollector) if multiple goroutines ingest.
 //
 // Instrument attaches live metrics and structured trace events; a bare
 // collector carries no instrumentation and pays nothing for the hooks.
@@ -35,11 +34,16 @@ type Collector struct {
 	counts []int
 	total  int
 	ins    *instrumentation
+	// sv caches the LU factorization (and inverse) of m, computed once at
+	// construction: queries are triangular solves, not refactorizations.
+	sv *solver
 }
 
-// New returns a collector for reports disguised with the given matrix.
+// New returns a collector for reports disguised with the given matrix. The
+// matrix is factorized once here; a singular matrix is accepted (ingestion
+// still works) but every estimate query will return rr.ErrSingular.
 func New(m *rr.Matrix) *Collector {
-	return &Collector{m: m, counts: make([]int, m.N())}
+	return &Collector{m: m, counts: make([]int, m.N()), sv: newSolver(m)}
 }
 
 // Categories returns the attribute domain size.
@@ -98,14 +102,15 @@ func (c *Collector) Disguised() ([]float64, error) {
 }
 
 // Estimate reconstructs the original distribution from the reports ingested
-// so far (inversion estimator, Theorem 1). Components may fall slightly
-// outside [0, 1] for small samples; see EstimateClipped.
+// so far (inversion estimator, Theorem 1) through the cached factorization.
+// Components may fall slightly outside [0, 1] for small samples; see
+// EstimateClipped.
 func (c *Collector) Estimate() ([]float64, error) {
 	pStar, err := c.Disguised()
 	if err != nil {
 		return nil, err
 	}
-	return c.m.EstimateInversionFromDistribution(pStar)
+	return c.sv.estimate(pStar)
 }
 
 // EstimateClipped is Estimate projected onto the probability simplex.
@@ -134,35 +139,12 @@ type Summary struct {
 
 // Snapshot returns the current reconstruction with z-quantile confidence
 // half-widths (z = 1.96 for ~95%). The variance comes from Theorem 6
-// evaluated at the clipped estimate.
+// evaluated at the clipped estimate, through the inverse cached at
+// construction.
 func (c *Collector) Snapshot(z float64) (Summary, error) {
-	if z <= 0 {
-		return Summary{}, fmt.Errorf("collector: z must be positive, got %v", z)
-	}
-	disguised, err := c.Disguised()
+	s, err := summarize(c.sv, c.counts, c.total, z)
 	if err != nil {
 		return Summary{}, err
-	}
-	est, err := c.EstimateClipped()
-	if err != nil {
-		return Summary{}, err
-	}
-	mses, err := metrics.PerCategoryMSE(c.m, est, c.total)
-	if err != nil {
-		return Summary{}, fmt.Errorf("collector: %w", err)
-	}
-	half := make([]float64, len(mses))
-	for k, v := range mses {
-		if v > 0 {
-			half[k] = z * math.Sqrt(v)
-		}
-	}
-	s := Summary{
-		Reports:   c.total,
-		Disguised: disguised,
-		Estimate:  est,
-		HalfWidth: half,
-		Z:         z,
 	}
 	c.ins.observeSnapshot(s)
 	return s, nil
@@ -176,13 +158,7 @@ func (c *Collector) MarginOfError(z float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	var worst float64
-	for _, h := range s.HalfWidth {
-		if h > worst {
-			worst = h
-		}
-	}
-	return worst, nil
+	return s.worstHalfWidth(), nil
 }
 
 // ReportsForMargin returns the approximate number of reports needed for the
@@ -190,23 +166,7 @@ func (c *Collector) MarginOfError(z float64) (float64, error) {
 // assuming the current estimate of the distribution. It needs at least one
 // ingested report to calibrate.
 func (c *Collector) ReportsForMargin(margin, z float64) (int, error) {
-	if margin <= 0 {
-		return 0, fmt.Errorf("collector: margin must be positive, got %v", margin)
-	}
-	cur, err := c.MarginOfError(z)
-	if err != nil {
-		return 0, err
-	}
-	if cur <= margin {
-		return c.total, nil
-	}
-	// Half-widths scale as 1/sqrt(N).
-	scale := cur / margin
-	need := float64(c.total) * scale * scale
-	if need > math.MaxInt32 {
-		return math.MaxInt32, nil
-	}
-	return int(math.Ceil(need)), nil
+	return reportsForMargin(c.sv, c.counts, c.total, margin, z)
 }
 
 // Respondent models one individual: a private value and the shared disguise

@@ -33,6 +33,14 @@ type instrumentation struct {
 // them served must pass their own). Call before ingestion starts; the
 // method is not synchronized with concurrent use.
 func (c *Collector) Instrument(rec obs.Recorder, reg *obs.Registry) {
+	c.ins = newInstrumentation(rec, reg, len(c.counts))
+}
+
+// newInstrumentation builds the shared metric set for an n-category
+// collector. Collector and ShardedCollector both register under the same
+// metric names, so dashboards don't care which collector variant is behind
+// the campaign.
+func newInstrumentation(rec obs.Recorder, reg *obs.Registry, n int) *instrumentation {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
@@ -42,7 +50,7 @@ func (c *Collector) Instrument(rec obs.Recorder, reg *obs.Registry) {
 		batches:    reg.Counter("collector.batches"),
 		badReports: reg.Counter("collector.bad_reports"),
 		snapshots:  reg.Counter("collector.snapshots"),
-		perCat:     make([]*obs.Counter, len(c.counts)),
+		perCat:     make([]*obs.Counter, n),
 		margin:     reg.Gauge("collector.margin"),
 		batchSize: reg.Histogram("collector.batch_size",
 			[]float64{1, 10, 100, 1000, 10000, 100000}),
@@ -50,7 +58,7 @@ func (c *Collector) Instrument(rec obs.Recorder, reg *obs.Registry) {
 	for k := range ins.perCat {
 		ins.perCat[k] = reg.Counter(fmt.Sprintf("collector.reports.cat%d", k))
 	}
-	c.ins = ins
+	return ins
 }
 
 // observeIngest updates the per-report counters.

@@ -1,0 +1,302 @@
+package collector
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"optrr/internal/obs"
+	"optrr/internal/rr"
+)
+
+// ShardedCollector stripes the per-category counts across independently
+// locked shards so many goroutines can ingest without serializing on one
+// mutex (the SafeCollector bottleneck). Single reports rotate across shards
+// with an atomic cursor; a batch lands whole on one shard, so batch callers
+// pay one lock acquisition per batch regardless of shard count.
+//
+// Query methods (Count, Estimate, Snapshot, …) lock every shard in index
+// order before reading, so they observe a consistent point in time exactly
+// like SafeCollector — a report is either fully in the view or not at all.
+// Estimates go through the same cached LU factorization as Collector, so a
+// ShardedCollector and a SafeCollector fed the same stream answer every
+// query with bit-for-bit identical numbers.
+//
+// The zero value is not usable; construct with NewSharded or RestoreSharded.
+type ShardedCollector struct {
+	m      *rr.Matrix
+	sv     *solver
+	shards []shard
+	cursor atomic.Uint64
+	ins    *instrumentation
+}
+
+// shard is one stripe of counts behind its own lock, padded out to a cache
+// line so neighbouring shards' mutexes don't false-share.
+type shard struct {
+	mu     sync.Mutex
+	total  int
+	counts []int
+	_      [24]byte
+}
+
+// NewSharded returns a sharded collector for reports disguised with m,
+// striped across the given number of shards. shards <= 0 picks a default
+// sized to the scheduler (GOMAXPROCS). As with New, a singular matrix is
+// accepted — ingestion works, estimate queries return rr.ErrSingular.
+func NewSharded(m *rr.Matrix, shards int) *ShardedCollector {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+		if shards < 1 {
+			shards = 1
+		}
+	}
+	c := &ShardedCollector{
+		m:      m,
+		sv:     newSolver(m),
+		shards: make([]shard, shards),
+	}
+	for i := range c.shards {
+		c.shards[i].counts = make([]int, m.N())
+	}
+	return c
+}
+
+// Categories returns the attribute domain size.
+func (c *ShardedCollector) Categories() int { return c.m.N() }
+
+// Shards returns the number of stripes.
+func (c *ShardedCollector) Shards() int { return len(c.shards) }
+
+// Instrument attaches a recorder and metrics registry (see
+// Collector.Instrument); the metric names are identical, so dashboards don't
+// care which collector variant runs the campaign. Call before ingestion
+// starts — the attachment itself is not synchronized, though the attached
+// counters are safe for the concurrent ingestion that follows.
+func (c *ShardedCollector) Instrument(rec obs.Recorder, reg *obs.Registry) {
+	c.ins = newInstrumentation(rec, reg, c.m.N())
+}
+
+// Ingest adds one disguised report, rotating across shards.
+func (c *ShardedCollector) Ingest(report int) error {
+	if report < 0 || report >= c.m.N() {
+		c.ins.observeBad()
+		return fmt.Errorf("%w: %d of %d categories", ErrBadReport, report, c.m.N())
+	}
+	sh := &c.shards[c.cursor.Add(1)%uint64(len(c.shards))]
+	sh.mu.Lock()
+	sh.counts[report]++
+	sh.total++
+	sh.mu.Unlock()
+	c.ins.observeIngest(report)
+	return nil
+}
+
+// IngestBatch adds many reports atomically onto one shard; on error the
+// collector state is unchanged.
+func (c *ShardedCollector) IngestBatch(reports []int) error {
+	n := c.m.N()
+	for _, r := range reports {
+		if r < 0 || r >= n {
+			c.ins.observeBad()
+			return fmt.Errorf("%w: %d of %d categories", ErrBadReport, r, n)
+		}
+	}
+	sh := &c.shards[c.cursor.Add(1)%uint64(len(c.shards))]
+	sh.mu.Lock()
+	for _, r := range reports {
+		sh.counts[r]++
+	}
+	sh.total += len(reports)
+	sh.mu.Unlock()
+	if c.ins != nil {
+		for _, r := range reports {
+			c.ins.observeIngest(r)
+		}
+		c.ins.observeBatch(len(reports), c.Count())
+	}
+	return nil
+}
+
+// lockAll acquires every shard lock in index order (the fixed order makes
+// nested acquisition deadlock-free) and returns the unlock function.
+func (c *ShardedCollector) lockAll() func() {
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+	}
+	return func() {
+		for i := range c.shards {
+			c.shards[i].mu.Unlock()
+		}
+	}
+}
+
+// counts folds the shard stripes into one consistent (counts, total) view.
+func (c *ShardedCollector) countsLocked() ([]int, int) {
+	out := make([]int, c.m.N())
+	total := 0
+	for i := range c.shards {
+		total += c.shards[i].total
+		for k, v := range c.shards[i].counts {
+			out[k] += v
+		}
+	}
+	return out, total
+}
+
+// Count returns the number of reports ingested so far.
+func (c *ShardedCollector) Count() int {
+	defer c.lockAll()()
+	_, total := c.countsLocked()
+	return total
+}
+
+// Counts returns a consistent copy of the per-category report counts.
+func (c *ShardedCollector) Counts() []int {
+	defer c.lockAll()()
+	counts, _ := c.countsLocked()
+	return counts
+}
+
+// Disguised returns the empirical distribution of the disguised reports.
+func (c *ShardedCollector) Disguised() ([]float64, error) {
+	defer c.lockAll()()
+	counts, total := c.countsLocked()
+	if total == 0 {
+		return nil, ErrNoReports
+	}
+	out := make([]float64, len(counts))
+	inv := 1 / float64(total)
+	for i, n := range counts {
+		out[i] = float64(n) * inv
+	}
+	return out, nil
+}
+
+// Estimate reconstructs the original distribution from the reports so far
+// (inversion estimator, Theorem 1) through the cached factorization.
+func (c *ShardedCollector) Estimate() ([]float64, error) {
+	pStar, err := c.Disguised()
+	if err != nil {
+		return nil, err
+	}
+	return c.sv.estimate(pStar)
+}
+
+// EstimateClipped is Estimate projected onto the probability simplex.
+func (c *ShardedCollector) EstimateClipped() ([]float64, error) {
+	est, err := c.Estimate()
+	if err != nil {
+		return nil, err
+	}
+	return rr.Clip(est), nil
+}
+
+// Snapshot returns a consistent point-in-time view with confidence
+// half-widths at quantile z (see Collector.Snapshot).
+func (c *ShardedCollector) Snapshot(z float64) (Summary, error) {
+	unlock := c.lockAll()
+	counts, total := c.countsLocked()
+	unlock()
+	s, err := summarize(c.sv, counts, total, z)
+	if err != nil {
+		return Summary{}, err
+	}
+	c.ins.observeSnapshot(s)
+	return s, nil
+}
+
+// MarginOfError returns the worst-category half-width at quantile z.
+func (c *ShardedCollector) MarginOfError(z float64) (float64, error) {
+	s, err := c.Snapshot(z)
+	if err != nil {
+		return 0, err
+	}
+	return s.worstHalfWidth(), nil
+}
+
+// ReportsForMargin projects the reports needed to reach the target margin.
+func (c *ShardedCollector) ReportsForMargin(margin, z float64) (int, error) {
+	unlock := c.lockAll()
+	counts, total := c.countsLocked()
+	unlock()
+	return reportsForMargin(c.sv, counts, total, margin, z)
+}
+
+// Merge folds a consistent view of other's counts into c, e.g. to combine
+// per-region collectors into a campaign-wide one. The two collectors must
+// use the same disguise matrix — merging streams disguised under different
+// matrices would make the inversion estimator meaningless. other is left
+// unchanged. Merging a collector into itself deadlocks; don't.
+func (c *ShardedCollector) Merge(other *ShardedCollector) error {
+	if c.m.N() != other.m.N() {
+		return fmt.Errorf("%w: merging %d categories into %d", rr.ErrShape, other.m.N(), c.m.N())
+	}
+	for i := 0; i < c.m.N(); i++ {
+		for j := 0; j < c.m.N(); j++ {
+			if c.m.Theta(j, i) != other.m.Theta(j, i) {
+				return fmt.Errorf("collector: merge requires identical disguise matrices (entry [%d][%d] differs)", j, i)
+			}
+		}
+	}
+	unlock := other.lockAll()
+	counts, total := other.countsLocked()
+	unlock()
+	sh := &c.shards[c.cursor.Add(1)%uint64(len(c.shards))]
+	sh.mu.Lock()
+	for k, v := range counts {
+		sh.counts[k] += v
+	}
+	sh.total += total
+	sh.mu.Unlock()
+	if c.ins != nil {
+		c.ins.observeBatch(total, c.Count())
+	}
+	return nil
+}
+
+// shardedJSON is the crash-recovery wire form: the disguise matrix plus a
+// consistent fold of the counts. Shard layout is an in-memory concern and
+// deliberately not persisted — restore re-stripes freely.
+type shardedJSON struct {
+	Matrix *rr.Matrix `json:"matrix"`
+	Counts []int      `json:"counts"`
+}
+
+// MarshalJSON serializes a consistent snapshot of the collection state
+// (matrix + folded counts) for crash recovery.
+func (c *ShardedCollector) MarshalJSON() ([]byte, error) {
+	unlock := c.lockAll()
+	counts, _ := c.countsLocked()
+	unlock()
+	return json.Marshal(shardedJSON{Matrix: c.m, Counts: counts})
+}
+
+// RestoreSharded rebuilds a sharded collector from a MarshalJSON snapshot,
+// striped across the given number of shards (<= 0 picks the default). The
+// matrix is validated on decode; counts must match its dimension and be
+// non-negative.
+func RestoreSharded(data []byte, shards int) (*ShardedCollector, error) {
+	var raw shardedJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("collector: decoding snapshot: %w", err)
+	}
+	if raw.Matrix == nil {
+		return nil, fmt.Errorf("collector: snapshot has no matrix")
+	}
+	if len(raw.Counts) != raw.Matrix.N() {
+		return nil, fmt.Errorf("%w: %d counts for %d categories", rr.ErrShape, len(raw.Counts), raw.Matrix.N())
+	}
+	c := NewSharded(raw.Matrix, shards)
+	sh := &c.shards[0]
+	for k, v := range raw.Counts {
+		if v < 0 {
+			return nil, fmt.Errorf("collector: snapshot count[%d] = %d is negative", k, v)
+		}
+		sh.counts[k] = v
+		sh.total += v
+	}
+	return c, nil
+}

@@ -1,0 +1,324 @@
+package collector
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"optrr/internal/randx"
+	"optrr/internal/rr"
+)
+
+// TestShardedMatchesSafeExactly pins the headline equivalence claim: a
+// ShardedCollector and a SafeCollector fed the identical report stream give
+// bit-for-bit identical answers to every query — both reconstruct through
+// the same cached factorization of the same matrix over the same folded
+// counts, so no tolerance is needed.
+func TestShardedMatchesSafeExactly(t *testing.T) {
+	m := mustWarner(t, 5, 0.7)
+	safe := NewSafe(m)
+	sharded := NewSharded(m, 8)
+
+	rng := randx.New(42)
+	for i := 0; i < 5000; i++ {
+		r := rng.Intn(5)
+		if err := safe.Ingest(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := sharded.Ingest(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := make([]int, 500)
+	for j := range batch {
+		batch[j] = rng.Intn(5)
+	}
+	if err := safe.IngestBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.IngestBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+
+	if safe.Count() != sharded.Count() {
+		t.Fatalf("count: safe %d, sharded %d", safe.Count(), sharded.Count())
+	}
+	wantEst, err := safe.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotEst, err := sharded.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range wantEst {
+		if wantEst[k] != gotEst[k] {
+			t.Fatalf("estimate[%d]: safe %v, sharded %v (must match exactly)", k, wantEst[k], gotEst[k])
+		}
+	}
+	wantSum, err := safe.Snapshot(1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSum, err := sharded.Snapshot(1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantSum.Reports != gotSum.Reports {
+		t.Fatalf("snapshot reports: %d vs %d", wantSum.Reports, gotSum.Reports)
+	}
+	for k := range wantSum.Estimate {
+		if wantSum.Estimate[k] != gotSum.Estimate[k] {
+			t.Fatalf("snapshot estimate[%d]: %v vs %v", k, wantSum.Estimate[k], gotSum.Estimate[k])
+		}
+		if wantSum.HalfWidth[k] != gotSum.HalfWidth[k] {
+			t.Fatalf("snapshot half-width[%d]: %v vs %v", k, wantSum.HalfWidth[k], gotSum.HalfWidth[k])
+		}
+	}
+	wantMargin, err := safe.MarginOfError(1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMargin, err := sharded.MarginOfError(1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantMargin != gotMargin {
+		t.Fatalf("margin: %v vs %v", wantMargin, gotMargin)
+	}
+	wantNeed, err := safe.ReportsForMargin(0.005, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotNeed, err := sharded.ReportsForMargin(0.005, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantNeed != gotNeed {
+		t.Fatalf("reports for margin: %d vs %d", wantNeed, gotNeed)
+	}
+}
+
+// TestShardedValidation mirrors the plain collector's ingest validation:
+// out-of-range reports are rejected, a bad batch leaves state unchanged.
+func TestShardedValidation(t *testing.T) {
+	c := NewSharded(mustWarner(t, 3, 0.8), 4)
+	if err := c.Ingest(3); !errors.Is(err, ErrBadReport) {
+		t.Fatalf("err = %v, want ErrBadReport", err)
+	}
+	if err := c.IngestBatch([]int{0, 1, 7}); !errors.Is(err, ErrBadReport) {
+		t.Fatalf("batch err = %v, want ErrBadReport", err)
+	}
+	if c.Count() != 0 {
+		t.Fatal("failed ingest left partial state")
+	}
+	if _, err := c.Estimate(); !errors.Is(err, ErrNoReports) {
+		t.Fatalf("err = %v, want ErrNoReports", err)
+	}
+	if _, err := c.Snapshot(0); err == nil {
+		t.Fatal("z = 0 accepted")
+	}
+}
+
+// TestShardedDefaultShards: shards <= 0 picks a positive default.
+func TestShardedDefaultShards(t *testing.T) {
+	c := NewSharded(mustWarner(t, 3, 0.8), 0)
+	if c.Shards() < 1 {
+		t.Fatalf("default shards = %d", c.Shards())
+	}
+	if err := c.Ingest(1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Count() != 1 {
+		t.Fatalf("count = %d", c.Count())
+	}
+}
+
+// TestShardedSingularMatrix: construction accepts a singular matrix;
+// estimate queries return rr.ErrSingular, matching Collector.
+func TestShardedSingularMatrix(t *testing.T) {
+	m, err := rr.FromColumns([][]float64{
+		{0.5, 0.5, 0},
+		{0.5, 0.5, 0},
+		{1, 0, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewSharded(m, 4)
+	if err := c.IngestBatch([]int{0, 1, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Estimate(); !errors.Is(err, rr.ErrSingular) {
+		t.Fatalf("err = %v, want rr.ErrSingular", err)
+	}
+	if _, err := c.Snapshot(1.96); !errors.Is(err, rr.ErrSingular) {
+		t.Fatalf("snapshot err = %v, want rr.ErrSingular", err)
+	}
+}
+
+// TestShardedMerge folds two regional collectors into one and checks the
+// merged counts equal a collector that saw both streams.
+func TestShardedMerge(t *testing.T) {
+	m := mustWarner(t, 4, 0.7)
+	a := NewSharded(m, 4)
+	b := NewSharded(m, 2)
+	whole := NewSharded(m, 1)
+
+	rng := randx.New(7)
+	for i := 0; i < 1000; i++ {
+		r := rng.Intn(4)
+		target := a
+		if i%2 == 1 {
+			target = b
+		}
+		if err := target.Ingest(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := whole.Ingest(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 1000 {
+		t.Fatalf("merged count = %d, want 1000", a.Count())
+	}
+	gotCounts, wantCounts := a.Counts(), whole.Counts()
+	for k := range wantCounts {
+		if gotCounts[k] != wantCounts[k] {
+			t.Fatalf("merged counts[%d] = %d, want %d", k, gotCounts[k], wantCounts[k])
+		}
+	}
+	// b is unchanged by the merge.
+	if b.Count() != 500 {
+		t.Fatalf("source count = %d after merge, want 500", b.Count())
+	}
+
+	// Merging across different matrices is refused.
+	other := NewSharded(mustWarner(t, 4, 0.9), 2)
+	if err := a.Merge(other); err == nil {
+		t.Fatal("merge across different disguise matrices accepted")
+	}
+	mismatched := NewSharded(mustWarner(t, 3, 0.7), 2)
+	if err := a.Merge(mismatched); !errors.Is(err, rr.ErrShape) {
+		t.Fatalf("dimension-mismatched merge err = %v, want rr.ErrShape", err)
+	}
+}
+
+// TestShardedSnapshotRestore round-trips the crash-recovery snapshot: the
+// restored collector answers every query exactly like the original,
+// regardless of the shard count it is restored onto.
+func TestShardedSnapshotRestore(t *testing.T) {
+	m := mustWarner(t, 4, 0.75)
+	c := NewSharded(m, 8)
+	rng := randx.New(3)
+	for i := 0; i < 2000; i++ {
+		if err := c.Ingest(rng.Intn(4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreSharded(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Count() != c.Count() {
+		t.Fatalf("restored count = %d, want %d", restored.Count(), c.Count())
+	}
+	want, err := c.Snapshot(1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Snapshot(1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range want.Estimate {
+		if want.Estimate[k] != got.Estimate[k] || want.HalfWidth[k] != got.HalfWidth[k] {
+			t.Fatalf("restored snapshot differs at %d: %v/%v vs %v/%v",
+				k, want.Estimate[k], want.HalfWidth[k], got.Estimate[k], got.HalfWidth[k])
+		}
+	}
+
+	// The restored collector keeps collecting.
+	if err := restored.Ingest(0); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Count() != c.Count()+1 {
+		t.Fatalf("restored collector did not accept new reports")
+	}
+}
+
+// TestRestoreShardedRejectsBadSnapshots covers the decode validation paths.
+func TestRestoreShardedRejectsBadSnapshots(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		data string
+	}{
+		{"garbage", `{"matrix": 12}`},
+		{"no matrix", `{"counts": [1, 2]}`},
+		{"count shape", `{"matrix": {"categories": 2, "columns": [[0.8, 0.2], [0.2, 0.8]]}, "counts": [1]}`},
+		{"negative count", `{"matrix": {"categories": 2, "columns": [[0.8, 0.2], [0.2, 0.8]]}, "counts": [1, -4]}`},
+		{"broken stochasticity", `{"matrix": {"categories": 2, "columns": [[0.8, 0.8], [0.2, 0.8]]}, "counts": [1, 2]}`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := RestoreSharded([]byte(tc.data), 2); err == nil {
+				t.Fatalf("snapshot %s accepted", tc.data)
+			}
+		})
+	}
+}
+
+// BenchmarkCollectorContention compares SafeCollector's single mutex with
+// the sharded stripes under 1-, 4- and 16-goroutine ingestion. Reports are
+// pregenerated outside the timer; each goroutine ingests a disjoint slice.
+func BenchmarkCollectorContention(b *testing.B) {
+	m, err := rr.Warner(5, 0.75)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := randx.New(1)
+	reports := make([]int, 1<<16)
+	for i := range reports {
+		reports[i] = rng.Intn(5)
+	}
+	type ingester interface {
+		Ingest(int) error
+	}
+	run := func(b *testing.B, c ingester, goroutines int) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for w := 0; w < goroutines; w++ {
+			lo := w * b.N / goroutines
+			hi := (w + 1) * b.N / goroutines
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					if err := c.Ingest(reports[i&(len(reports)-1)]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	for _, g := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("safe/g%d", g), func(b *testing.B) {
+			run(b, NewSafe(m), g)
+		})
+		b.Run(fmt.Sprintf("sharded/g%d", g), func(b *testing.B) {
+			run(b, NewSharded(m, 16), g)
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -44,6 +45,10 @@ type MultiConfig struct {
 	MutationRate   float64
 	Seed           uint64
 	Workers        int
+	// Context, if non-nil, is checked once per generation; cancellation
+	// stops the search and returns the best-so-far front together with an
+	// error wrapping ctx.Err().
+	Context context.Context
 }
 
 // MultiIndividual couples a tuple of per-attribute genomes with its
@@ -157,6 +162,9 @@ var ErrUnrealizable = errors.New("core: could not realize a feasible multi-dimen
 func OptimizeMulti(cfg MultiConfig) (MultiResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return MultiResult{}, err
+	}
+	if err := ctxErr(cfg.Context); err != nil {
+		return MultiResult{}, cancelError(0, err)
 	}
 	cfg = cfg.withDefaults()
 	rng := randx.New(cfg.Seed)
@@ -277,7 +285,14 @@ func OptimizeMulti(cfg MultiConfig) (MultiResult, error) {
 	}
 	var archive []MultiIndividual
 
+	generations := 0
+	var cancelErr error
 	for gen := 0; gen < cfg.Generations; gen++ {
+		if err := ctxErr(cfg.Context); err != nil {
+			cancelErr = cancelError(gen, err)
+			break
+		}
+		generations++
 		union := append(append([]MultiIndividual{}, population...), archive...)
 		pts := make([]pareto.Point, len(union))
 		for i, ind := range union {
@@ -359,7 +374,7 @@ func OptimizeMulti(cfg MultiConfig) (MultiResult, error) {
 	for _, i := range idx {
 		front = append(front, all[i])
 	}
-	return MultiResult{Front: front, Generations: cfg.Generations, Evaluations: evaluations}, nil
+	return MultiResult{Front: front, Generations: generations, Evaluations: evaluations}, cancelErr
 }
 
 // warnerLikeGenome returns the constant-diagonal genome with diagonal p.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -121,6 +122,14 @@ type Config struct {
 	// is enforced regardless.
 	PrivacyFn func(m *rr.Matrix, prior []float64) (float64, error)
 
+	// Context, if non-nil, bounds the run: it is checked once per
+	// generation, and a cancelled or deadline-exceeded context stops the
+	// search at the next generation boundary. Run then returns the best
+	// front found so far together with an error wrapping ctx.Err(), so
+	// callers keep the partial result. Nil means no deadline (identical to
+	// context.Background()) and costs nothing.
+	Context context.Context
+
 	// Seed drives all randomness; runs with equal configs are bit-for-bit
 	// reproducible.
 	Seed uint64
@@ -206,6 +215,22 @@ var (
 	// matrix can satisfy (Theorem 5).
 	ErrInfeasibleBound = errors.New("core: privacy bound is below the prior mode (Theorem 5)")
 )
+
+// ctxErr returns the context's error, tolerating the nil context the zero
+// Config carries.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// cancelError wraps a context error with run progress: callers can test
+// errors.Is(err, context.Canceled) / context.DeadlineExceeded and still see
+// how far the search got before it stopped.
+func cancelError(gen int, err error) error {
+	return fmt.Errorf("core: optimization stopped after %d generations: %w", gen, err)
+}
 
 // Validate checks the configuration.
 func (c Config) Validate() error {
@@ -407,6 +432,11 @@ func New(cfg Config) (*Optimizer, error) {
 //  7. termination on the generation budget or Ω stagnation.
 func (o *Optimizer) Run() (Result, error) {
 	cfg := o.cfg
+	if err := ctxErr(cfg.Context); err != nil {
+		// Already cancelled: return promptly, before paying for the seed
+		// population. The front is empty — no work was done.
+		return Result{}, cancelError(0, err)
+	}
 	o.emitStart()
 	var wallStart time.Time
 	if o.timed {
@@ -421,8 +451,16 @@ func (o *Optimizer) Run() (Result, error) {
 	stagnant := 0
 	gen := 0
 	stagnated := false
+	var cancelErr error
 	refUtility := o.referenceUtility()
 	for ; gen < cfg.Generations; gen++ {
+		// One cancellation check per generation: cheap against the cost of
+		// a generation, and the loop state is always consistent at the
+		// boundary, so the best-so-far front below stays well-formed.
+		if err := ctxErr(cfg.Context); err != nil {
+			cancelErr = cancelError(gen, err)
+			break
+		}
 		o.tally = generationTally{}
 		evalsBefore := o.evaluations
 		var phases [phaseCount]time.Duration
@@ -586,7 +624,7 @@ func (o *Optimizer) Run() (Result, error) {
 		Stagnated:   stagnated,
 	}
 	o.emitDone(res, wallStart)
-	return res, nil
+	return res, cancelErr
 }
 
 // assignFitness computes the configured engine's fitness over points. The

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -38,6 +39,10 @@ type WeightedSumConfig struct {
 	MutationRate float64
 	// Seed drives all randomness.
 	Seed uint64
+	// Context, if non-nil, is checked once per generation; cancellation
+	// stops the sweep and returns the Pareto front of everything evaluated
+	// so far together with an error wrapping ctx.Err().
+	Context context.Context
 }
 
 func (c WeightedSumConfig) withDefaults() WeightedSumConfig {
@@ -74,6 +79,9 @@ func (c WeightedSumConfig) Validate() error {
 func OptimizeWeightedSum(cfg WeightedSumConfig) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
+	}
+	if err := ctxErr(cfg.Context); err != nil {
+		return Result{}, cancelError(0, err)
 	}
 	cfg = cfg.withDefaults()
 	rng := randx.New(cfg.Seed)
@@ -118,6 +126,9 @@ func OptimizeWeightedSum(cfg WeightedSumConfig) (Result, error) {
 		}
 	}
 
+	generations := 0
+	var cancelErr error
+sweep:
 	for wi := 0; wi < cfg.Weights; wi++ {
 		w := float64(wi) / float64(cfg.Weights-1)
 		pop := make([]Individual, cfg.PopulationSize)
@@ -129,6 +140,15 @@ func OptimizeWeightedSum(cfg WeightedSumConfig) (Result, error) {
 			pop[i] = ind
 		}
 		for gen := 0; gen < cfg.Generations; gen++ {
+			if err := ctxErr(cfg.Context); err != nil {
+				// Keep what the sweep has already evaluated: the union
+				// front below is built from `all`, so the partial result
+				// is as generous as the completed portion allows.
+				all = append(all, pop...)
+				cancelErr = cancelError(generations, err)
+				break sweep
+			}
+			generations++
 			// Binary-tournament parents on the scalar fitness.
 			pick := func() Individual {
 				a := pop[rng.Intn(len(pop))]
@@ -186,9 +206,9 @@ func OptimizeWeightedSum(cfg WeightedSumConfig) (Result, error) {
 	}
 	return Result{
 		Front:       front,
-		Generations: cfg.Weights * cfg.Generations,
+		Generations: generations,
 		Evaluations: evaluations,
-	}, nil
+	}, cancelErr
 }
 
 // weightedReferenceUtility normalizes the utility term to the privacy

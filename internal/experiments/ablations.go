@@ -135,6 +135,7 @@ func runWeightedSumAblation(cfg Config) (*Report, error) {
 		PopulationSize: 30,
 		Generations:    wsGens,
 		Seed:           cfg.Seed,
+		Context:        cfg.Context,
 	})
 	if err != nil {
 		return nil, err
@@ -142,6 +143,7 @@ func runWeightedSumAblation(cfg Config) (*Report, error) {
 
 	cc := core.DefaultConfig(prior, cfg.Records, delta)
 	cc.Seed = cfg.Seed
+	cc.Context = cfg.Context
 	cc.Generations = wsRes.Evaluations / 40 // matched evaluation budget
 	if cc.Generations < 50 {
 		cc.Generations = 50
@@ -216,6 +218,7 @@ func runAblation(a ablation, cfg Config) (*Report, error) {
 		cc := core.DefaultConfig(prior, cfg.Records, delta)
 		cc.Generations = cfg.Generations
 		cc.Seed = cfg.Seed
+		cc.Context = cfg.Context
 		if tweak != nil {
 			tweak(&cc)
 		}

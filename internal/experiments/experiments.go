@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -35,6 +36,10 @@ type Config struct {
 	WarnerSteps int
 	// Seed drives all randomness.
 	Seed uint64
+	// Context optionally bounds every optimizer run inside the experiment;
+	// nil means run to completion. A cancelled context surfaces as the
+	// experiment's error (wrapping context.Canceled / DeadlineExceeded).
+	Context context.Context
 }
 
 func (c Config) withDefaults() Config {
@@ -191,6 +196,7 @@ func optrrRun(prior []float64, records int, delta float64, cfg Config) (core.Res
 	cc := core.DefaultConfig(prior, records, delta)
 	cc.Generations = cfg.Generations
 	cc.Seed = cfg.Seed
+	cc.Context = cfg.Context
 	opt, err := core.New(cc)
 	if err != nil {
 		return core.Result{}, err

@@ -97,6 +97,7 @@ func runExtMulti(cfg Config) (*Report, error) {
 		Delta:       delta,
 		Generations: gens,
 		Seed:        cfg.Seed,
+		Context:     cfg.Context,
 	})
 	if err != nil {
 		return nil, err
@@ -165,6 +166,7 @@ func runExtGain(cfg Config) (*Report, error) {
 		cc := core.DefaultConfig(prior, cfg.Records, delta)
 		cc.Generations = cfg.Generations
 		cc.Seed = cfg.Seed
+		cc.Context = cfg.Context
 		if ordinal {
 			cc.PrivacyFn = func(m *rr.Matrix, p []float64) (float64, error) {
 				return metrics.PrivacyWithGain(m, p, gain)

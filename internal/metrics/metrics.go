@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 
+	"optrr/internal/matrix"
 	"optrr/internal/rr"
 )
 
@@ -204,6 +205,21 @@ func PerCategoryMSE(m *rr.Matrix, prior []float64, records int) ([]float64, erro
 	}
 	inv, err := m.Inverse()
 	if err != nil {
+		return nil, err
+	}
+	return PerCategoryMSEWithInverse(m, inv, prior, records)
+}
+
+// PerCategoryMSEWithInverse is PerCategoryMSE with a caller-provided M⁻¹,
+// skipping the LU factorization — the path collectors take on repeated
+// snapshot queries, where the disguise matrix (and hence its inverse) is
+// fixed for the whole campaign. inv must be the inverse of m; passing
+// anything else silently yields wrong variances.
+func PerCategoryMSEWithInverse(m *rr.Matrix, inv *matrix.Dense, prior []float64, records int) ([]float64, error) {
+	if records <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadRecords, records)
+	}
+	if err := validatePrior(m, prior); err != nil {
 		return nil, err
 	}
 	pStar, err := m.DisguisedDistribution(prior)

@@ -89,7 +89,11 @@ func (m *Matrix) EstimateIterative(disguised []int, opts IterativeOptions) ([]fl
 }
 
 // EstimateIterativeFromDistribution applies the iterative estimator to an
-// already-computed disguised distribution P̂*.
+// already-computed disguised distribution P̂*. Every iterate is renormalized
+// onto the probability simplex, so the result is a valid distribution even
+// for singular matrices whose implied P* is zero on observed categories; if
+// the observed distribution lies entirely on categories the matrix cannot
+// produce, ErrShape is returned.
 func (m *Matrix) EstimateIterativeFromDistribution(pStar []float64, opts IterativeOptions) ([]float64, error) {
 	n := m.N()
 	if len(pStar) != n {
@@ -130,6 +134,25 @@ func (m *Matrix) EstimateIterativeFromDistribution(pStar []float64, opts Iterati
 				s += pStar[i] * m.m.At(i, j) * cur[j] / denom[i]
 			}
 			next[j] = s
+		}
+		// Skipping zero-denominator rows drops the observed mass pStar[i]
+		// that the iterate says cannot occur (possible only for singular or
+		// degenerate matrices). Renormalizing restores the documented
+		// invariant that every iterate is a valid distribution; if no
+		// observed mass is reachable at all there is nothing to condition
+		// on, so fail rather than return an arbitrary iterate.
+		var mass float64
+		for j := 0; j < n; j++ {
+			mass += next[j]
+		}
+		if mass <= 0 {
+			return nil, fmt.Errorf("%w: observed distribution lies entirely on categories the matrix cannot produce", ErrShape)
+		}
+		if mass != 1 {
+			inv := 1 / mass
+			for j := 0; j < n; j++ {
+				next[j] *= inv
+			}
 		}
 		var maxDelta float64
 		for j := 0; j < n; j++ {

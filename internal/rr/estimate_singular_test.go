@@ -1,0 +1,119 @@
+package rr
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// singularLeakyMatrix returns a column-stochastic matrix whose last row is
+// all zeros: category c_2 can never be reported, so any observed mass on it
+// is "impossible" under the model. The matrix is singular (rank 2), the
+// exact regime the iterative estimator exists for.
+func singularLeakyMatrix(t *testing.T) *Matrix {
+	t.Helper()
+	m, err := FromColumns([][]float64{
+		{0.5, 0.5, 0},
+		{0.5, 0.5, 0},
+		{1, 0, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestIterativeSingularMatrixConservesMass is the regression test for the
+// Equation-3 mass leak: with a zero row in the matrix and observed mass on
+// the corresponding category, the denom==0 skip used to silently discard
+// pStar[i], returning an "estimate" summing to the reachable mass (0.8 here)
+// instead of 1 — violating the documented always-a-valid-distribution
+// contract.
+func TestIterativeSingularMatrixConservesMass(t *testing.T) {
+	m := singularLeakyMatrix(t)
+	// 20% of the observed reports land on the unreachable category c_2
+	// (sampling noise, corrupted reports — the estimator must still answer).
+	pStar := []float64{0.5, 0.3, 0.2}
+	est, err := m.EstimateIterativeFromDistribution(pStar, IterativeOptions{})
+	if err != nil && !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if est == nil {
+		t.Fatal("nil estimate")
+	}
+	var sum float64
+	for i, v := range est {
+		if v < 0 || math.IsNaN(v) {
+			t.Fatalf("estimate[%d] = %v", i, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("estimate sums to %v, want 1 within 1e-9 (mass leak)", sum)
+	}
+}
+
+// TestIterativeSingularMatrixConvergedIterateConservesMass drives the same
+// matrix to convergence and checks the final iterate too.
+func TestIterativeSingularMatrixConvergedIterateConservesMass(t *testing.T) {
+	m := singularLeakyMatrix(t)
+	pStar := []float64{0.6, 0.4, 0.0}
+	est, err := m.EstimateIterativeFromDistribution(pStar, IterativeOptions{})
+	if err != nil && !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	var sum float64
+	for _, v := range est {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("estimate sums to %v", sum)
+	}
+}
+
+// TestIterativeAllMassUnreachable: when every observed report lands on
+// categories the matrix cannot produce, there is nothing to condition on and
+// the estimator must fail loudly instead of returning an arbitrary iterate.
+func TestIterativeAllMassUnreachable(t *testing.T) {
+	// Every original category reports c_0; rows 1 and 2 are zero.
+	m, err := FromColumns([][]float64{
+		{1, 0, 0},
+		{1, 0, 0},
+		{1, 0, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := m.EstimateIterativeFromDistribution([]float64{0, 0.5, 0.5}, IterativeOptions{})
+	if err == nil {
+		t.Fatalf("expected error, got estimate %v", est)
+	}
+	if !errors.Is(err, ErrShape) {
+		t.Fatalf("error = %v, want ErrShape", err)
+	}
+}
+
+// TestIterativeInvertibleUnchanged pins the fix's no-op behavior on the
+// well-posed path: for an invertible matrix with strictly positive implied
+// P*, the renormalization multiplies by 1/(sum≈1) and the estimator still
+// recovers the exact prior from exact disguised data.
+func TestIterativeInvertibleUnchanged(t *testing.T) {
+	m, err := Warner(4, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior := []float64{0.4, 0.3, 0.2, 0.1}
+	pStar, err := m.DisguisedDistribution(prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := m.EstimateIterativeFromDistribution(pStar, IterativeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range prior {
+		if math.Abs(est[i]-prior[i]) > 1e-6 {
+			t.Fatalf("estimate[%d] = %v, want %v", i, est[i], prior[i])
+		}
+	}
+}

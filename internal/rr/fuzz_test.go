@@ -1,6 +1,7 @@
 package rr
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -64,16 +65,57 @@ func FuzzInversionRoundTrip(f *testing.F) {
 }
 
 // FuzzIterativeIsDistribution checks the EM estimator always returns a valid
-// distribution regardless of the observed disguised frequencies.
+// distribution regardless of the observed disguised frequencies, across the
+// matrix regimes the estimator is documented for: well-conditioned Warner,
+// singular (a zero row, so some observed categories are unreachable and the
+// iterate must be renormalized), and near-deterministic (tiny off-diagonal
+// mass, stressing round-off). Every returned iterate — converged or not —
+// must be non-negative and sum to 1 within 1e-9; the only legal nil result
+// is the ErrShape case where no observed mass is reachable at all.
 func FuzzIterativeIsDistribution(f *testing.F) {
-	f.Add([]byte{10, 20, 30}, uint8(3), uint16(100))
-	f.Add([]byte{0, 0, 255, 1}, uint8(4), uint16(50))
-	f.Fuzz(func(t *testing.T, data []byte, nRaw uint8, iters uint16) {
+	f.Add([]byte{10, 20, 30}, uint8(3), uint16(100), uint8(0))
+	f.Add([]byte{0, 0, 255, 1}, uint8(4), uint16(50), uint8(1))
+	f.Add([]byte{1, 0, 0, 200}, uint8(4), uint16(10), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, nRaw uint8, iters uint16, kind uint8) {
 		n := int(nRaw%5) + 2
 		if len(data) < n {
 			return
 		}
-		m, err := Warner(n, 0.6)
+		var m *Matrix
+		var err error
+		switch kind % 3 {
+		case 0:
+			m, err = Warner(n, 0.6)
+		case 1:
+			// Singular: every column piles its mass on the first n-1
+			// categories uniformly; the last row is all zeros, so any
+			// observed mass on c_{n-1} is impossible under the model.
+			cols := make([][]float64, n)
+			for i := range cols {
+				col := make([]float64, n)
+				for j := 0; j < n-1; j++ {
+					col[j] = 1 / float64(n-1)
+				}
+				cols[i] = col
+			}
+			m, err = FromColumns(cols)
+		default:
+			// Near-deterministic: diagonal 1-(n-1)e, tiny off-diagonal e.
+			const eps = 1e-12
+			cols := make([][]float64, n)
+			for i := range cols {
+				col := make([]float64, n)
+				for j := range col {
+					if i == j {
+						col[j] = 1 - float64(n-1)*eps
+					} else {
+						col[j] = eps
+					}
+				}
+				cols[i] = col
+			}
+			m, err = FromColumns(cols)
+		}
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -92,18 +134,27 @@ func FuzzIterativeIsDistribution(f *testing.F) {
 		est, err := m.EstimateIterativeFromDistribution(pStar, IterativeOptions{
 			MaxIterations: int(iters%2000) + 1,
 		})
-		if err != nil && est == nil {
-			t.Fatalf("estimator returned nil estimate with error %v", err)
+		if est == nil {
+			if err == nil {
+				t.Fatal("estimator returned nil estimate without error")
+			}
+			if !errors.Is(err, ErrShape) {
+				t.Fatalf("nil estimate with unexpected error %v", err)
+			}
+			return
+		}
+		if err != nil && !errors.Is(err, ErrNoConvergence) {
+			t.Fatalf("unexpected error: %v", err)
 		}
 		var total float64
 		for i, v := range est {
-			if v < -1e-9 || math.IsNaN(v) {
+			if v < 0 || math.IsNaN(v) {
 				t.Fatalf("estimate[%d] = %v", i, v)
 			}
 			total += v
 		}
-		if math.Abs(total-1) > 1e-6 {
-			t.Fatalf("estimate sums to %v", total)
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("estimate sums to %v (kind %d)", total, kind%3)
 		}
 	})
 }

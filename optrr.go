@@ -41,6 +41,8 @@
 package optrr
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -204,6 +206,24 @@ func (r *Result) MatrixWithUtilityAtMost(utility float64) (*Matrix, bool) {
 
 // Optimize runs the OptRR search and returns the Pareto-optimal matrix set.
 func Optimize(p Problem) (*Result, error) {
+	return OptimizeContext(context.Background(), p)
+}
+
+// OptimizeContext runs the OptRR search under a context: cancellation or a
+// deadline stops the search at the next generation boundary. When the
+// context ends a run early, the returned Result is non-nil and holds the
+// best front found so far, and the error wraps ctx.Err() — so callers can
+// serve a partial trade-off curve after a timeout:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+//	defer cancel()
+//	res, err := optrr.OptimizeContext(ctx, problem)
+//	if res != nil { /* res.Front is usable even when err != nil */ }
+//
+// An already-cancelled context returns promptly with an empty front and an
+// error wrapping context.Canceled. Any other error returns a nil Result, as
+// with Optimize.
+func OptimizeContext(ctx context.Context, p Problem) (*Result, error) {
 	var cfg core.Config
 	if p.Advanced != nil {
 		cfg = *p.Advanced
@@ -214,6 +234,7 @@ func Optimize(p Problem) (*Result, error) {
 	cfg.Records = p.Records
 	cfg.Delta = p.Delta
 	cfg.Seed = p.Seed
+	cfg.Context = ctx
 	if p.Generations != 0 {
 		cfg.Generations = p.Generations
 	}
@@ -230,9 +251,10 @@ func Optimize(p Problem) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("optrr: %w", err)
 	}
-	res, err := opt.Run()
-	if err != nil {
-		return nil, fmt.Errorf("optrr: %w", err)
+	res, runErr := opt.Run()
+	if runErr != nil && !errors.Is(runErr, context.Canceled) && !errors.Is(runErr, context.DeadlineExceeded) {
+		// A real failure, not a cancellation: nothing useful to return.
+		return nil, fmt.Errorf("optrr: %w", runErr)
 	}
 	ms, err := res.Matrices()
 	if err != nil {
@@ -267,5 +289,8 @@ func Optimize(p Problem) (*Result, error) {
 	}
 	out.Front = sortedFront
 	out.matrices = sortedMats
+	if runErr != nil {
+		return out, fmt.Errorf("optrr: %w", runErr)
+	}
 	return out, nil
 }
