@@ -4,14 +4,16 @@
 // Usage:
 //
 //	experiments [-run id[,id...]] [-list] [-generations n] [-records n]
-//	            [-categories n] [-seed s] [-paper] [-quick]
+//	            [-categories n] [-seed s] [-paper] [-quick] [-workers n]
 //	            [-csv dir] [-plot]
 //
-// With no -run flag every registered experiment runs in paper order. Each
-// run prints the machine-checked shape claims (PASS/FAIL) and summary
-// statistics; -plot adds an ASCII rendering of the fronts and -csv writes
-// one CSV per experiment into the given directory for external plotting.
-// The exit code is non-zero when any check fails.
+// With no -run flag every registered experiment runs in paper order. The
+// grid fans out over -workers goroutines (default GOMAXPROCS); results and
+// output order are identical at every worker count. Each run prints the
+// machine-checked shape claims (PASS/FAIL) and summary statistics; -plot
+// adds an ASCII rendering of the fronts and -csv writes one CSV per
+// experiment into the given directory for external plotting. The exit code
+// is non-zero when any check fails.
 package main
 
 import (
@@ -35,6 +37,7 @@ func main() {
 		quick       = flag.Bool("quick", false, "use a smoke-test budget (seconds per experiment)")
 		csvDir      = flag.String("csv", "", "directory to write per-experiment CSV series into")
 		plot        = flag.Bool("plot", false, "print ASCII plots of the fronts")
+		workers     = flag.Int("workers", 0, "experiments to run concurrently (0 = GOMAXPROCS); figures do not depend on this")
 		tracePath   = flag.String("trace", "", "write a JSONL run trace to this path")
 		metricsAddr = flag.String("metrics-addr", "", "serve expvar, pprof and /metrics on host:port while running")
 		timeout     = flag.Duration("timeout", 0, "stop the whole run after this long (0 = no limit); Ctrl-C also stops gracefully")
@@ -69,6 +72,7 @@ func main() {
 		cfg.Categories = *categories
 	}
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	cfg.Context = ctx
 
 	os.Exit(run(options{

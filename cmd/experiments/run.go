@@ -65,7 +65,9 @@ func run(opts options, stdout, stderr io.Writer) int {
 	}
 
 	// done records the outcome of one experiment in the trace and registry.
-	done := func(id string, passed bool, start time.Time) {
+	// Emitted while walking the outcomes in input order, so the trace reads
+	// the same whether the grid ran on one worker or many.
+	done := func(id string, passed bool, elapsed time.Duration) {
 		if passed {
 			telem.Registry.Counter("experiments.passed").Add(1)
 		} else {
@@ -75,30 +77,38 @@ func run(opts options, stdout, stderr io.Writer) int {
 			telem.Recorder.Record("experiment.done", obs.Fields{
 				"id":     id,
 				"passed": passed,
-				"ms":     float64(time.Since(start).Microseconds()) / 1e3,
+				"ms":     float64(elapsed.Microseconds()) / 1e3,
 			})
 		}
 	}
 
+	// The grid fans the experiments out over cfg.Workers goroutines; every
+	// cell gets the same configuration the serial loop used, so the figures
+	// are identical at any worker count. Reporting below walks the outcomes
+	// in input order.
+	outcomes := experiments.RunGrid(selected, opts.cfg, experiments.GridOptions{
+		Recorder: telem.Recorder,
+		Registry: telem.Registry,
+	})
+
 	failed := 0
-	for _, e := range selected {
-		// A cancelled run (Ctrl-C, -timeout) stops between experiments;
-		// the interrupted experiment itself has already reported its error.
-		if ctx := opts.cfg.Context; ctx != nil && ctx.Err() != nil {
-			fmt.Fprintf(stderr, "run stopped (%v); skipping remaining experiments\n", ctx.Err())
+	for _, o := range outcomes {
+		// A cancelled run (Ctrl-C, -timeout) skips the cells that had not
+		// started yet; the interrupted experiments report their own errors.
+		if o.Skipped {
+			fmt.Fprintf(stderr, "run stopped (%v); skipping remaining experiments\n", o.Err)
 			failed++
 			break
 		}
-		start := time.Now()
-		rep, err := e.Run(opts.cfg)
+		rep, err := o.Report, o.Err
 		if err != nil {
-			fmt.Fprintf(stderr, "%s: %v\n", e.ID, err)
+			fmt.Fprintf(stderr, "%s: %v\n", o.Experiment.ID, err)
 			failed++
-			done(e.ID, false, start)
+			done(o.Experiment.ID, false, o.Elapsed)
 			continue
 		}
-		done(e.ID, rep.Passed(), start)
-		fmt.Fprintf(stdout, "%s(%s)\n", rep.Summary(), time.Since(start).Round(time.Millisecond))
+		done(o.Experiment.ID, rep.Passed(), o.Elapsed)
+		fmt.Fprintf(stdout, "%s(%s)\n", rep.Summary(), o.Elapsed.Round(time.Millisecond))
 		if opts.plot {
 			fmt.Fprintln(stdout, rep.ASCIIPlot())
 		}

@@ -9,6 +9,11 @@
 //	rrdata -dist adult -records 30000 -seed 7 > adult.txt
 //	rrdata -disguise normal.txt -categories 10 -warner 0.7 > disguised.txt
 //
+// Sampling and disguising both run on the batched kernels: fixed
+// 8192-record chunks with per-chunk streams derived from -seed, fanned out
+// over -workers goroutines (default GOMAXPROCS). The output depends only on
+// the seed, never on the worker count.
+//
 // Observability: -trace file writes a JSONL event per generate/disguise
 // stage; -metrics-addr host:port serves expvar, pprof and /metrics.
 package main
@@ -24,7 +29,6 @@ import (
 
 	"optrr/internal/dataset"
 	"optrr/internal/obs"
-	"optrr/internal/randx"
 	"optrr/internal/rr"
 )
 
@@ -36,6 +40,7 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "random seed")
 		disguise    = flag.String("disguise", "", "disguise this data file instead of generating")
 		warnerP     = flag.Float64("warner", 0.7, "Warner diagonal p for -disguise")
+		workers     = flag.Int("workers", 0, "worker goroutines for sampling and disguising (0 = GOMAXPROCS); output does not depend on this")
 		tracePath   = flag.String("trace", "", "write a JSONL run trace to this path")
 		metricsAddr = flag.String("metrics-addr", "", "serve expvar, pprof and /metrics on host:port while running")
 	)
@@ -56,13 +61,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "metrics: %s/metrics\n", telem.MetricsURL)
 	}
 
-	rng := randx.New(*seed)
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 
 	if *disguise != "" {
 		start := time.Now()
-		n, err := disguiseFile(*disguise, *categories, *warnerP, rng, out)
+		n, err := disguiseFile(*disguise, *categories, *warnerP, *seed, *workers, out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -73,6 +77,7 @@ func main() {
 				"input":   *disguise,
 				"records": n,
 				"warner":  *warnerP,
+				"workers": *workers,
 				"ms":      float64(time.Since(start).Microseconds()) / 1e3,
 			})
 		}
@@ -98,7 +103,7 @@ func main() {
 		os.Exit(2)
 	}
 	start := time.Now()
-	d, err := g.Generate(*categories, *records, rng)
+	d, err := generate(g, *categories, *records, *seed, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -132,9 +137,21 @@ func validateFlags(categories, records int, warnerP float64) error {
 	return nil
 }
 
-// disguiseFile disguises every record of path with Warner(p) and returns how
-// many records it wrote.
-func disguiseFile(path string, n int, p float64, rng *randx.Source, out *bufio.Writer) (int, error) {
+// generate samples a data set from the generator's prior with the batched
+// sampler: fixed chunks with per-chunk seed-derived streams, so the output
+// depends only on the seed, not the worker count.
+func generate(g dataset.Generator, categories, records int, seed uint64, workers int) (*dataset.Categorical, error) {
+	prior := g.Prior(categories)
+	d, err := dataset.SampleBatch(prior, records, seed, workers)
+	if err != nil {
+		return nil, fmt.Errorf("rrdata: generator %q: %w", g.Name, err)
+	}
+	return d, nil
+}
+
+// disguiseFile disguises every record of path with Warner(p) using the
+// batched disguise kernel and returns how many records it wrote.
+func disguiseFile(path string, n int, p float64, seed uint64, workers int, out *bufio.Writer) (int, error) {
 	m, err := rr.Warner(n, p)
 	if err != nil {
 		return 0, err
@@ -160,7 +177,7 @@ func disguiseFile(path string, n int, p float64, rng *randx.Source, out *bufio.W
 	if err := sc.Err(); err != nil {
 		return 0, err
 	}
-	disguised, err := m.Disguise(recs, rng)
+	disguised, err := m.DisguiseBatch(recs, seed, workers)
 	if err != nil {
 		return 0, err
 	}

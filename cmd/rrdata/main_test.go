@@ -7,8 +7,6 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
-
-	"optrr/internal/randx"
 )
 
 func TestDisguiseFile(t *testing.T) {
@@ -24,7 +22,7 @@ func TestDisguiseFile(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	w := bufio.NewWriter(&buf)
-	n, err := disguiseFile(path, 3, 0.8, randx.New(1), w)
+	n, err := disguiseFile(path, 3, 0.8, 1, 0, w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +72,7 @@ func TestValidateFlags(t *testing.T) {
 func TestDisguiseFileErrors(t *testing.T) {
 	var buf bytes.Buffer
 	w := bufio.NewWriter(&buf)
-	if _, err := disguiseFile("/nonexistent", 3, 0.8, randx.New(1), w); err == nil {
+	if _, err := disguiseFile("/nonexistent", 3, 0.8, 1, 0, w); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	dir := t.TempDir()
@@ -82,17 +80,17 @@ func TestDisguiseFileErrors(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("0\nx\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := disguiseFile(bad, 3, 0.8, randx.New(1), w); err == nil {
+	if _, err := disguiseFile(bad, 3, 0.8, 1, 0, w); err == nil {
 		t.Fatal("non-numeric record accepted")
 	}
 	outOfRange := filepath.Join(dir, "range.txt")
 	if err := os.WriteFile(outOfRange, []byte("5\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := disguiseFile(outOfRange, 3, 0.8, randx.New(1), w); err == nil {
+	if _, err := disguiseFile(outOfRange, 3, 0.8, 1, 0, w); err == nil {
 		t.Fatal("out-of-range record accepted")
 	}
-	if _, err := disguiseFile(bad, 3, 1.5, randx.New(1), w); err == nil {
+	if _, err := disguiseFile(bad, 3, 1.5, 1, 0, w); err == nil {
 		t.Fatal("invalid Warner parameter accepted")
 	}
 }

@@ -36,6 +36,7 @@ type optimizerMetrics struct {
 	omegaBins   *obs.Gauge
 	frontSize   *obs.Gauge
 	hypervolume *obs.Gauge
+	workers     *obs.Gauge
 	genSeconds  *obs.Histogram
 }
 
@@ -56,13 +57,19 @@ func newOptimizerMetrics(reg *obs.Registry) *optimizerMetrics {
 		omegaBins:   reg.Gauge("optimizer.omega_occupied"),
 		frontSize:   reg.Gauge("optimizer.front_size"),
 		hypervolume: reg.Gauge("optimizer.hypervolume"),
+		workers:     reg.Gauge("optimizer.workers"),
 		genSeconds: reg.Histogram("optimizer.generation_seconds",
 			[]float64{0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10}),
 	}
 }
 
-// emitStart records the run configuration.
+// emitStart records the run configuration. The effective worker count (the
+// resolved Config.Workers every parallel kernel sees) goes to both the
+// registry gauge and the start event.
 func (o *Optimizer) emitStart() {
+	if m := o.met; m != nil {
+		m.workers.Set(float64(o.cfg.Workers))
+	}
 	if !o.rec.Enabled() {
 		return
 	}
@@ -127,6 +134,13 @@ func (o *Optimizer) emitGeneration(st Stats, phases [phaseCount]time.Duration, e
 		"vary_ms":        ms(phases[phaseVary]),
 		"eval_ms":        ms(phases[phaseEval]),
 		"omega_ms":       ms(phases[phaseOmega]),
+		// Parallel-kernel sub-phases: SPEA2 fitness assignment and
+		// environmental selection (truncation). Both overlap select_ms /
+		// vary_ms, so they are reported separately rather than added to
+		// the phase timeline.
+		"fitness_ms":  ms(o.fitnessDur),
+		"truncate_ms": ms(o.truncateDur),
+		"workers":     o.cfg.Workers,
 	})
 }
 

@@ -133,8 +133,9 @@ type Config struct {
 	// Seed drives all randomness; runs with equal configs are bit-for-bit
 	// reproducible.
 	Seed uint64
-	// Workers bounds the parallelism of objective evaluation; zero means
-	// GOMAXPROCS.
+	// Workers bounds the parallelism of objective evaluation and of the
+	// SPEA2 selection kernels (see emoo.Config.Workers); zero means
+	// GOMAXPROCS. Results are bit-for-bit identical at every worker count.
 	Workers int
 
 	// SPEA2 tuning (see emoo.Config). KNearest zero means 1.
@@ -204,7 +205,7 @@ func (c Config) withDefaults() Config {
 }
 
 func (c Config) emooConfig() emoo.Config {
-	return emoo.Config{KNearest: c.KNearest, Normalize: c.Normalize}
+	return emoo.Config{KNearest: c.KNearest, Normalize: c.Normalize, Workers: c.Workers}
 }
 
 // Optimizer errors.
@@ -375,6 +376,12 @@ type Optimizer struct {
 	// tally accumulates per-generation repair/redraw/reject counts inside
 	// realize; Run resets it at the top of every generation.
 	tally generationTally
+	// fitnessDur/truncateDur accumulate, when timed, the wall time of the
+	// generation's SPEA2 fitness assignments and environmental selection
+	// (truncation) — the sub-phases of "select" whose kernels parallelize
+	// across Workers. Run resets them with the tally.
+	fitnessDur  time.Duration
+	truncateDur time.Duration
 
 	// Hot-path scratch, persistent across generations. emooScratch backs
 	// SPEA2 fitness/selection; workers holds one evaluation workspace per
@@ -462,6 +469,7 @@ func (o *Optimizer) Run() (Result, error) {
 			break
 		}
 		o.tally = generationTally{}
+		o.fitnessDur, o.truncateDur = 0, 0
 		evalsBefore := o.evaluations
 		var phases [phaseCount]time.Duration
 		var mark time.Time
@@ -635,7 +643,15 @@ func (o *Optimizer) assignFitness(pts []pareto.Point) emoo.Fitness {
 	if o.cfg.Engine == EngineNSGA2 {
 		return emoo.NSGA2Fitness(pts)
 	}
-	return o.emooScratch.AssignFitness(pts, o.cfg.emooConfig())
+	var mark time.Time
+	if o.timed {
+		mark = time.Now()
+	}
+	fit := o.emooScratch.AssignFitness(pts, o.cfg.emooConfig())
+	if o.timed {
+		o.fitnessDur += time.Since(mark)
+	}
+	return fit
 }
 
 // selectEnvironment runs the configured engine's environmental selection.
@@ -645,8 +661,16 @@ func (o *Optimizer) selectEnvironment(pts []pareto.Point) ([]int, error) {
 	if o.cfg.Engine == EngineNSGA2 {
 		return emoo.NSGA2Select(pts, o.cfg.ArchiveSize)
 	}
-	fit := o.emooScratch.AssignFitness(pts, o.cfg.emooConfig())
-	return o.emooScratch.SelectEnvironment(pts, fit, o.cfg.ArchiveSize, o.cfg.emooConfig())
+	fit := o.assignFitness(pts)
+	var mark time.Time
+	if o.timed {
+		mark = time.Now()
+	}
+	sel, err := o.emooScratch.SelectEnvironment(pts, fit, o.cfg.ArchiveSize, o.cfg.emooConfig())
+	if o.timed {
+		o.truncateDur += time.Since(mark)
+	}
+	return sel, err
 }
 
 // referenceUtility is the hypervolume reference: the closed-form utility of

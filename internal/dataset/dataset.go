@@ -10,7 +10,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"optrr/internal/randx"
 )
@@ -130,6 +133,75 @@ func Sample(p []float64, n int, r *randx.Source) (*Categorical, error) {
 	records := make([]int, n)
 	for i := range records {
 		records[i] = alias.Draw(r)
+	}
+	return &Categorical{n: len(p), records: records}, nil
+}
+
+// sampleChunk is the fixed record-chunk granularity of SampleBatch; chunk c
+// always draws from randx.Stream(seed, c), so the partition — and therefore
+// the sampled data set — is independent of the worker count.
+const sampleChunk = 8192
+
+// SampleBatch draws N records i.i.d. from the probability vector p, like
+// Sample, but fans fixed 8192-record chunks out over the given number of
+// workers (zero means GOMAXPROCS). The result depends only on (p, n, seed):
+// every worker count produces the identical data set.
+func SampleBatch(p []float64, n int, seed uint64, workers int) (*Categorical, error) {
+	if err := ValidateDistribution(p); err != nil {
+		return nil, err
+	}
+	alias, err := randx.NewAlias(p)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	records := make([]int, n)
+	if n > 0 {
+		chunks := (n + sampleChunk - 1) / sampleChunk
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > chunks {
+			workers = chunks
+		}
+		fill := func(c int) {
+			lo := c * sampleChunk
+			hi := lo + sampleChunk
+			if hi > n {
+				hi = n
+			}
+			r := randx.Stream(seed, uint64(c))
+			for i := lo; i < hi; i++ {
+				records[i] = alias.Draw(r)
+			}
+		}
+		if workers <= 1 {
+			for c := 0; c < chunks; c++ {
+				fill(c)
+			}
+		} else {
+			// The alias table is immutable and each chunk writes a disjoint
+			// range, so workers share everything but their chunk streams.
+			var cursor atomic.Int64
+			var wg sync.WaitGroup
+			wg.Add(workers - 1)
+			body := func() {
+				for {
+					c := int(cursor.Add(1)) - 1
+					if c >= chunks {
+						return
+					}
+					fill(c)
+				}
+			}
+			for w := 1; w < workers; w++ {
+				go func() {
+					defer wg.Done()
+					body()
+				}()
+			}
+			body()
+			wg.Wait()
+		}
 	}
 	return &Categorical{n: len(p), records: records}, nil
 }

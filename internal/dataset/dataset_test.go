@@ -436,3 +436,54 @@ func BenchmarkAdultGenerate(b *testing.B) {
 		}
 	}
 }
+
+// TestSampleBatchDeterministicAcrossWorkers: the batch sampler's output
+// depends only on (p, n, seed), never on the worker count, across record
+// counts straddling the chunk boundary.
+func TestSampleBatchDeterministicAcrossWorkers(t *testing.T) {
+	p := []float64{0.5, 0.3, 0.15, 0.05}
+	for _, n := range []int{0, 1, sampleChunk - 1, sampleChunk, 2*sampleChunk + 13} {
+		want, err := SampleBatch(p, n, 42, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 3, 8} {
+			got, err := SampleBatch(p, n, 42, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Len() != want.Len() || got.Categories() != want.Categories() {
+				t.Fatalf("n=%d workers=%d: shape (%d, %d), want (%d, %d)",
+					n, w, got.Categories(), got.Len(), want.Categories(), want.Len())
+			}
+			for i := 0; i < want.Len(); i++ {
+				if got.Record(i) != want.Record(i) {
+					t.Fatalf("n=%d workers=%d: record %d = %d, want %d", n, w, i, got.Record(i), want.Record(i))
+				}
+			}
+		}
+	}
+}
+
+// TestSampleBatchConvergesToPrior mirrors TestSampleConvergesToPrior for the
+// batch path.
+func TestSampleBatchConvergesToPrior(t *testing.T) {
+	p := []float64{0.1, 0.2, 0.3, 0.4}
+	d, err := SampleBatch(p, 120000, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.Distribution()
+	for i := range p {
+		if math.Abs(got[i]-p[i]) > 0.01 {
+			t.Errorf("category %d frequency %.4f, want %.4f ± 0.01", i, got[i], p[i])
+		}
+	}
+}
+
+// TestSampleBatchRejectsBadPrior: validation matches Sample.
+func TestSampleBatchRejectsBadPrior(t *testing.T) {
+	if _, err := SampleBatch([]float64{0.5, 0.6}, 10, 1, 1); !errors.Is(err, ErrBadDistribution) {
+		t.Fatalf("err = %v, want ErrBadDistribution", err)
+	}
+}

@@ -1,0 +1,87 @@
+package emoo
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The parallel kernels partition their O(n²) row loops into fixed-size row
+// blocks that workers claim from a shared atomic cursor. Two properties make
+// this safe for the optimizer's bit-for-bit reproducibility contract:
+//
+//  1. Every row's computation is self-contained — it reads only inputs that
+//     are complete before the pass starts and writes only its own row (plus,
+//     for the symmetric distance matrices, the mirror cells of column pairs
+//     it exclusively owns) — so rows can run in any order on any worker.
+//  2. The block partition depends only on the row count, never on the worker
+//     count, so the set of per-row computations is identical whether one
+//     worker or sixteen execute them.
+//
+// Together they pin every parallel result exactly to the serial scratch
+// path; spea2_ref_test.go enforces this with exact float64 equality.
+
+// rowBlock is the fixed row-block granularity. Blocks are coarse enough to
+// amortize the cursor increment and avoid false sharing on adjacent output
+// rows, and fine enough to load-balance the triangular distance loops (early
+// rows carry more column work than late ones).
+const rowBlock = 16
+
+// minParallelRows is the serial cutover: below this row count the goroutine
+// fan-out costs more than the O(n²) work it splits, so the kernels run the
+// identical loop inline. The cutover never affects results (property 2
+// above), only scheduling.
+const minParallelRows = 64
+
+// kernelWorkers resolves the worker count for an n-row kernel: at least one,
+// at most one per block, and serial below the cutover.
+func kernelWorkers(workers, n int) int {
+	if workers < 1 || n < minParallelRows {
+		return 1
+	}
+	if blocks := (n + rowBlock - 1) / rowBlock; workers > blocks {
+		workers = blocks
+	}
+	return workers
+}
+
+// forRows runs fn(worker, lo, hi) over every block [lo, hi) of the row range
+// [0, n), on the given number of workers. The calling goroutine acts as
+// worker 0, so workers == 1 degenerates to a plain inline loop with no
+// synchronization. fn must only write state owned by its rows (or indexed by
+// its worker id); forRows returns after all blocks complete, which is the
+// barrier between dependent passes.
+func forRows(n, workers int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	blocks := (n + rowBlock - 1) / rowBlock
+	var cursor atomic.Int64
+	body := func(worker int) {
+		for {
+			b := int(cursor.Add(1)) - 1
+			if b >= blocks {
+				return
+			}
+			lo := b * rowBlock
+			hi := lo + rowBlock
+			if hi > n {
+				hi = n
+			}
+			fn(worker, lo, hi)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			body(w)
+		}(w)
+	}
+	body(0)
+	wg.Wait()
+}

@@ -1,0 +1,161 @@
+package emoo
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"optrr/internal/pareto"
+	"optrr/internal/randx"
+)
+
+// largeClouds draws point sets well above minParallelRows, so the parallel
+// dispatch path (not the serial cutover) is what executes. The shapes mirror
+// randomClouds: uniform clouds, duplicate-heavy clusters, and collinear sets.
+func largeClouds(r *randx.Source, count int) [][]pareto.Point {
+	var clouds [][]pareto.Point
+	for c := 0; c < count; c++ {
+		n := minParallelRows + 40 + r.Intn(200)
+		pts := make([]pareto.Point, n)
+		switch c % 3 {
+		case 0:
+			for i := range pts {
+				pts[i] = pareto.Point{Privacy: r.Float64(), Utility: r.Float64() * 1e-4}
+			}
+		case 1:
+			for i := range pts {
+				base := pareto.Point{Privacy: float64(r.Intn(6)) * 0.15, Utility: float64(r.Intn(6)) * 1e-5}
+				if r.Float64() < 0.5 {
+					base.Privacy += r.Float64() * 1e-9
+				}
+				pts[i] = base
+			}
+		default:
+			for i := range pts {
+				pts[i] = pareto.Point{Privacy: r.Float64(), Utility: 0.5}
+			}
+		}
+		clouds = append(clouds, pts)
+	}
+	return clouds
+}
+
+// workerCountsUnderTest covers serial, the smallest parallel fan-out, an
+// uneven block split, and whatever this machine resolves GOMAXPROCS to.
+func workerCountsUnderTest() []int {
+	return []int{1, 2, 3, 8, runtime.GOMAXPROCS(0)}
+}
+
+// TestParallelFitnessMatchesSerial pins the parallel dominance, distance and
+// density kernels bit-for-bit to the serial scratch path on clouds large
+// enough to cross the parallel cutover.
+func TestParallelFitnessMatchesSerial(t *testing.T) {
+	r := randx.New(23)
+	for _, pts := range largeClouds(r, 12) {
+		for _, k := range []int{1, 3} {
+			serialCfg := Config{KNearest: k, Normalize: true, Workers: 1}
+			want := NewScratch().AssignFitness(pts, serialCfg)
+			for _, w := range workerCountsUnderTest() {
+				cfg := serialCfg
+				cfg.Workers = w
+				got := NewScratch().AssignFitness(pts, cfg)
+				for i := range want.Value {
+					if got.Strength[i] != want.Strength[i] || got.Raw[i] != want.Raw[i] ||
+						got.Density[i] != want.Density[i] || got.Value[i] != want.Value[i] {
+						t.Fatalf("n=%d k=%d workers=%d: fitness[%d] = (%d, %v, %.17g, %.17g), want (%d, %v, %.17g, %.17g)",
+							len(pts), k, w, i,
+							got.Strength[i], got.Raw[i], got.Density[i], got.Value[i],
+							want.Strength[i], want.Raw[i], want.Density[i], want.Value[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelSelectEnvironmentMatchesSerial drives truncation hard — a
+// mutually non-dominated front reduced to half capacity — and requires the
+// surviving index sequence to be identical at every worker count.
+func TestParallelSelectEnvironmentMatchesSerial(t *testing.T) {
+	r := randx.New(29)
+	for trial := 0; trial < 6; trial++ {
+		n := minParallelRows + 40 + r.Intn(160)
+		pts := make([]pareto.Point, n)
+		for i := range pts {
+			pts[i] = pareto.Point{
+				Privacy: 0.3 + 0.35*(float64(i)+r.Float64())/float64(n),
+				Utility: 1e-4 * (float64(i) + r.Float64()),
+			}
+		}
+		for _, normalize := range []bool{true, false} {
+			serialCfg := Config{KNearest: 1, Normalize: normalize, Workers: 1}
+			sSerial := NewScratch()
+			fit := sSerial.AssignFitness(pts, serialCfg)
+			want, err := sSerial.SelectEnvironment(pts, fit, n/2, serialCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range workerCountsUnderTest() {
+				cfg := serialCfg
+				cfg.Workers = w
+				s := NewScratch()
+				pfit := s.AssignFitness(pts, cfg)
+				got, err := s.SelectEnvironment(pts, pfit, n/2, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("n=%d normalize=%v workers=%d: selected %d, want %d", n, normalize, w, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("n=%d normalize=%v workers=%d: selection[%d] = %d, want %d", n, normalize, w, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForRowsCoversEveryRowOnce checks the dispatch invariant behind the
+// determinism contract: every row is visited exactly once, regardless of how
+// many workers claim blocks.
+func TestForRowsCoversEveryRowOnce(t *testing.T) {
+	for _, n := range []int{0, 1, rowBlock - 1, rowBlock, rowBlock + 1, 5 * rowBlock, 5*rowBlock + 7} {
+		for _, workers := range []int{1, 2, 3, 16} {
+			visits := make([]int32, n)
+			forRows(n, workers, func(_, lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("n=%d workers=%d: bad block [%d, %d)", n, workers, lo, hi)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visits[i], 1)
+				}
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("n=%d workers=%d: row %d visited %d times", n, workers, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelWorkersResolution pins the cutover rules: serial below
+// minParallelRows, capped at one worker per block, and never below one.
+func TestKernelWorkersResolution(t *testing.T) {
+	cases := []struct{ workers, n, want int }{
+		{0, 1000, 1},                // unset → serial
+		{8, minParallelRows - 1, 1}, // below cutover → serial
+		{8, minParallelRows, 4},     // 64 rows = 4 blocks cap
+		{2, 1000, 2},                // plenty of blocks → as asked
+		{1000, 2560, 160},           // capped at one worker per block
+		{-3, 1000, 1},               // nonsense → serial
+	}
+	for _, tc := range cases {
+		if got := kernelWorkers(tc.workers, tc.n); got != tc.want {
+			t.Errorf("kernelWorkers(%d, %d) = %d, want %d", tc.workers, tc.n, got, tc.want)
+		}
+	}
+}

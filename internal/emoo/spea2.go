@@ -36,6 +36,12 @@ type Config struct {
 	// on very different scales (privacy ≈ 0.5, MSE ≈ 1e-4), so without
 	// normalization density and truncation would ignore utility entirely.
 	Normalize bool
+	// Workers bounds the parallelism of the O(n²) kernels (dominance and
+	// strength, the distance matrices, density, and truncation vector
+	// maintenance). Zero or one means serial. The row partition is fixed
+	// and worker-count independent, so results are bit-for-bit identical
+	// at every worker count (see parallel.go and spea2_ref_test.go).
+	Workers int
 }
 
 func (c Config) k() int {
@@ -74,8 +80,8 @@ type Scratch struct {
 	density  []float64
 	value    []float64
 	dom      []bool
-	dist     []float64 // flat n×n pairwise distances
-	kbuf     []float64 // k-th-element selection buffer
+	dist     []float64   // flat n×n pairwise distances
+	kbufs    [][]float64 // per-worker k-th-element selection buffers
 
 	// Selection buffers.
 	sel  []int
@@ -87,6 +93,23 @@ type Scratch struct {
 	tdist  []float64 // flat m×m distances over the selected slots
 	vec    []float64 // per-slot sorted distance vectors, stride m
 	vecLen []int
+
+	// Parallel-pass plumbing. The row-pass closures are built once per
+	// Scratch (see passes) and capture only the Scratch itself; the fields
+	// below carry the per-call state they read, so the steady-state hot
+	// path allocates nothing — a fresh closure per call would escape to the
+	// heap even when the pass runs serially.
+	pts            []pareto.Point // current point set (cleared after each call)
+	scaleP, scaleU float64        // normalization scales for the distance passes
+	k              int            // effective density k
+	victim         int            // slot being removed by the truncation delete pass
+	strengthPass   func(worker, lo, hi int)
+	rawPass        func(worker, lo, hi int)
+	distPass       func(worker, lo, hi int)
+	densityPass    func(worker, lo, hi int)
+	tdistPass      func(worker, lo, hi int)
+	tvecPass       func(worker, lo, hi int)
+	deletePass     func(worker, lo, hi int)
 }
 
 // NewScratch returns an empty scratch; buffers grow on demand and are reused
@@ -127,62 +150,177 @@ func (s *Scratch) AssignFitness(pts []pareto.Point, cfg Config) Fitness {
 	if n == 0 {
 		return f
 	}
-	for i := 0; i < n; i++ {
-		f.Strength[i] = 0
-		f.Raw[i] = 0
-	}
+	workers := kernelWorkers(cfg.Workers, n)
+	s.ensurePasses()
+	s.pts = pts
 	s.dom = growBools(s.dom, n*n)
-	dom := s.dom
-	for i := 0; i < n; i++ {
-		ri := dom[i*n : (i+1)*n]
-		for j := range ri {
-			d := i != j && pts[i].Dominates(pts[j])
-			ri[j] = d
-			if d {
-				f.Strength[i]++
-			}
-		}
-	}
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if dom[j*n+i] {
-				f.Raw[i] += float64(f.Strength[j])
-			}
-		}
-	}
-	s.distanceMatrix(pts, cfg)
+	// Dominance + strength: row i owns dom[i*n:(i+1)*n] and Strength[i].
+	forRows(n, workers, s.strengthPass)
+	// Raw fitness reads every strength, so it needs the barrier above; row i
+	// then accumulates its dominators' strengths in the same ascending-j
+	// order as the serial loop.
+	forRows(n, workers, s.rawPass)
+	s.distanceMatrix(pts, cfg, workers)
 	k := cfg.k()
 	if k > n-1 {
 		k = n - 1
 	}
-	for i := 0; i < n; i++ {
-		var sigma float64
-		if n > 1 {
-			row := s.dist[i*n : (i+1)*n]
-			if k == 1 {
-				// σ is the nearest-neighbour distance: a plain minimum,
-				// no sort needed.
-				sigma = math.Inf(1)
-				for j, d := range row {
-					if j != i && d < sigma {
-						sigma = d
-					}
+	s.k = k
+	s.growKbufs(workers, n)
+	// Density: row i reads its completed distance row; the k-th-element
+	// buffer is per worker, so quickselect scratch is never shared.
+	forRows(n, workers, s.densityPass)
+	s.pts = nil
+	return f
+}
+
+// ensurePasses builds the reusable row-pass closures on first use. Each
+// closure captures only the Scratch and reads its per-call state from the
+// pass fields, keeping the steady-state kernels allocation-free.
+func (s *Scratch) ensurePasses() {
+	if s.strengthPass != nil {
+		return
+	}
+	s.strengthPass = func(_, lo, hi int) {
+		pts, dom := s.pts, s.dom
+		n := len(pts)
+		for i := lo; i < hi; i++ {
+			st := 0
+			ri := dom[i*n : (i+1)*n]
+			for j := range ri {
+				d := i != j && pts[i].Dominates(pts[j])
+				ri[j] = d
+				if d {
+					st++
 				}
-			} else {
-				buf := s.kbuf[:0]
-				for j, d := range row {
-					if j != i {
-						buf = append(buf, d)
-					}
+			}
+			s.strength[i] = st
+		}
+	}
+	s.rawPass = func(_, lo, hi int) {
+		dom := s.dom
+		n := len(s.pts)
+		for i := lo; i < hi; i++ {
+			var raw float64
+			for j := 0; j < n; j++ {
+				if dom[j*n+i] {
+					raw += float64(s.strength[j])
 				}
-				sigma = kthSmallest(buf, k)
-				s.kbuf = buf[:0]
+			}
+			s.raw[i] = raw
+		}
+	}
+	s.distPass = func(_, lo, hi int) {
+		pts, d := s.pts, s.dist
+		n := len(pts)
+		scaleP, scaleU := s.scaleP, s.scaleU
+		for i := lo; i < hi; i++ {
+			d[i*n+i] = 0
+			for j := i + 1; j < n; j++ {
+				dp := (pts[i].Privacy - pts[j].Privacy) * scaleP
+				du := (pts[i].Utility - pts[j].Utility) * scaleU
+				dist := math.Sqrt(dp*dp + du*du)
+				d[i*n+j] = dist
+				d[j*n+i] = dist
 			}
 		}
-		f.Density[i] = 1 / (sigma + 2)
-		f.Value[i] = f.Raw[i] + f.Density[i]
 	}
-	return f
+	s.densityPass = func(worker, lo, hi int) {
+		n := len(s.pts)
+		k := s.k
+		for i := lo; i < hi; i++ {
+			var sigma float64
+			if n > 1 {
+				row := s.dist[i*n : (i+1)*n]
+				if k == 1 {
+					// σ is the nearest-neighbour distance: a plain minimum,
+					// no sort needed.
+					sigma = math.Inf(1)
+					for j, d := range row {
+						if j != i && d < sigma {
+							sigma = d
+						}
+					}
+				} else {
+					buf := s.kbufs[worker][:0]
+					for j, d := range row {
+						if j != i {
+							buf = append(buf, d)
+						}
+					}
+					sigma = kthSmallest(buf, k)
+					s.kbufs[worker] = buf[:0]
+				}
+			}
+			s.density[i] = 1 / (sigma + 2)
+			s.value[i] = s.raw[i] + s.density[i]
+		}
+	}
+	s.tdistPass = func(_, lo, hi int) {
+		m := len(s.live)
+		scaleP, scaleU := s.scaleP, s.scaleU
+		for a := lo; a < hi; a++ {
+			if !s.alive[a] {
+				continue
+			}
+			pa := s.pts[s.live[a]]
+			s.tdist[a*m+a] = 0
+			for b := a + 1; b < m; b++ {
+				if !s.alive[b] {
+					continue
+				}
+				pb := s.pts[s.live[b]]
+				dp := (pa.Privacy - pb.Privacy) * scaleP
+				du := (pa.Utility - pb.Utility) * scaleU
+				dist := math.Sqrt(dp*dp + du*du)
+				s.tdist[a*m+b] = dist
+				s.tdist[b*m+a] = dist
+			}
+		}
+	}
+	s.tvecPass = func(_, lo, hi int) {
+		m := len(s.live)
+		for a := lo; a < hi; a++ {
+			if !s.alive[a] {
+				continue
+			}
+			row := s.vec[a*m : a*m]
+			for b := 0; b < m; b++ {
+				if b != a && s.alive[b] {
+					row = append(row, s.tdist[a*m+b])
+				}
+			}
+			sort.Float64s(row)
+			s.vecLen[a] = len(row)
+		}
+	}
+	s.deletePass = func(_, lo, hi int) {
+		m := len(s.live)
+		victim := s.victim
+		for a := lo; a < hi; a++ {
+			if !s.alive[a] {
+				continue
+			}
+			row := s.vec[a*m : a*m+s.vecLen[a]]
+			d := s.tdist[a*m+victim]
+			idx := sort.SearchFloat64s(row, d)
+			copy(row[idx:], row[idx+1:])
+			s.vecLen[a]--
+		}
+	}
+}
+
+// growKbufs sizes one n-capacity selection buffer per worker.
+func (s *Scratch) growKbufs(workers, n int) {
+	if cap(s.kbufs) < workers {
+		old := s.kbufs
+		s.kbufs = make([][]float64, workers)
+		copy(s.kbufs, old)
+	}
+	s.kbufs = s.kbufs[:workers]
+	for w := range s.kbufs {
+		s.kbufs[w] = growFloats(s.kbufs[w], n)[:0]
+	}
 }
 
 // AssignFitness is the one-shot form of (*Scratch).AssignFitness: the
@@ -242,23 +380,15 @@ func kthSmallest(buf []float64, k int) float64 {
 // distanceMatrix fills s.dist with the flat n×n pairwise objective-space
 // distances of pts, optionally normalized per objective by the range over
 // pts. The expressions match the historical [][]-based implementation
-// exactly.
-func (s *Scratch) distanceMatrix(pts []pareto.Point, cfg Config) {
+// exactly. The row loop parallelizes safely because each unordered pair
+// {i, j} is written (to both symmetric cells) only by the worker owning the
+// smaller row index.
+func (s *Scratch) distanceMatrix(pts []pareto.Point, cfg Config, workers int) {
 	n := len(pts)
-	scaleP, scaleU := objectiveScales(pts, cfg)
+	s.pts = pts
+	s.scaleP, s.scaleU = objectiveScales(pts, cfg)
 	s.dist = growFloats(s.dist, n*n)
-	s.kbuf = growFloats(s.kbuf, n)[:0]
-	d := s.dist
-	for i := 0; i < n; i++ {
-		d[i*n+i] = 0
-		for j := i + 1; j < n; j++ {
-			dp := (pts[i].Privacy - pts[j].Privacy) * scaleP
-			du := (pts[i].Utility - pts[j].Utility) * scaleU
-			dist := math.Sqrt(dp*dp + du*du)
-			d[i*n+j] = dist
-			d[j*n+i] = dist
-		}
-	}
+	forRows(n, workers, s.distPass)
 }
 
 // objectiveScales returns the per-objective normalization factors over pts.
@@ -365,9 +495,12 @@ func (s *Scratch) truncate(pts []pareto.Point, selected []int, capacity int, cfg
 	s.vec = growFloats(s.vec, m*m)
 	s.vecLen = growInts(s.vecLen, m)
 
-	scaleP, scaleU := s.truncScales(pts, cfg)
-	s.truncDistances(pts, scaleP, scaleU)
-	s.truncVectors()
+	workers := kernelWorkers(cfg.Workers, m)
+	s.ensurePasses()
+	s.pts = pts
+	s.scaleP, s.scaleU = s.truncScales(pts, cfg)
+	s.truncDistances(workers)
+	s.truncVectors(workers)
 
 	for count > capacity {
 		// Victim: first live slot with the lexicographically smallest
@@ -389,29 +522,23 @@ func (s *Scratch) truncate(pts []pareto.Point, selected []int, capacity int, cfg
 			break
 		}
 		if cfg.Normalize {
-			if p, u := s.truncScales(pts, cfg); p != scaleP || u != scaleU {
+			if p, u := s.truncScales(pts, cfg); p != s.scaleP || u != s.scaleU {
 				// The victim carried an objective extremum: ranges and
 				// therefore all normalized distances changed. Rebuild.
-				scaleP, scaleU = p, u
-				s.truncDistances(pts, scaleP, scaleU)
-				s.truncVectors()
+				s.scaleP, s.scaleU = p, u
+				s.truncDistances(workers)
+				s.truncVectors(workers)
 				continue
 			}
 		}
 		// Scales unchanged: drop the victim's distance from every
-		// survivor's sorted vector in place.
-		for a := 0; a < m; a++ {
-			if !s.alive[a] {
-				continue
-			}
-			row := s.vec[a*m : a*m+s.vecLen[a]]
-			d := s.tdist[a*m+victim]
-			idx := sort.SearchFloat64s(row, d)
-			copy(row[idx:], row[idx+1:])
-			s.vecLen[a]--
-		}
+		// survivor's sorted vector in place. Each survivor's vector is
+		// touched by exactly one row, so the sweep parallelizes.
+		s.victim = victim
+		forRows(m, workers, s.deletePass)
 	}
 
+	s.pts = nil
 	out := selected[:0]
 	for a := 0; a < m; a++ {
 		if s.alive[a] {
@@ -462,47 +589,18 @@ func (s *Scratch) truncScales(pts []pareto.Point, cfg Config) (scaleP, scaleU fl
 }
 
 // truncDistances fills s.tdist with pairwise distances over the live slots
-// under the given scales. Dead slots are skipped; their entries are stale
-// and must not be read.
-func (s *Scratch) truncDistances(pts []pareto.Point, scaleP, scaleU float64) {
-	m := len(s.live)
-	for a := 0; a < m; a++ {
-		if !s.alive[a] {
-			continue
-		}
-		pa := pts[s.live[a]]
-		s.tdist[a*m+a] = 0
-		for b := a + 1; b < m; b++ {
-			if !s.alive[b] {
-				continue
-			}
-			pb := pts[s.live[b]]
-			dp := (pa.Privacy - pb.Privacy) * scaleP
-			du := (pa.Utility - pb.Utility) * scaleU
-			dist := math.Sqrt(dp*dp + du*du)
-			s.tdist[a*m+b] = dist
-			s.tdist[b*m+a] = dist
-		}
-	}
+// under the scales in s.scaleP/s.scaleU. Dead slots are skipped; their
+// entries are stale and must not be read. Pair {a, b} is written only by the
+// worker owning the smaller slot, so rows parallelize with disjoint writes.
+func (s *Scratch) truncDistances(workers int) {
+	forRows(len(s.live), workers, s.tdistPass)
 }
 
 // truncVectors rebuilds every live slot's sorted distance vector from
-// s.tdist.
-func (s *Scratch) truncVectors() {
-	m := len(s.live)
-	for a := 0; a < m; a++ {
-		if !s.alive[a] {
-			continue
-		}
-		row := s.vec[a*m : a*m]
-		for b := 0; b < m; b++ {
-			if b != a && s.alive[b] {
-				row = append(row, s.tdist[a*m+b])
-			}
-		}
-		sort.Float64s(row)
-		s.vecLen[a] = len(row)
-	}
+// s.tdist — the per-row nearest-neighbour recomputation after a scale
+// change. Each slot's vector and length are private to its row.
+func (s *Scratch) truncVectors(workers int) {
+	forRows(len(s.live), workers, s.tvecPass)
 }
 
 // lexLess reports whether distance vector a is lexicographically smaller

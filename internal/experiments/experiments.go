@@ -36,6 +36,11 @@ type Config struct {
 	WarnerSteps int
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers bounds the parallelism of a RunGrid call: how many experiment
+	// cells run concurrently. Zero means GOMAXPROCS. It does not change any
+	// figure — cells are independent and each derives its randomness from
+	// Seed — only wall-clock time.
+	Workers int
 	// Context optionally bounds every optimizer run inside the experiment;
 	// nil means run to completion. A cancelled context surfaces as the
 	// experiment's error (wrapping context.Canceled / DeadlineExceeded).

@@ -186,3 +186,18 @@ func (r *Source) Shuffle(n int, swap func(i, j int)) {
 func (r *Source) Split() *Source {
 	return New(r.Uint64() ^ 0xd1b54a32d192ed03)
 }
+
+// Stream returns the idx-th member of a family of decorrelated sources
+// derived from one root seed. Unlike Split, the result depends only on
+// (seed, idx) — not on any generator state — which is what the parallel
+// batch kernels need: work split into fixed chunks, chunk i always drawing
+// from Stream(seed, i), gives output independent of how many workers run
+// the chunks. idx is stirred through a splitmix64 round before mixing so
+// that consecutive indices land far apart in seed space.
+func Stream(seed, idx uint64) *Source {
+	z := idx + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return New(seed ^ z)
+}

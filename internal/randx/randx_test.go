@@ -359,3 +359,43 @@ func BenchmarkAliasDraw(b *testing.B) {
 		_ = a.Draw(r)
 	}
 }
+
+// TestStreamDeterministicAndDecorrelated: Stream depends only on (seed, idx),
+// distinct indices give distinct streams, and consecutive indices do not
+// produce correlated output.
+func TestStreamDeterministicAndDecorrelated(t *testing.T) {
+	a := Stream(7, 3)
+	b := Stream(7, 3)
+	for i := 0; i < 16; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Stream(7, 3) is not deterministic")
+		}
+	}
+	// Distinct (seed, idx) pairs must differ, including idx 0 vs New(seed).
+	first := map[uint64][2]uint64{}
+	for seed := uint64(0); seed < 4; seed++ {
+		for idx := uint64(0); idx < 4; idx++ {
+			v := Stream(seed, idx).Uint64()
+			if prev, ok := first[v]; ok {
+				t.Fatalf("Stream(%d, %d) collides with Stream(%d, %d)", seed, idx, prev[0], prev[1])
+			}
+			first[v] = [2]uint64{seed, idx}
+		}
+	}
+	if Stream(9, 0).Uint64() == New(9).Uint64() {
+		t.Fatal("Stream(seed, 0) must not coincide with New(seed)")
+	}
+	// Crude decorrelation check: the merged output of adjacent streams still
+	// looks uniform in the mean.
+	var sum float64
+	const n = 4000
+	for idx := uint64(0); idx < 4; idx++ {
+		r := Stream(1, idx)
+		for i := 0; i < n; i++ {
+			sum += r.Float64()
+		}
+	}
+	if mean := sum / (4 * n); mean < 0.48 || mean > 0.52 {
+		t.Fatalf("adjacent streams mean %.4f, want ~0.5", mean)
+	}
+}

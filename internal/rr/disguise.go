@@ -1,0 +1,132 @@
+package rr
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"optrr/internal/randx"
+)
+
+// disguiseChunk is the fixed record-chunk granularity of the batched
+// disguise kernel. The partition into chunks depends only on the record
+// count, and chunk c always draws from randx.Stream(seed, c), so the output
+// is bit-for-bit identical at every worker count. 8192 records amortize the
+// per-chunk Source construction to well under a nanosecond per record.
+const disguiseChunk = 8192
+
+// batchWorkers resolves the worker count for a batch over the given number
+// of chunks: GOMAXPROCS when unset, never more than one per chunk.
+func batchWorkers(workers, chunks int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// DisguiseBatch is DisguiseBatchInto with a freshly allocated result slice.
+func (m *Matrix) DisguiseBatch(records []int, seed uint64, workers int) ([]int, error) {
+	out := make([]int, len(records))
+	if err := m.DisguiseBatchInto(out, records, seed, workers); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DisguiseBatchInto applies randomized response to every record — each
+// original category c_i replaced by a draw from column i of M — writing the
+// disguised categories into dst (same length as records). The records are
+// processed in fixed chunks of disguiseChunk, chunk c drawing from the
+// deterministic stream randx.Stream(seed, c), fanned out over the given
+// number of workers (zero means GOMAXPROCS): the output depends only on
+// (M, records, seed), never on the worker count.
+//
+// On error — an out-of-range record, reported exactly as Disguise reports
+// it, for the first offending record — the contents of dst are unspecified.
+func (m *Matrix) DisguiseBatchInto(dst, records []int, seed uint64, workers int) error {
+	if len(dst) != len(records) {
+		return fmt.Errorf("%w: dst length %d for %d records", ErrShape, len(dst), len(records))
+	}
+	n := m.N()
+	samplers := make([]*randx.Alias, n)
+	for i := 0; i < n; i++ {
+		a, err := randx.NewAlias(m.Column(i))
+		if err != nil {
+			return fmt.Errorf("rr: column %d: %w", i, err)
+		}
+		samplers[i] = a
+	}
+	total := len(records)
+	if total == 0 {
+		return nil
+	}
+	chunks := (total + disguiseChunk - 1) / disguiseChunk
+	workers = batchWorkers(workers, chunks)
+	if workers == 1 {
+		for c := 0; c < chunks; c++ {
+			if err := disguiseOneChunk(dst, records, samplers, seed, c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// The alias tables are immutable after construction, so every worker
+	// shares them; all per-chunk state is the chunk's own Source. Chunks are
+	// claimed from an atomic cursor; error reporting scans the per-chunk
+	// results in chunk order afterwards, so the error surfaced is the one
+	// the serial sweep would have hit first.
+	errs := make([]error, chunks)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	body := func() {
+		for {
+			c := int(cursor.Add(1)) - 1
+			if c >= chunks {
+				return
+			}
+			errs[c] = disguiseOneChunk(dst, records, samplers, seed, c)
+		}
+	}
+	for w := 1; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			body()
+		}()
+	}
+	body()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// disguiseOneChunk disguises records[c*disguiseChunk : ...] from the chunk's
+// deterministic stream, stopping at the first out-of-range record.
+func disguiseOneChunk(dst, records []int, samplers []*randx.Alias, seed uint64, c int) error {
+	lo := c * disguiseChunk
+	hi := lo + disguiseChunk
+	if hi > len(records) {
+		hi = len(records)
+	}
+	r := randx.Stream(seed, uint64(c))
+	n := len(samplers)
+	for k := lo; k < hi; k++ {
+		rec := records[k]
+		if rec < 0 || rec >= n {
+			return fmt.Errorf("%w: record %d has category %d", ErrShape, k, rec)
+		}
+		dst[k] = samplers[rec].Draw(r)
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package rr
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"optrr/internal/randx"
+)
+
+// BenchmarkDisguise compares the sequential single-stream Disguise against
+// the chunked batch kernel at 1, 4 and GOMAXPROCS workers. The batch w1
+// variant measures the pure chunking overhead (one Source per 8192 records);
+// larger counts only win on multi-core machines.
+func BenchmarkDisguise(b *testing.B) {
+	m, err := Warner(10, 0.7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const total = 100000
+	recs := batchRecords(10, total, 1)
+	b.Run("serial", func(b *testing.B) {
+		r := randx.New(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Disguise(recs, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, wc := range []struct {
+		label   string
+		workers int
+	}{
+		{"w1", 1},
+		{"w4", 4},
+		{"wmax", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(fmt.Sprintf("batch/%s", wc.label), func(b *testing.B) {
+			dst := make([]int, total)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := m.DisguiseBatchInto(dst, recs, 1, wc.workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
