@@ -14,6 +14,12 @@
 //	optrr -dist normal -categories 10 -delta 0.8
 //	optrr -prior 0.5,0.3,0.2 -delta 0.7 -pick-privacy 0.45 -show-matrix
 //	optrr -data records.txt -categories 10 -delta 0.8 -csv front.csv
+//	optrr -dist normal -categories 6 -delta 0.8 -objectives ldp,mi
+//
+// -objectives adds extra optimization axes from the objective registry
+// (ldp-epsilon, mutual-information, worst-mse; aliases ldp and mi resolve):
+// the search returns a k-dimensional front and both the listing and -csv
+// gain one column per extra objective.
 //
 // Observability: -trace file writes a JSONL run trace (one event per
 // generation); -metrics-addr host:port serves live expvar, pprof and the
@@ -51,6 +57,7 @@ func main() {
 		delta       = flag.Float64("delta", 0.8, "worst-case posterior bound (Equation 9)")
 		generations = flag.Int("generations", 3000, "EMO generation budget (the paper used 20000)")
 		seed        = flag.Uint64("seed", 1, "random seed")
+		objectives  = flag.String("objectives", "", "comma-separated extra objectives beyond privacy/utility (e.g. ldp,mi; see registry names)")
 		pickPrivacy = flag.Float64("pick-privacy", -1, "print the best matrix with at least this privacy")
 		showMatrix  = flag.Bool("show-matrix", false, "print the picked matrix")
 		savePath    = flag.String("save", "", "write the picked matrix as JSON to this path")
@@ -93,6 +100,11 @@ func main() {
 		Seed:     *seed,
 		Advanced: &cfg,
 	}
+	if *objectives != "" {
+		for _, name := range strings.Split(*objectives, ",") {
+			prob.ExtraObjectives = append(prob.ExtraObjectives, strings.TrimSpace(name))
+		}
+	}
 	if *tracePath != "" {
 		prob.Recorder = telem.Recorder
 	}
@@ -124,10 +136,27 @@ func main() {
 	fmt.Printf("front: %d optimal matrices in %v (%d evaluations)\n",
 		len(res.Front), time.Since(start).Round(time.Millisecond), res.Evaluations)
 
+	// Extra objective axes of the run, in point order, with their values in
+	// natural orientation; both empty for the default two-objective search,
+	// keeping the legacy output byte-identical.
+	extraNames := res.Objectives()[2:]
+	extraCols := make([][]float64, len(extraNames))
+	for t, name := range extraNames {
+		extraCols[t], _ = res.ObjectiveValues(name)
+	}
+
 	if !*quiet {
-		fmt.Println("privacy    utility(MSE)")
-		for _, p := range res.Front {
-			fmt.Printf("%.4f     %.6e\n", p.Privacy, p.Utility)
+		header := "privacy    utility(MSE)"
+		for _, name := range extraNames {
+			header += "  " + name
+		}
+		fmt.Println(header)
+		for i, p := range res.Front {
+			fmt.Printf("%.4f     %.6e", p.Privacy, p.Utility)
+			for t := range extraCols {
+				fmt.Printf("  %.6g", extraCols[t][i])
+			}
+			fmt.Println()
 		}
 	}
 
@@ -138,9 +167,13 @@ func main() {
 			os.Exit(1)
 		}
 		w := bufio.NewWriter(f)
-		fmt.Fprintln(w, "privacy,utility")
-		for _, p := range res.Front {
-			fmt.Fprintf(w, "%g,%g\n", p.Privacy, p.Utility)
+		fmt.Fprintln(w, strings.Join(append([]string{"privacy", "utility"}, extraNames...), ","))
+		for i, p := range res.Front {
+			fmt.Fprintf(w, "%g,%g", p.Privacy, p.Utility)
+			for t := range extraCols {
+				fmt.Fprintf(w, ",%g", extraCols[t][i])
+			}
+			fmt.Fprintln(w)
 		}
 		if err := w.Flush(); err != nil {
 			fmt.Fprintln(os.Stderr, err)

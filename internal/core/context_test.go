@@ -114,7 +114,7 @@ func TestRunNilContextUnchanged(t *testing.T) {
 			len(a.Front), len(b.Front), a.Evaluations, b.Evaluations)
 	}
 	for i := range a.Front {
-		if a.Front[i].Eval != b.Front[i].Eval {
+		if !evalsEqual(a.Front[i].Eval, b.Front[i].Eval) {
 			t.Fatalf("front[%d] differs: %+v vs %+v", i, a.Front[i].Eval, b.Front[i].Eval)
 		}
 	}

@@ -58,9 +58,10 @@ type MultiIndividual struct {
 	Eval    metrics.Evaluation
 }
 
-// Point returns the individual's objective-space image.
+// Point returns the individual's objective-space image, carrying any extra
+// objective values the evaluation recorded (canonical minimized form).
 func (mi MultiIndividual) Point() pareto.Point {
-	return pareto.Point{Privacy: mi.Eval.Privacy, Utility: mi.Eval.Utility}
+	return pareto.NewPoint(mi.Eval.Privacy, mi.Eval.Utility, mi.Eval.Extra...)
 }
 
 // Matrices converts the genome tuple into validated RR matrices.

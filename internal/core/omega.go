@@ -11,9 +11,11 @@ type Individual struct {
 	Eval   metrics.Evaluation
 }
 
-// Point returns the individual's image in objective space.
+// Point returns the individual's image in objective space: the canonical
+// privacy/utility pair plus any configured extra objectives (already in
+// canonical minimized form, see metrics.Evaluation.Extra).
 func (ind Individual) Point() pareto.Point {
-	return pareto.Point{Privacy: ind.Eval.Privacy, Utility: ind.Eval.Utility}
+	return pareto.NewPoint(ind.Eval.Privacy, ind.Eval.Utility, ind.Eval.Extra...)
 }
 
 // Omega is the paper's "optimal set" (Section V-H): a large archive indexed
@@ -68,7 +70,11 @@ func (o *Omega) binIndex(privacy float64) int {
 
 // Update offers an individual to the set; the individual is stored (cloned)
 // if its bin is empty or it improves the bin's utility. It reports whether
-// the set changed.
+// the set changed. The rule is deliberately unchanged under extra
+// objectives: bins index privacy and keep the utility-best entry exactly as
+// in the paper, so the canonical search is bit-for-bit stable; extras enter
+// through FrontSnapshot, whose dominance filter runs over the full k-dim
+// points.
 func (o *Omega) Update(ind Individual) bool {
 	if !o.Enabled() {
 		return false

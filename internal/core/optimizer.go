@@ -121,6 +121,16 @@ type Config struct {
 	// in [0, 1] with larger meaning more private; the δ bound of Equation 9
 	// is enforced regardless.
 	PrivacyFn func(m *rr.Matrix, prior []float64) (float64, error)
+	// Objectives lists extra objectives appended to the canonical
+	// privacy/utility pair, turning the search k-dimensional (k = 2 +
+	// len(Objectives), at most 2 + pareto.MaxExtraObjectives). Each is
+	// evaluated against the worker's Workspace right after the fused
+	// Evaluate, so built-ins reuse the already-computed P* and inverse.
+	// Values are stored in Individual.Eval.Extra in canonical minimized
+	// form (Maximize objectives negated) and participate in dominance,
+	// SPEA2 density and the final front. Nil (the default) is the paper's
+	// two-objective search, bit-for-bit unchanged.
+	Objectives []metrics.Objective
 
 	// Context, if non-nil, bounds the run: it is checked once per
 	// generation, and a cancelled or deadline-exceeded context stops the
@@ -263,7 +273,52 @@ func (c Config) Validate() error {
 	if c.MutationRate < 0 || c.MutationRate > 1 {
 		return fmt.Errorf("%w: mutation rate %v outside [0, 1]", ErrBadConfig, c.MutationRate)
 	}
+	return validateObjectives(c.Objectives)
+}
+
+// validateObjectives checks an extra-objective list: bounded by the Point
+// capacity, no nils, and unique non-reserved names.
+func validateObjectives(objs []metrics.Objective) error {
+	if len(objs) > pareto.MaxExtraObjectives {
+		return fmt.Errorf("%w: %d extra objectives, at most %d supported", ErrBadConfig, len(objs), pareto.MaxExtraObjectives)
+	}
+	seen := make(map[string]bool, len(objs))
+	for i, obj := range objs {
+		if obj == nil {
+			return fmt.Errorf("%w: objective %d is nil", ErrBadConfig, i)
+		}
+		name := obj.Name()
+		if name == "" {
+			return fmt.Errorf("%w: objective %d has an empty name", ErrBadConfig, i)
+		}
+		if name == "privacy" || name == "utility" {
+			return fmt.Errorf("%w: objective name %q is reserved for the canonical axes", ErrBadConfig, name)
+		}
+		if seen[name] {
+			return fmt.Errorf("%w: duplicate objective %q", ErrBadConfig, name)
+		}
+		seen[name] = true
+	}
 	return nil
+}
+
+// evalExtras evaluates the extra objectives against the workspace state left
+// by the fused Evaluate on m, returning their values in canonical minimized
+// form. Nil objs (the two-objective fast path) returns nil without touching
+// the workspace.
+func evalExtras(ws *metrics.Workspace, m *rr.Matrix, prior []float64, records int, objs []metrics.Objective) ([]float64, error) {
+	if len(objs) == 0 {
+		return nil, nil
+	}
+	extra := make([]float64, len(objs))
+	for t, obj := range objs {
+		v, err := obj.Evaluate(ws, m, prior, records)
+		if err != nil {
+			return nil, err
+		}
+		extra[t] = metrics.CanonicalValue(obj, v)
+	}
+	return extra, nil
 }
 
 // Stats summarizes a generation for progress reporting.
@@ -281,6 +336,9 @@ type Stats struct {
 	// FrontHypervolume is the hypervolume of the current archive front with
 	// reference point (0, refUtility), where refUtility is the utility of
 	// the totally uninformative estimate; it grows as the front advances.
+	// For runs with extra objectives this remains the privacy/utility
+	// projection (see pareto.Hypervolume) so the trend stays comparable
+	// across configurations.
 	FrontHypervolume float64
 	// FrontSize is the number of non-dominated points in the archive.
 	FrontSize int
@@ -749,6 +807,13 @@ func (o *Optimizer) realize(genomes []Genome) ([]Individual, error) {
 		ev, err := sc.ws.Evaluate(m, cfg.Prior, cfg.Records)
 		if err != nil {
 			return Individual{}, c // singular: inversion utility undefined
+		}
+		// Extra objectives run while the workspace still holds this matrix's
+		// P* and inverse; a failing objective voids the individual like a
+		// singular matrix does.
+		ev.Extra, err = evalExtras(sc.ws, m, cfg.Prior, cfg.Records, cfg.Objectives)
+		if err != nil {
+			return Individual{}, c
 		}
 		if cfg.PrivacyFn != nil {
 			priv, err := cfg.PrivacyFn(m, cfg.Prior)

@@ -413,7 +413,7 @@ func TestRunNSGA2Engine(t *testing.T) {
 	same := len(res.Front) == len(speaRes.Front)
 	if same {
 		for i := range res.Front {
-			if res.Front[i].Eval != speaRes.Front[i].Eval {
+			if !evalsEqual(res.Front[i].Eval, speaRes.Front[i].Eval) {
 				same = false
 				break
 			}

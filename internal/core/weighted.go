@@ -28,9 +28,18 @@ type WeightedSumConfig struct {
 	Records int
 	Delta   float64
 
-	// Weights is the number of weight values swept across [0, 1]; zero
-	// means 21.
+	// Weights is the number of weight values swept per axis; zero means
+	// 21. With no extra objectives this is exactly the paper-era sweep of
+	// w across [0, 1]; with k objectives the sweep enumerates the simplex
+	// lattice with Weights−1 divisions, so the run count grows
+	// combinatorially in k.
 	Weights int
+	// Objectives appends extra objectives to the scalarization, exactly as
+	// Config.Objectives does for the EMO: each weight vector then has one
+	// component per objective, and the collected union front is filtered by
+	// k-dimensional dominance. Nil reproduces the legacy two-term scalar
+	// bit-for-bit.
+	Objectives []metrics.Objective
 	// PopulationSize per weight; zero means 30.
 	PopulationSize int
 	// Generations per weight; zero means 100.
@@ -63,19 +72,22 @@ func (c WeightedSumConfig) withDefaults() WeightedSumConfig {
 
 // Validate checks the configuration.
 func (c WeightedSumConfig) Validate() error {
-	probe := Config{Prior: c.Prior, Records: c.Records, Delta: c.Delta}
+	probe := Config{Prior: c.Prior, Records: c.Records, Delta: c.Delta, Objectives: c.Objectives}
 	return probe.Validate()
 }
 
-// OptimizeWeightedSum sweeps weight values w over [0, 1]; for each w a
-// single-objective GA minimizes
+// OptimizeWeightedSum sweeps weight vectors v over the objective simplex;
+// for each v a single-objective GA minimizes
 //
-//	f(M) = w·(Utility(M)/uRef) + (1−w)·(1 − Privacy(M)),
+//	f(M) = v₁·(Utility(M)/uRef) + v₀·(1 − Privacy(M)) + Σ_t v_{2+t}·(x_t/ref_t),
 //
-// with uRef a fixed utility normalizer so both terms share a scale. Every
-// individual ever evaluated feasibly is collected and the Pareto front of
-// the union is returned, making the comparison against the EMO as generous
-// to the baseline as possible. The returned Result mirrors Run's.
+// with uRef a fixed utility normalizer so both terms share a scale, x_t the
+// canonical value of extra objective t and ref_t its normalizer. Without
+// extra objectives this is exactly the paper-era sweep of
+// w·(Utility/uRef) + (1−w)·(1−Privacy) over w ∈ [0, 1]. Every individual
+// ever evaluated feasibly is collected and the Pareto front of the union is
+// returned, making the comparison against the EMO as generous to the
+// baseline as possible. The returned Result mirrors Run's.
 func OptimizeWeightedSum(cfg WeightedSumConfig) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -88,6 +100,7 @@ func OptimizeWeightedSum(cfg WeightedSumConfig) (Result, error) {
 	n := len(cfg.Prior)
 
 	uRef := weightedReferenceUtility(cfg)
+	extraRefs := weightedReferenceExtras(cfg)
 	evaluations := 0
 
 	// The sweep is sequential, so one scratch serves every evaluation.
@@ -105,10 +118,21 @@ func OptimizeWeightedSum(cfg WeightedSumConfig) (Result, error) {
 		if err != nil {
 			return Individual{}, false
 		}
+		ev.Extra, err = evalExtras(sc.ws, m, cfg.Prior, cfg.Records, cfg.Objectives)
+		if err != nil {
+			return Individual{}, false
+		}
 		return Individual{Genome: g, Eval: ev}, true
 	}
-	scalar := func(ind Individual, w float64) float64 {
-		return w*(ind.Eval.Utility/uRef) + (1-w)*(1-ind.Eval.Privacy)
+	// The utility term leads so that the two-term case reproduces the
+	// legacy w·(U/uRef) + (1−w)·(1−P) floating-point sequence exactly
+	// (v₁ = w and v₀ = 1−w bit-for-bit, see weightVectors).
+	scalar := func(ind Individual, v []float64) float64 {
+		s := v[1]*(ind.Eval.Utility/uRef) + v[0]*(1-ind.Eval.Privacy)
+		for t, x := range ind.Eval.Extra {
+			s += v[2+t] * (x / extraRefs[t])
+		}
+		return s
 	}
 
 	var all []Individual
@@ -128,9 +152,9 @@ func OptimizeWeightedSum(cfg WeightedSumConfig) (Result, error) {
 
 	generations := 0
 	var cancelErr error
+	vectors := weightVectors(2+len(cfg.Objectives), cfg.Weights)
 sweep:
-	for wi := 0; wi < cfg.Weights; wi++ {
-		w := float64(wi) / float64(cfg.Weights-1)
+	for _, w := range vectors {
 		pop := make([]Individual, cfg.PopulationSize)
 		for i := range pop {
 			ind, err := fresh()
@@ -209,6 +233,83 @@ sweep:
 		Generations: generations,
 		Evaluations: evaluations,
 	}, cancelErr
+}
+
+// weightVectors enumerates the sweep's weight vectors: length-k, entries on
+// the lattice {0, 1/m, …, 1} with m = weights−1, summing to 1. The k = 2
+// case is kept in the exact legacy arithmetic — v₁ = wi/m and v₀ = 1−v₁ —
+// so the two-objective baseline's floating point is bit-for-bit unchanged
+// (the generic c/m form can differ from 1−w in the last bit).
+func weightVectors(k, weights int) [][]float64 {
+	m := weights - 1
+	if k == 2 {
+		out := make([][]float64, weights)
+		for wi := 0; wi < weights; wi++ {
+			w := float64(wi) / float64(m)
+			out[wi] = []float64{1 - w, w}
+		}
+		return out
+	}
+	var out [][]float64
+	comp := make([]int, k)
+	var rec func(pos, left int)
+	rec = func(pos, left int) {
+		if pos == k-1 {
+			comp[pos] = left
+			v := make([]float64, k)
+			for i, c := range comp {
+				v[i] = float64(c) / float64(m)
+			}
+			out = append(out, v)
+			return
+		}
+		for c := 0; c <= left; c++ {
+			comp[pos] = c
+			rec(pos+1, left-c)
+		}
+	}
+	rec(0, m)
+	return out
+}
+
+// weightedReferenceExtras normalizes each extra objective's term to unit
+// scale the same way uRef normalizes utility: its canonical magnitude on a
+// mid-noise Warner matrix. Objectives that are zero or unevaluable on every
+// probe fall back to 1.
+func weightedReferenceExtras(cfg WeightedSumConfig) []float64 {
+	refs := make([]float64, len(cfg.Objectives))
+	for t := range refs {
+		refs[t] = 1
+	}
+	if len(refs) == 0 {
+		return refs
+	}
+	ws := metrics.NewWorkspace()
+	for _, p := range []float64{0.6, 0.7, 0.5} {
+		m, err := rr.Warner(len(cfg.Prior), p)
+		if err != nil {
+			continue
+		}
+		if _, err := ws.Evaluate(m, cfg.Prior, cfg.Records); err != nil {
+			continue
+		}
+		ok := true
+		for t, obj := range cfg.Objectives {
+			v, err := obj.Evaluate(ws, m, cfg.Prior, cfg.Records)
+			if err != nil || v == 0 || math.IsNaN(v) {
+				ok = false
+				break
+			}
+			refs[t] = math.Abs(v)
+		}
+		if ok {
+			return refs
+		}
+	}
+	for t := range refs {
+		refs[t] = 1
+	}
+	return refs
 }
 
 // weightedReferenceUtility normalizes the utility term to the privacy

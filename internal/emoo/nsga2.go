@@ -75,13 +75,8 @@ func CrowdingDistance(pts []pareto.Point, rank []int) []float64 {
 			}
 			continue
 		}
-		for obj := 0; obj < 2; obj++ {
-			value := func(i int) float64 {
-				if obj == 0 {
-					return pts[i].Privacy
-				}
-				return pts[i].Utility
-			}
+		for obj := 0; obj < pointDim(pts); obj++ {
+			value := func(i int) float64 { return pts[i].At(obj) }
 			idx := append([]int(nil), members...)
 			sort.Slice(idx, func(a, b int) bool { return value(idx[a]) < value(idx[b]) })
 			lo, hi := value(idx[0]), value(idx[len(idx)-1])

@@ -99,8 +99,20 @@ type Scratch struct {
 	// below carry the per-call state they read, so the steady-state hot
 	// path allocates nothing — a fresh closure per call would escape to the
 	// heap even when the pass runs serially.
+	//
+	// The distance passes are dimension-aware: dim == 2 runs the exact
+	// historical two-objective expressions on scaleP/scaleU (the bit-for-bit
+	// pinned fast path), while dim > 2 runs the generic loop over the
+	// per-objective scales slice. All k-dim state lives in flat reusable
+	// buffers sized by the objective count, so both paths stay
+	// allocation-free in steady state.
 	pts            []pareto.Point // current point set (cleared after each call)
-	scaleP, scaleU float64        // normalization scales for the distance passes
+	dim            int            // objective count of the current point set
+	scaleP, scaleU float64        // 2-D normalization scales for the distance passes
+	scales         []float64      // k-dim normalization scales (dim > 2)
+	scaleLo        []float64      // per-objective minimum scratch (dim > 2)
+	scaleHi        []float64      // per-objective maximum scratch (dim > 2)
+	scalesNew      []float64      // truncation scale-change detection buffer
 	k              int            // effective density k
 	victim         int            // slot being removed by the truncation delete pass
 	strengthPass   func(worker, lo, hi int)
@@ -153,6 +165,7 @@ func (s *Scratch) AssignFitness(pts []pareto.Point, cfg Config) Fitness {
 	workers := kernelWorkers(cfg.Workers, n)
 	s.ensurePasses()
 	s.pts = pts
+	s.dim = pointDim(pts)
 	s.dom = growBools(s.dom, n*n)
 	// Dominance + strength: row i owns dom[i*n:(i+1)*n] and Strength[i].
 	forRows(n, workers, s.strengthPass)
@@ -184,6 +197,31 @@ func (s *Scratch) ensurePasses() {
 	s.strengthPass = func(_, lo, hi int) {
 		pts, dom := s.pts, s.dom
 		n := len(pts)
+		if s.dim == 2 {
+			// Inlined two-objective dominance: Point.Dominates carries the
+			// extra-axis loop and does not inline, and the outlined call
+			// copies two Points per pair — measurable on this O(n²) kernel.
+			// The comparison structure mirrors Dominates exactly (including
+			// its NaN behaviour).
+			for i := lo; i < hi; i++ {
+				pp, pu := pts[i].Privacy, pts[i].Utility
+				st := 0
+				ri := dom[i*n : (i+1)*n]
+				for j := range ri {
+					q := &pts[j]
+					d := false
+					if i != j && !(pp < q.Privacy || pu > q.Utility) {
+						d = pp > q.Privacy || pu < q.Utility
+					}
+					ri[j] = d
+					if d {
+						st++
+					}
+				}
+				s.strength[i] = st
+			}
+			return
+		}
 		for i := lo; i < hi; i++ {
 			st := 0
 			ri := dom[i*n : (i+1)*n]
@@ -213,13 +251,25 @@ func (s *Scratch) ensurePasses() {
 	s.distPass = func(_, lo, hi int) {
 		pts, d := s.pts, s.dist
 		n := len(pts)
-		scaleP, scaleU := s.scaleP, s.scaleU
+		if s.dim == 2 {
+			scaleP, scaleU := s.scaleP, s.scaleU
+			for i := lo; i < hi; i++ {
+				d[i*n+i] = 0
+				for j := i + 1; j < n; j++ {
+					dp := (pts[i].Privacy - pts[j].Privacy) * scaleP
+					du := (pts[i].Utility - pts[j].Utility) * scaleU
+					dist := math.Sqrt(dp*dp + du*du)
+					d[i*n+j] = dist
+					d[j*n+i] = dist
+				}
+			}
+			return
+		}
+		scales := s.scales
 		for i := lo; i < hi; i++ {
 			d[i*n+i] = 0
 			for j := i + 1; j < n; j++ {
-				dp := (pts[i].Privacy - pts[j].Privacy) * scaleP
-				du := (pts[i].Utility - pts[j].Utility) * scaleU
-				dist := math.Sqrt(dp*dp + du*du)
+				dist := scaledDistance(pts[i], pts[j], scales)
 				d[i*n+j] = dist
 				d[j*n+i] = dist
 			}
@@ -258,7 +308,29 @@ func (s *Scratch) ensurePasses() {
 	}
 	s.tdistPass = func(_, lo, hi int) {
 		m := len(s.live)
-		scaleP, scaleU := s.scaleP, s.scaleU
+		if s.dim == 2 {
+			scaleP, scaleU := s.scaleP, s.scaleU
+			for a := lo; a < hi; a++ {
+				if !s.alive[a] {
+					continue
+				}
+				pa := s.pts[s.live[a]]
+				s.tdist[a*m+a] = 0
+				for b := a + 1; b < m; b++ {
+					if !s.alive[b] {
+						continue
+					}
+					pb := s.pts[s.live[b]]
+					dp := (pa.Privacy - pb.Privacy) * scaleP
+					du := (pa.Utility - pb.Utility) * scaleU
+					dist := math.Sqrt(dp*dp + du*du)
+					s.tdist[a*m+b] = dist
+					s.tdist[b*m+a] = dist
+				}
+			}
+			return
+		}
+		scales := s.scales
 		for a := lo; a < hi; a++ {
 			if !s.alive[a] {
 				continue
@@ -269,10 +341,7 @@ func (s *Scratch) ensurePasses() {
 				if !s.alive[b] {
 					continue
 				}
-				pb := s.pts[s.live[b]]
-				dp := (pa.Privacy - pb.Privacy) * scaleP
-				du := (pa.Utility - pb.Utility) * scaleU
-				dist := math.Sqrt(dp*dp + du*du)
+				dist := scaledDistance(pa, s.pts[s.live[b]], scales)
 				s.tdist[a*m+b] = dist
 				s.tdist[b*m+a] = dist
 			}
@@ -379,16 +448,43 @@ func kthSmallest(buf []float64, k int) float64 {
 
 // distanceMatrix fills s.dist with the flat n×n pairwise objective-space
 // distances of pts, optionally normalized per objective by the range over
-// pts. The expressions match the historical [][]-based implementation
-// exactly. The row loop parallelizes safely because each unordered pair
-// {i, j} is written (to both symmetric cells) only by the worker owning the
-// smaller row index.
+// pts. For two-objective points the expressions match the historical
+// [][]-based implementation exactly; for k-dim points the same
+// scale-difference-square-sum recurrence runs over every axis. The row loop
+// parallelizes safely because each unordered pair {i, j} is written (to both
+// symmetric cells) only by the worker owning the smaller row index.
 func (s *Scratch) distanceMatrix(pts []pareto.Point, cfg Config, workers int) {
 	n := len(pts)
 	s.pts = pts
-	s.scaleP, s.scaleU = objectiveScales(pts, cfg)
+	s.dim = pointDim(pts)
+	if s.dim == 2 {
+		s.scaleP, s.scaleU = objectiveScales(pts, cfg)
+	} else {
+		s.scales = s.objectiveScalesK(pts, cfg, s.scales)
+	}
 	s.dist = growFloats(s.dist, n*n)
 	forRows(n, workers, s.distPass)
+}
+
+// pointDim returns the objective count of a point set; an empty set counts
+// as the canonical two objectives.
+func pointDim(pts []pareto.Point) int {
+	if len(pts) == 0 {
+		return 2
+	}
+	return pts[0].Dim()
+}
+
+// scaledDistance is the k-dim generalization of the inlined two-objective
+// distance expression: per-axis scaled differences, squares summed in axis
+// order, one square root.
+func scaledDistance(a, b pareto.Point, scales []float64) float64 {
+	var sum float64
+	for t, sc := range scales {
+		d := (a.At(t) - b.At(t)) * sc
+		sum += d * d
+	}
+	return math.Sqrt(sum)
 }
 
 // objectiveScales returns the per-objective normalization factors over pts.
@@ -412,6 +508,41 @@ func objectiveScales(pts []pareto.Point, cfg Config) (scaleP, scaleU float64) {
 		}
 	}
 	return scaleP, scaleU
+}
+
+// objectiveScalesK fills dst with the s.dim per-objective normalization
+// factors over pts — the k-dim generalization of objectiveScales, using the
+// same math.Min/math.Max recurrence per axis. dst is grown in place and
+// returned so the caller can persist the buffer.
+func (s *Scratch) objectiveScalesK(pts []pareto.Point, cfg Config, dst []float64) []float64 {
+	dim := s.dim
+	dst = growFloats(dst, dim)
+	for t := range dst {
+		dst[t] = 1
+	}
+	if !cfg.Normalize || len(pts) <= 1 {
+		return dst
+	}
+	lo := growFloats(s.scaleLo, dim)
+	hi := growFloats(s.scaleHi, dim)
+	s.scaleLo, s.scaleHi = lo, hi
+	for t := 0; t < dim; t++ {
+		v := pts[0].At(t)
+		lo[t], hi[t] = v, v
+	}
+	for _, p := range pts[1:] {
+		for t := 0; t < dim; t++ {
+			v := p.At(t)
+			lo[t] = math.Min(lo[t], v)
+			hi[t] = math.Max(hi[t], v)
+		}
+	}
+	for t := 0; t < dim; t++ {
+		if r := hi[t] - lo[t]; r > 0 {
+			dst[t] = 1 / r
+		}
+	}
+	return dst
 }
 
 // SelectEnvironment performs SPEA2 environmental selection (Section V-C):
@@ -498,7 +629,12 @@ func (s *Scratch) truncate(pts []pareto.Point, selected []int, capacity int, cfg
 	workers := kernelWorkers(cfg.Workers, m)
 	s.ensurePasses()
 	s.pts = pts
-	s.scaleP, s.scaleU = s.truncScales(pts, cfg)
+	s.dim = pointDim(pts)
+	if s.dim == 2 {
+		s.scaleP, s.scaleU = s.truncScales(pts, cfg)
+	} else {
+		s.scales = s.truncScalesK(pts, cfg, s.scales)
+	}
 	s.truncDistances(workers)
 	s.truncVectors(workers)
 
@@ -522,13 +658,23 @@ func (s *Scratch) truncate(pts []pareto.Point, selected []int, capacity int, cfg
 			break
 		}
 		if cfg.Normalize {
-			if p, u := s.truncScales(pts, cfg); p != s.scaleP || u != s.scaleU {
-				// The victim carried an objective extremum: ranges and
-				// therefore all normalized distances changed. Rebuild.
-				s.scaleP, s.scaleU = p, u
-				s.truncDistances(workers)
-				s.truncVectors(workers)
-				continue
+			if s.dim == 2 {
+				if p, u := s.truncScales(pts, cfg); p != s.scaleP || u != s.scaleU {
+					// The victim carried an objective extremum: ranges and
+					// therefore all normalized distances changed. Rebuild.
+					s.scaleP, s.scaleU = p, u
+					s.truncDistances(workers)
+					s.truncVectors(workers)
+					continue
+				}
+			} else {
+				s.scalesNew = s.truncScalesK(pts, cfg, s.scalesNew)
+				if !floatsEqual(s.scales, s.scalesNew) {
+					s.scales, s.scalesNew = s.scalesNew, s.scales
+					s.truncDistances(workers)
+					s.truncVectors(workers)
+					continue
+				}
 			}
 		}
 		// Scales unchanged: drop the victim's distance from every
@@ -586,6 +732,67 @@ func (s *Scratch) truncScales(pts []pareto.Point, cfg Config) (scaleP, scaleU fl
 		scaleU = 1 / r
 	}
 	return scaleP, scaleU
+}
+
+// truncScalesK fills dst with the k-dim normalization factors over the
+// currently live subset — the dim > 2 companion of truncScales, with the
+// same min/max recurrence per axis. dst is grown in place and returned.
+func (s *Scratch) truncScalesK(pts []pareto.Point, cfg Config, dst []float64) []float64 {
+	dim := s.dim
+	dst = growFloats(dst, dim)
+	for t := range dst {
+		dst[t] = 1
+	}
+	if !cfg.Normalize {
+		return dst
+	}
+	lo := growFloats(s.scaleLo, dim)
+	hi := growFloats(s.scaleHi, dim)
+	s.scaleLo, s.scaleHi = lo, hi
+	first := true
+	live := 0
+	for a, ok := range s.alive {
+		if !ok {
+			continue
+		}
+		p := pts[s.live[a]]
+		if first {
+			for t := 0; t < dim; t++ {
+				v := p.At(t)
+				lo[t], hi[t] = v, v
+			}
+			first = false
+		} else {
+			for t := 0; t < dim; t++ {
+				v := p.At(t)
+				lo[t] = math.Min(lo[t], v)
+				hi[t] = math.Max(hi[t], v)
+			}
+		}
+		live++
+	}
+	if live <= 1 {
+		return dst
+	}
+	for t := 0; t < dim; t++ {
+		if r := hi[t] - lo[t]; r > 0 {
+			dst[t] = 1 / r
+		}
+	}
+	return dst
+}
+
+// floatsEqual reports element-wise equality of two equal-length slices.
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // truncDistances fills s.tdist with pairwise distances over the live slots

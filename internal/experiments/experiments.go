@@ -101,6 +101,11 @@ type Report struct {
 	PaperClaim string
 	// Series holds the regenerated curves.
 	Series []Series
+	// ExtraObjectives names the objective axes the series' points carry
+	// beyond the canonical (privacy, utility) pair, in point order: axis
+	// 2+t of every point is ExtraObjectives[t]. Empty for the paper's
+	// two-objective experiments; WriteCSV emits one column per entry.
+	ExtraObjectives []string
 	// Checks holds the machine-verified shape claims.
 	Checks []Check
 	// Notes carries free-form measurements (ranges, coverage values).

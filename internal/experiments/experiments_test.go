@@ -14,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig4a", "fig4b", "fig4c", "fig4d",
 		"fig5a", "fig5b", "fig5c", "fig5d",
 		"thm2", "fact1",
-		"ext-multi", "ext-gain",
+		"ext-multi", "ext-gain", "ext-triobj",
 		"abl-omega", "abl-symmetric", "abl-reject", "abl-nsga2", "abl-naive-mutation",
 		"abl-weighted-sum",
 	}
@@ -235,6 +235,37 @@ func TestReportCSV(t *testing.T) {
 	}
 	if !strings.HasPrefix(lines[1], "a,0.5,") {
 		t.Fatalf("CSV row = %q", lines[1])
+	}
+}
+
+// TestReportCSVExtraObjectives pins the k-dim CSV shape: one named column
+// per extra axis, filled from the point when it carries the axis and left
+// empty for lower-dimensional series in the same report.
+func TestReportCSVExtraObjectives(t *testing.T) {
+	rep := &Report{
+		ID:              "x",
+		ExtraObjectives: []string{"ldp-epsilon"},
+		Series: []Series{
+			{Name: "tri", Points: []pareto.Point{pareto.NewPoint(0.5, 0.001, 1.25)}},
+			{Name: "flat", Points: []pareto.Point{{Privacy: 0.6, Utility: 0.002}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "series,privacy,utility,ldp-epsilon" {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	if lines[1] != "tri,0.5,0.001,1.25" {
+		t.Fatalf("tri row = %q", lines[1])
+	}
+	if lines[2] != "flat,0.6,0.002," {
+		t.Fatalf("flat row = %q", lines[2])
 	}
 }
 

@@ -10,10 +10,14 @@ import (
 )
 
 // WriteCSV emits every series of the report as rows of
-// (series, privacy, utility), suitable for external plotting.
+// (series, privacy, utility), suitable for external plotting. Reports with
+// ExtraObjectives gain one named column per extra axis; a point that does
+// not carry an axis (e.g. a two-objective baseline series in a k-dim
+// report) leaves that cell empty.
 func (r *Report) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"series", "privacy", "utility"}); err != nil {
+	header := append([]string{"series", "privacy", "utility"}, r.ExtraObjectives...)
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for _, s := range r.Series {
@@ -22,6 +26,13 @@ func (r *Report) WriteCSV(w io.Writer) error {
 				s.Name,
 				strconv.FormatFloat(p.Privacy, 'g', 10, 64),
 				strconv.FormatFloat(p.Utility, 'g', 10, 64),
+			}
+			for t := range r.ExtraObjectives {
+				if 2+t < p.Dim() {
+					rec = append(rec, strconv.FormatFloat(p.ExtraAt(t), 'g', 10, 64))
+				} else {
+					rec = append(rec, "")
+				}
 			}
 			if err := cw.Write(rec); err != nil {
 				return err

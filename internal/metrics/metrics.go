@@ -245,8 +245,8 @@ func PerCategoryMSEWithInverse(m *rr.Matrix, inv *matrix.Dense, prior []float64,
 	return out, nil
 }
 
-// Evaluation bundles the two objectives for one RR matrix under a fixed
-// prior and record count — the point the optimizer plots in objective space.
+// Evaluation bundles the objectives for one RR matrix under a fixed prior
+// and record count — the point the optimizer plots in objective space.
 type Evaluation struct {
 	// Privacy is 1 − A (Equation 8); larger is better.
 	Privacy float64
@@ -254,6 +254,12 @@ type Evaluation struct {
 	Utility float64
 	// MaxPosterior is the worst-case per-record accuracy of Equation 9.
 	MaxPosterior float64
+	// Extra holds the values of any additional configured objectives (see
+	// Objective), in configuration order and in canonical minimized form:
+	// a Maximize objective's value is stored negated, so that smaller is
+	// better on every entry exactly as for Utility. Nil for the canonical
+	// two-objective evaluation — the zero-allocation fast path.
+	Extra []float64
 }
 
 // Evaluate computes both objectives and the bound value in one pass. It runs

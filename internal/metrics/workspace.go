@@ -110,6 +110,17 @@ func (ws *Workspace) Evaluate(m *rr.Matrix, prior []float64, records int) (Evalu
 	return Evaluation{Privacy: 1 - a, Utility: sum / float64(n), MaxPosterior: mp}, nil
 }
 
+// PStar returns the disguised distribution P* computed by the last
+// successful Evaluate call. The slice aliases the workspace buffer: it is
+// valid until the next call on the workspace and must not be mutated. It is
+// the intermediate extra objectives (see Objective) reuse instead of
+// re-deriving it from the matrix.
+func (ws *Workspace) PStar() []float64 { return ws.pStar }
+
+// Inverse returns the matrix inverse M⁻¹ computed by the last successful
+// Evaluate call, under the same aliasing contract as PStar.
+func (ws *Workspace) Inverse() *matrix.Dense { return ws.inv }
+
 // MaxPosterior computes max_{Y,X} P(X | Y) without materializing the
 // posterior matrix, reusing the workspace's P* buffer. Identical to the
 // package-level MaxPosterior.

@@ -1,0 +1,303 @@
+package pareto
+
+import (
+	"math"
+	"testing"
+
+	"optrr/internal/randx"
+)
+
+// randomPoint draws a point with the given number of objectives from a small
+// discrete value grid, so that ties and strict dominance are both common —
+// uniform continuous draws would almost never produce the equal-coordinate
+// edge cases the dominance axioms are most fragile around.
+func randomPoint(dim int, rng *randx.Source) Point {
+	draw := func() float64 { return float64(rng.Intn(5)) / 4 }
+	extras := make([]float64, dim-2)
+	for i := range extras {
+		extras[i] = draw()
+	}
+	return NewPoint(draw(), draw(), extras...)
+}
+
+// TestDominanceProperties checks the strict-partial-order axioms of
+// Dominates and the compatibility of WeaklyDominates on sampled points for
+// k ∈ {2, 3, 4}: irreflexivity, antisymmetry, transitivity, and
+// weak-dominance = dominance-or-equality.
+func TestDominanceProperties(t *testing.T) {
+	for _, dim := range []int{2, 3, 4} {
+		rng := randx.New(uint64(dim) * 7919)
+		pts := make([]Point, 60)
+		for i := range pts {
+			pts[i] = randomPoint(dim, rng)
+		}
+		for i, p := range pts {
+			if p.Dominates(p) {
+				t.Fatalf("dim %d: point %d dominates itself", dim, i)
+			}
+			if !p.WeaklyDominates(p) {
+				t.Fatalf("dim %d: point %d does not weakly dominate itself", dim, i)
+			}
+			for j, q := range pts {
+				if p.Dominates(q) && q.Dominates(p) {
+					t.Fatalf("dim %d: symmetric dominance between %d and %d", dim, i, j)
+				}
+				// Weak dominance must be exactly dominance-or-equality.
+				want := p.Dominates(q) || p == q
+				eqAllAxes := true
+				for a := 0; a < dim; a++ {
+					if p.At(a) != q.At(a) {
+						eqAllAxes = false
+					}
+				}
+				if eqAllAxes {
+					want = true
+				}
+				if got := p.WeaklyDominates(q); got != want {
+					t.Fatalf("dim %d: WeaklyDominates(%v, %v) = %v, want %v", dim, p, q, got, want)
+				}
+				for l, r := range pts {
+					if p.Dominates(q) && q.Dominates(r) && !p.Dominates(r) {
+						t.Fatalf("dim %d: transitivity broken over %d, %d, %d", dim, i, j, l)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNewPointAccessors(t *testing.T) {
+	p := NewPoint(0.5, 0.25, 1.5, 2.5)
+	if p.Dim() != 4 {
+		t.Fatalf("Dim = %d, want 4", p.Dim())
+	}
+	want := []float64{0.5, 0.25, 1.5, 2.5}
+	for i, w := range want {
+		if p.At(i) != w {
+			t.Fatalf("At(%d) = %v, want %v", i, p.At(i), w)
+		}
+	}
+	if p.ExtraAt(0) != 1.5 || p.ExtraAt(1) != 2.5 {
+		t.Fatalf("ExtraAt mismatch: %v, %v", p.ExtraAt(0), p.ExtraAt(1))
+	}
+	ex := p.Extras()
+	if len(ex) != 2 || ex[0] != 1.5 || ex[1] != 2.5 {
+		t.Fatalf("Extras = %v", ex)
+	}
+	// Two-dimensional points report nil extras and stay comparable to the
+	// plain struct literal.
+	q := NewPoint(0.5, 0.25)
+	if q.Extras() != nil {
+		t.Fatalf("2-D point has extras %v", q.Extras())
+	}
+	if q != (Point{Privacy: 0.5, Utility: 0.25}) {
+		t.Fatal("NewPoint 2-D differs from the struct literal")
+	}
+}
+
+func TestNewPointTooManyExtrasPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected a panic for too many extras")
+		}
+	}()
+	NewPoint(0, 0, 1, 2, 3, 4, 5)
+}
+
+// TestDominatesKDim pins the axis directions: privacy is maximized, utility
+// and every extra axis minimized.
+func TestDominatesKDim(t *testing.T) {
+	base := NewPoint(0.5, 0.2, 1.0)
+	cases := []struct {
+		name string
+		p, q Point
+		want bool
+	}{
+		{"better extra dominates", NewPoint(0.5, 0.2, 0.5), base, true},
+		{"worse extra blocks", NewPoint(0.6, 0.1, 2.0), base, false},
+		{"equal never dominates", base, base, false},
+		{"all better dominates", NewPoint(0.6, 0.1, 0.5), base, true},
+		{"mixed incomparable", NewPoint(0.6, 0.3, 0.5), base, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Dominates(c.q); got != c.want {
+			t.Errorf("%s: Dominates = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDistanceKDim(t *testing.T) {
+	p := NewPoint(1, 2, 3)
+	q := NewPoint(2, 4, 6)
+	want := math.Sqrt(1 + 4 + 9)
+	if got := p.Distance(q); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("Distance = %v, want %v", got, want)
+	}
+	// 2-D distance is unchanged by the generalization.
+	a := Point{Privacy: 1, Utility: 2}
+	b := Point{Privacy: 4, Utility: 6}
+	if got := a.Distance(b); got != 5 {
+		t.Fatalf("2-D Distance = %v, want 5", got)
+	}
+}
+
+// TestSortByPrivacyNaNTotal checks that NaN objective values sort last,
+// deterministically, and that re-sorting a shuffled copy reproduces the same
+// order.
+func TestSortByPrivacyNaNTotal(t *testing.T) {
+	nan := math.NaN()
+	pts := []Point{
+		{Privacy: nan, Utility: 1},
+		{Privacy: 0.5, Utility: nan},
+		{Privacy: 0.5, Utility: 0.2},
+		{Privacy: 0.1, Utility: 0.9},
+		{Privacy: nan, Utility: nan},
+		{Privacy: 0.5, Utility: 0.1},
+	}
+	SortByPrivacy(pts)
+	// Finite privacy ascending first; within privacy 0.5 the NaN utility is
+	// last; NaN privacy sorts after all numbers.
+	wantPriv := []float64{0.1, 0.5, 0.5, 0.5, nan, nan}
+	for i, w := range wantPriv {
+		got := pts[i].Privacy
+		if math.IsNaN(w) != math.IsNaN(got) || (!math.IsNaN(w) && got != w) {
+			t.Fatalf("pos %d: privacy %v, want %v (order %v)", i, got, w, pts)
+		}
+	}
+	if pts[1].Utility != 0.1 || pts[2].Utility != 0.2 || !math.IsNaN(pts[3].Utility) {
+		t.Fatalf("NaN utility did not sort last within its privacy group: %v", pts)
+	}
+
+	// Determinism: shuffling and re-sorting reproduces the exact order.
+	shuffled := append([]Point(nil), pts...)
+	rng := randx.New(99)
+	for i := len(shuffled) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	}
+	SortByPrivacy(shuffled)
+	for i := range pts {
+		same := pts[i] == shuffled[i] ||
+			(math.IsNaN(pts[i].Privacy) && math.IsNaN(shuffled[i].Privacy) &&
+				(pts[i].Utility == shuffled[i].Utility ||
+					math.IsNaN(pts[i].Utility) && math.IsNaN(shuffled[i].Utility))) ||
+			(pts[i].Privacy == shuffled[i].Privacy &&
+				math.IsNaN(pts[i].Utility) && math.IsNaN(shuffled[i].Utility))
+		if !same {
+			t.Fatalf("pos %d differs after re-sort: %v vs %v", i, pts[i], shuffled[i])
+		}
+	}
+}
+
+// TestUtilityAtContract pins the documented non-finite behaviour: +Inf
+// utility qualifies, NaN utility and NaN privacy are skipped.
+func TestUtilityAtContract(t *testing.T) {
+	inf, nan := math.Inf(1), math.NaN()
+	t.Run("inf qualifies when alone", func(t *testing.T) {
+		u, ok := UtilityAt([]Point{{Privacy: 0.9, Utility: inf}}, 0.5)
+		if !ok || !math.IsInf(u, 1) {
+			t.Fatalf("got (%v, %v), want (+Inf, true)", u, ok)
+		}
+	})
+	t.Run("finite beats inf", func(t *testing.T) {
+		u, ok := UtilityAt([]Point{{Privacy: 0.9, Utility: inf}, {Privacy: 0.8, Utility: 0.3}}, 0.5)
+		if !ok || u != 0.3 {
+			t.Fatalf("got (%v, %v), want (0.3, true)", u, ok)
+		}
+	})
+	t.Run("nan utility skipped", func(t *testing.T) {
+		if _, ok := UtilityAt([]Point{{Privacy: 0.9, Utility: nan}}, 0.5); ok {
+			t.Fatal("NaN utility qualified")
+		}
+	})
+	t.Run("nan privacy skipped", func(t *testing.T) {
+		if _, ok := UtilityAt([]Point{{Privacy: nan, Utility: 0.1}}, 0.5); ok {
+			t.Fatal("NaN privacy qualified")
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, ok := UtilityAt(nil, 0.5); ok {
+			t.Fatal("empty front qualified")
+		}
+	})
+}
+
+func TestObjectiveAt(t *testing.T) {
+	pts := []Point{
+		NewPoint(0.4, 0.10, 3.0),
+		NewPoint(0.6, 0.20, 2.0),
+		NewPoint(0.8, 0.30, 1.0),
+	}
+	// Objective 0 (privacy) is maximized over the qualifying set.
+	if v, ok := ObjectiveAt(pts, 0, 0.5); !ok || v != 0.8 {
+		t.Fatalf("obj 0: got (%v, %v)", v, ok)
+	}
+	// Objective 1 (utility) is minimized.
+	if v, ok := ObjectiveAt(pts, 1, 0.5); !ok || v != 0.20 {
+		t.Fatalf("obj 1: got (%v, %v)", v, ok)
+	}
+	// Extra objective 2 is minimized.
+	if v, ok := ObjectiveAt(pts, 2, 0.5); !ok || v != 1.0 {
+		t.Fatalf("obj 2: got (%v, %v)", v, ok)
+	}
+	// Out-of-range objective on every point: no answer.
+	if _, ok := ObjectiveAt(pts, 3, 0.5); ok {
+		t.Fatal("out-of-range objective qualified")
+	}
+	// Matches UtilityAt on objective 1.
+	u, uok := UtilityAt(pts, 0.5)
+	v, vok := ObjectiveAt(pts, 1, 0.5)
+	if u != v || uok != vok {
+		t.Fatalf("ObjectiveAt(1) = (%v, %v), UtilityAt = (%v, %v)", v, vok, u, uok)
+	}
+}
+
+func TestObjectiveRange(t *testing.T) {
+	pts := []Point{
+		NewPoint(0.1, 5, 7),
+		NewPoint(0.9, 2, 3),
+		NewPoint(0.5, math.NaN(), 11),
+	}
+	if lo, hi, ok := ObjectiveRange(pts, 0); !ok || lo != 0.1 || hi != 0.9 {
+		t.Fatalf("obj 0 range (%v, %v, %v)", lo, hi, ok)
+	}
+	if lo, hi, ok := ObjectiveRange(pts, 1); !ok || lo != 2 || hi != 5 {
+		t.Fatalf("obj 1 range skipping NaN (%v, %v, %v)", lo, hi, ok)
+	}
+	if lo, hi, ok := ObjectiveRange(pts, 2); !ok || lo != 3 || hi != 11 {
+		t.Fatalf("obj 2 range (%v, %v, %v)", lo, hi, ok)
+	}
+	if _, _, ok := ObjectiveRange(pts, 5); ok {
+		t.Fatal("missing objective reported a range")
+	}
+	if _, _, ok := ObjectiveRange(nil, 0); ok {
+		t.Fatal("empty slice reported a range")
+	}
+	// All-NaN column: no range.
+	if _, _, ok := ObjectiveRange([]Point{{Privacy: math.NaN()}}, 0); ok {
+		t.Fatal("all-NaN column reported a range")
+	}
+}
+
+// TestFrontKDim checks non-dominated extraction on a 3-D set where the
+// third axis changes the outcome versus the 2-D projection.
+func TestFrontKDim(t *testing.T) {
+	pts := []Point{
+		NewPoint(0.5, 0.2, 1.0), // dominated in 2-D projection by the next point…
+		NewPoint(0.6, 0.1, 2.0), // …but its better third axis keeps it in the front
+		NewPoint(0.4, 0.3, 3.0), // dominated by point 0 in all three axes
+	}
+	idx := Front(pts)
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 1 {
+		t.Fatalf("Front = %v, want [0 1]", idx)
+	}
+	// The 2-D projections of the same points collapse to a single point.
+	flat := []Point{
+		{Privacy: 0.5, Utility: 0.2},
+		{Privacy: 0.6, Utility: 0.1},
+		{Privacy: 0.4, Utility: 0.3},
+	}
+	if idx := Front(flat); len(idx) != 1 || idx[0] != 1 {
+		t.Fatalf("2-D Front = %v, want [1]", idx)
+	}
+}

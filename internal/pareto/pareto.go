@@ -3,8 +3,14 @@
 // tooling used by the evaluation (Section VI-A): front extraction, merging,
 // and indicator metrics for comparing the fronts of two schemes.
 //
-// Points live in the paper's two-dimensional objective space: privacy
-// (larger is better) and utility measured as MSE (smaller is better).
+// Points live in a k-dimensional objective space whose first two axes are
+// the paper's: privacy (larger is better) and utility measured as MSE
+// (smaller is better). Up to MaxExtraObjectives additional axes may be
+// attached with NewPoint; every extra axis is minimized (callers wanting a
+// maximized extra objective negate it before construction). The plain
+// two-field literal Point{Privacy: p, Utility: u} remains a valid
+// 2-dimensional point, and the 2-D behaviour of every function in this
+// package is bit-for-bit what it was before the extra axes existed.
 package pareto
 
 import (
@@ -12,35 +18,116 @@ import (
 	"sort"
 )
 
+// MaxExtraObjectives is the number of objective axes a Point can carry
+// beyond the canonical (privacy, utility) pair. The extras live in a
+// fixed-size inline array so Point stays a small comparable value type —
+// golden tests compare points with ==, and the SPEA2 kernels copy points by
+// value with zero allocations.
+const MaxExtraObjectives = 4
+
 // Point is a solution's image in objective space.
 type Point struct {
 	// Privacy is objective one; larger is better.
 	Privacy float64
 	// Utility is objective two (mean squared error); smaller is better.
 	Utility float64
+
+	// extra holds the additional minimized objectives; only the first
+	// nExtra entries are meaningful. Unexported so the zero value remains
+	// the canonical 2-D point and equality stays well-defined.
+	extra  [MaxExtraObjectives]float64
+	nExtra uint8
+}
+
+// NewPoint builds a point from a privacy value, a utility value and up to
+// MaxExtraObjectives extra objective values. Every extra objective is
+// minimized, like utility. It panics when given more extras than
+// MaxExtraObjectives — a caller bug that configuration validation in
+// internal/core rejects long before points are built.
+func NewPoint(privacy, utility float64, extra ...float64) Point {
+	if len(extra) > MaxExtraObjectives {
+		panic("pareto: too many extra objectives")
+	}
+	p := Point{Privacy: privacy, Utility: utility, nExtra: uint8(len(extra))}
+	copy(p.extra[:], extra)
+	return p
+}
+
+// Dim returns the number of objectives the point carries (at least 2).
+func (p Point) Dim() int { return 2 + int(p.nExtra) }
+
+// At returns the value of objective i: 0 is privacy, 1 is utility, and
+// 2..Dim()-1 are the extra objectives in construction order.
+func (p Point) At(i int) float64 {
+	switch i {
+	case 0:
+		return p.Privacy
+	case 1:
+		return p.Utility
+	default:
+		return p.extra[i-2]
+	}
+}
+
+// ExtraAt returns the value of extra objective i (0-based, so objective
+// index 2+i).
+func (p Point) ExtraAt(i int) float64 { return p.extra[i] }
+
+// Extras returns a copy of the extra objective values.
+func (p Point) Extras() []float64 {
+	if p.nExtra == 0 {
+		return nil
+	}
+	return append([]float64(nil), p.extra[:p.nExtra]...)
 }
 
 // Dominates reports whether p dominates q (Definition 5.1): p is at least as
-// good in both objectives and strictly better in at least one.
+// good in every objective and strictly better in at least one. Privacy is
+// maximized; utility and every extra objective are minimized. Points of
+// different dimension never dominate each other in the extra axes they do
+// not share; callers are expected to compare points of equal dimension.
 func (p Point) Dominates(q Point) bool {
 	if p.Privacy < q.Privacy || p.Utility > q.Utility {
 		return false
 	}
-	return p.Privacy > q.Privacy || p.Utility < q.Utility
+	strict := p.Privacy > q.Privacy || p.Utility < q.Utility
+	for t := 0; t < int(p.nExtra) && t < int(q.nExtra); t++ {
+		if p.extra[t] > q.extra[t] {
+			return false
+		}
+		if p.extra[t] < q.extra[t] {
+			strict = true
+		}
+	}
+	return strict
 }
 
-// WeaklyDominates reports whether p is at least as good as q in both
-// objectives (dominance or equality).
+// WeaklyDominates reports whether p is at least as good as q in every
+// objective (dominance or equality).
 func (p Point) WeaklyDominates(q Point) bool {
-	return p.Privacy >= q.Privacy && p.Utility <= q.Utility
+	if p.Privacy < q.Privacy || p.Utility > q.Utility {
+		return false
+	}
+	for t := 0; t < int(p.nExtra) && t < int(q.nExtra); t++ {
+		if p.extra[t] > q.extra[t] {
+			return false
+		}
+	}
+	return true
 }
 
 // Distance returns the Euclidean distance between two points in objective
-// space. Callers who need scale-aware distances should normalize first.
+// space, over all shared axes. Callers who need scale-aware distances
+// should normalize first.
 func (p Point) Distance(q Point) float64 {
 	dp := p.Privacy - q.Privacy
 	du := p.Utility - q.Utility
-	return math.Sqrt(dp*dp + du*du)
+	sum := dp*dp + du*du
+	for t := 0; t < int(p.nExtra) && t < int(q.nExtra); t++ {
+		d := p.extra[t] - q.extra[t]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
 }
 
 // Front returns the indices of the non-dominated points in pts (the Pareto
@@ -76,14 +163,50 @@ func FrontPoints(pts []Point) []Point {
 }
 
 // SortByPrivacy orders points by ascending privacy, breaking ties on
-// ascending utility.
+// ascending utility and then lexicographically on the extra objectives.
+// The order is total even when objective values are NaN: within each key a
+// NaN sorts after every number and ties with other NaNs, so repeated sorts
+// of the same multiset produce the same deterministic order.
 func SortByPrivacy(pts []Point) {
 	sort.Slice(pts, func(a, b int) bool {
-		if pts[a].Privacy != pts[b].Privacy {
-			return pts[a].Privacy < pts[b].Privacy
+		pa, pb := pts[a], pts[b]
+		if c := compareNaNLast(pa.Privacy, pb.Privacy); c != 0 {
+			return c < 0
 		}
-		return pts[a].Utility < pts[b].Utility
+		if c := compareNaNLast(pa.Utility, pb.Utility); c != 0 {
+			return c < 0
+		}
+		na, nb := int(pa.nExtra), int(pb.nExtra)
+		for t := 0; t < na && t < nb; t++ {
+			if c := compareNaNLast(pa.extra[t], pb.extra[t]); c != 0 {
+				return c < 0
+			}
+		}
+		return na < nb
 	})
+}
+
+// compareNaNLast orders two float64s ascending with NaN as the largest
+// value: -1 when x sorts before y, +1 after, 0 when tied (equal numbers, or
+// both NaN).
+func compareNaNLast(x, y float64) int {
+	switch {
+	case x < y:
+		return -1
+	case x > y:
+		return 1
+	case x == y:
+		return 0
+	}
+	// At least one operand is NaN.
+	switch {
+	case math.IsNaN(x) && !math.IsNaN(y):
+		return 1
+	case !math.IsNaN(x) && math.IsNaN(y):
+		return -1
+	default:
+		return 0
+	}
 }
 
 // Coverage returns the C-metric C(a, b): the fraction of points in b weakly
@@ -123,15 +246,77 @@ func PrivacyRange(pts []Point) (min, max float64) {
 	return min, max
 }
 
+// ObjectiveRange returns the smallest and largest finite-or-infinite value
+// of objective obj over pts, skipping NaN entries. ok is false when pts is
+// empty, obj is out of range for every point, or every value is NaN.
+func ObjectiveRange(pts []Point, obj int) (min, max float64, ok bool) {
+	for _, p := range pts {
+		if obj >= p.Dim() {
+			continue
+		}
+		v := p.At(obj)
+		if math.IsNaN(v) {
+			continue
+		}
+		if !ok {
+			min, max = v, v
+			ok = true
+			continue
+		}
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max, ok
+}
+
 // UtilityAt returns the best (smallest) utility achieved by any point whose
 // privacy is at least the requested level — "what MSE do I pay for privacy
 // ≥ x under this scheme". The boolean result is false if no point qualifies.
+//
+// Contract for non-finite utilities: a qualifying point with Utility = +Inf
+// does count (the answer is then +Inf, true — the scheme reaches the privacy
+// level, at unbounded cost), while a point with NaN utility is skipped as
+// carrying no usable utility information. A NaN privacy never satisfies the
+// threshold, so such points are skipped on the privacy test already.
 func UtilityAt(pts []Point, privacy float64) (float64, bool) {
 	best := math.Inf(1)
 	found := false
 	for _, p := range pts {
-		if p.Privacy >= privacy && p.Utility < best {
+		if !(p.Privacy >= privacy) || math.IsNaN(p.Utility) {
+			continue
+		}
+		if !found || p.Utility < best {
 			best = p.Utility
+			found = true
+		}
+	}
+	return best, found
+}
+
+// ObjectiveAt generalizes UtilityAt to any objective index: it returns the
+// best value of objective obj among the points whose privacy is at least
+// the requested level — the largest value for obj 0 (privacy is maximized),
+// the smallest for every other objective (all minimized). NaN objective
+// values are skipped under the same contract as UtilityAt; points that do
+// not carry objective obj are skipped too.
+func ObjectiveAt(pts []Point, obj int, privacy float64) (float64, bool) {
+	var best float64
+	found := false
+	for _, p := range pts {
+		if !(p.Privacy >= privacy) || obj >= p.Dim() {
+			continue
+		}
+		v := p.At(obj)
+		if math.IsNaN(v) {
+			continue
+		}
+		better := obj == 0 && v > best || obj != 0 && v < best
+		if !found || better {
+			best = v
 			found = true
 		}
 	}
@@ -141,7 +326,9 @@ func UtilityAt(pts []Point, privacy float64) (float64, bool) {
 // Hypervolume returns the area of objective space dominated by the front,
 // relative to a reference point (refPrivacy, refUtility) that must be weakly
 // worse than every point (lower privacy, higher utility). Larger is better.
-// Points outside the reference box are clipped.
+// Points outside the reference box are clipped. For points carrying extra
+// objectives this is the 2-D hypervolume of the (privacy, utility)
+// projection — the paper's indicator — not a k-dimensional volume.
 func Hypervolume(pts []Point, refPrivacy, refUtility float64) float64 {
 	front := FrontPoints(pts) // sorted by ascending privacy
 	if len(front) == 0 {

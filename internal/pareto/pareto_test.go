@@ -14,17 +14,17 @@ func TestDominates(t *testing.T) {
 		want bool
 	}{
 		// Better in both.
-		{Point{0.5, 0.1}, Point{0.4, 0.2}, true},
+		{Point{Privacy: 0.5, Utility: 0.1}, Point{Privacy: 0.4, Utility: 0.2}, true},
 		// Better privacy, equal utility.
-		{Point{0.5, 0.2}, Point{0.4, 0.2}, true},
+		{Point{Privacy: 0.5, Utility: 0.2}, Point{Privacy: 0.4, Utility: 0.2}, true},
 		// Equal privacy, better utility.
-		{Point{0.5, 0.1}, Point{0.5, 0.2}, true},
+		{Point{Privacy: 0.5, Utility: 0.1}, Point{Privacy: 0.5, Utility: 0.2}, true},
 		// Equal points do not dominate each other.
-		{Point{0.5, 0.1}, Point{0.5, 0.1}, false},
+		{Point{Privacy: 0.5, Utility: 0.1}, Point{Privacy: 0.5, Utility: 0.1}, false},
 		// Trade-off: neither dominates.
-		{Point{0.5, 0.2}, Point{0.4, 0.1}, false},
+		{Point{Privacy: 0.5, Utility: 0.2}, Point{Privacy: 0.4, Utility: 0.1}, false},
 		// Worse in both.
-		{Point{0.4, 0.3}, Point{0.5, 0.1}, false},
+		{Point{Privacy: 0.4, Utility: 0.3}, Point{Privacy: 0.5, Utility: 0.1}, false},
 	}
 	for _, c := range cases {
 		if got := c.p.Dominates(c.q); got != c.want {
@@ -34,22 +34,22 @@ func TestDominates(t *testing.T) {
 }
 
 func TestWeaklyDominates(t *testing.T) {
-	p := Point{0.5, 0.1}
+	p := Point{Privacy: 0.5, Utility: 0.1}
 	if !p.WeaklyDominates(p) {
 		t.Fatal("a point must weakly dominate itself")
 	}
-	if !p.WeaklyDominates(Point{0.4, 0.2}) {
+	if !p.WeaklyDominates(Point{Privacy: 0.4, Utility: 0.2}) {
 		t.Fatal("strict dominance implies weak dominance")
 	}
-	if p.WeaklyDominates(Point{0.6, 0.05}) {
+	if p.WeaklyDominates(Point{Privacy: 0.6, Utility: 0.05}) {
 		t.Fatal("weak dominance of a strictly better point")
 	}
 }
 
 func TestDominanceIrreflexiveAndAsymmetric(t *testing.T) {
 	f := func(p1, u1, p2, u2 uint16) bool {
-		a := Point{float64(p1) / 1000, float64(u1) / 1000}
-		b := Point{float64(p2) / 1000, float64(u2) / 1000}
+		a := Point{Privacy: float64(p1) / 1000, Utility: float64(u1) / 1000}
+		b := Point{Privacy: float64(p2) / 1000, Utility: float64(u2) / 1000}
 		if a.Dominates(a) || b.Dominates(b) {
 			return false
 		}
@@ -61,7 +61,7 @@ func TestDominanceIrreflexiveAndAsymmetric(t *testing.T) {
 }
 
 func TestDistance(t *testing.T) {
-	d := Point{0, 0}.Distance(Point{3, 4})
+	d := Point{Privacy: 0, Utility: 0}.Distance(Point{Privacy: 3, Utility: 4})
 	if math.Abs(d-5) > 1e-12 {
 		t.Fatalf("Distance = %v, want 5", d)
 	}
@@ -69,26 +69,26 @@ func TestDistance(t *testing.T) {
 
 func TestFrontSimple(t *testing.T) {
 	pts := []Point{
-		{0.1, 0.5}, // dominated by {0.2, 0.1}
-		{0.2, 0.1}, // trade-off with {0.3, 0.2}: lower privacy, lower MSE
-		{0.3, 0.4}, // dominated by {0.3, 0.2}
-		{0.3, 0.2},
-		{0.25, 0.35}, // dominated by {0.3, 0.2}
+		{Privacy: 0.1, Utility: 0.5}, // dominated by {Privacy: 0.2, Utility: 0.1}
+		{Privacy: 0.2, Utility: 0.1}, // trade-off with {Privacy: 0.3, Utility: 0.2}: lower privacy, lower MSE
+		{Privacy: 0.3, Utility: 0.4}, // dominated by {Privacy: 0.3, Utility: 0.2}
+		{Privacy: 0.3, Utility: 0.2},
+		{Privacy: 0.25, Utility: 0.35}, // dominated by {Privacy: 0.3, Utility: 0.2}
 	}
 	idx := Front(pts)
 	want := map[int]bool{1: true, 3: true}
 	if len(idx) != 2 {
-		t.Fatalf("Front = %v, want indices {1, 3}", idx)
+		t.Fatalf("Front = %v, want indices {Privacy: 1, Utility: 3}", idx)
 	}
 	for _, i := range idx {
 		if !want[i] {
-			t.Fatalf("Front = %v, want indices {1, 3}", idx)
+			t.Fatalf("Front = %v, want indices {Privacy: 1, Utility: 3}", idx)
 		}
 	}
 }
 
 func TestFrontKeepsDuplicates(t *testing.T) {
-	pts := []Point{{0.5, 0.1}, {0.5, 0.1}}
+	pts := []Point{{Privacy: 0.5, Utility: 0.1}, {Privacy: 0.5, Utility: 0.1}}
 	if got := Front(pts); len(got) != 2 {
 		t.Fatalf("duplicates should both survive, got %v", got)
 	}
@@ -101,7 +101,7 @@ func TestFrontEmpty(t *testing.T) {
 }
 
 func TestFrontPointsSorted(t *testing.T) {
-	pts := []Point{{0.6, 0.2}, {0.2, 0.05}, {0.4, 0.1}}
+	pts := []Point{{Privacy: 0.6, Utility: 0.2}, {Privacy: 0.2, Utility: 0.05}, {Privacy: 0.4, Utility: 0.1}}
 	front := FrontPoints(pts)
 	for i := 1; i < len(front); i++ {
 		if front[i].Privacy < front[i-1].Privacy {
@@ -119,7 +119,7 @@ func TestFrontIsMutuallyNonDominatedAndCoversInput(t *testing.T) {
 		r := randx.New(seed)
 		pts := make([]Point, n)
 		for i := range pts {
-			pts[i] = Point{r.Float64(), r.Float64()}
+			pts[i] = Point{Privacy: r.Float64(), Utility: r.Float64()}
 		}
 		idx := Front(pts)
 		inFront := make(map[int]bool, len(idx))
@@ -156,8 +156,8 @@ func TestFrontIsMutuallyNonDominatedAndCoversInput(t *testing.T) {
 }
 
 func TestCoverage(t *testing.T) {
-	a := []Point{{0.5, 0.1}}
-	b := []Point{{0.4, 0.2}, {0.6, 0.05}}
+	a := []Point{{Privacy: 0.5, Utility: 0.1}}
+	b := []Point{{Privacy: 0.4, Utility: 0.2}, {Privacy: 0.6, Utility: 0.05}}
 	// a covers b[0] but not b[1].
 	if got := Coverage(a, b); math.Abs(got-0.5) > 1e-12 {
 		t.Fatalf("Coverage = %v, want 0.5", got)
@@ -172,7 +172,7 @@ func TestCoverage(t *testing.T) {
 }
 
 func TestPrivacyRange(t *testing.T) {
-	min, max := PrivacyRange([]Point{{0.3, 1}, {0.1, 2}, {0.7, 3}})
+	min, max := PrivacyRange([]Point{{Privacy: 0.3, Utility: 1}, {Privacy: 0.1, Utility: 2}, {Privacy: 0.7, Utility: 3}})
 	if min != 0.1 || max != 0.7 {
 		t.Fatalf("PrivacyRange = (%v, %v), want (0.1, 0.7)", min, max)
 	}
@@ -183,7 +183,7 @@ func TestPrivacyRange(t *testing.T) {
 }
 
 func TestUtilityAt(t *testing.T) {
-	pts := []Point{{0.3, 0.5}, {0.5, 0.2}, {0.7, 0.4}}
+	pts := []Point{{Privacy: 0.3, Utility: 0.5}, {Privacy: 0.5, Utility: 0.2}, {Privacy: 0.7, Utility: 0.4}}
 	u, ok := UtilityAt(pts, 0.4)
 	if !ok || u != 0.2 {
 		t.Fatalf("UtilityAt(0.4) = (%v, %v), want (0.2, true)", u, ok)
@@ -198,7 +198,7 @@ func TestUtilityAt(t *testing.T) {
 }
 
 func TestHypervolumeSinglePoint(t *testing.T) {
-	pts := []Point{{0.5, 0.2}}
+	pts := []Point{{Privacy: 0.5, Utility: 0.2}}
 	// Reference (0, 1): rectangle (0.5-0) × (1-0.2) = 0.4.
 	got := Hypervolume(pts, 0, 1)
 	if math.Abs(got-0.4) > 1e-12 {
@@ -207,7 +207,7 @@ func TestHypervolumeSinglePoint(t *testing.T) {
 }
 
 func TestHypervolumeStaircase(t *testing.T) {
-	pts := []Point{{0.2, 0.1}, {0.6, 0.5}}
+	pts := []Point{{Privacy: 0.2, Utility: 0.1}, {Privacy: 0.6, Utility: 0.5}}
 	// From 0 to 0.2 best utility among {privacy >= x} is 0.1 -> area 0.2*(1-0.1)
 	// From 0.2 to 0.6 best utility is 0.5 -> area 0.4*(1-0.5)
 	want := 0.2*0.9 + 0.4*0.5
@@ -224,7 +224,7 @@ func TestHypervolumeEmpty(t *testing.T) {
 }
 
 func TestHypervolumeIgnoresPointsOutsideReference(t *testing.T) {
-	pts := []Point{{-0.5, 0.2}, {0.5, 2}}
+	pts := []Point{{Privacy: -0.5, Utility: 0.2}, {Privacy: 0.5, Utility: 2}}
 	if got := Hypervolume(pts, 0, 1); got != 0 {
 		t.Fatalf("Hypervolume = %v, want 0", got)
 	}
@@ -238,10 +238,10 @@ func TestHypervolumeMonotone(t *testing.T) {
 		r := randx.New(seed)
 		pts := make([]Point, n)
 		for i := range pts {
-			pts[i] = Point{r.Float64(), r.Float64()}
+			pts[i] = Point{Privacy: r.Float64(), Utility: r.Float64()}
 		}
 		base := Hypervolume(pts, 0, 1)
-		extra := append(append([]Point{}, pts...), Point{r.Float64(), r.Float64()})
+		extra := append(append([]Point{}, pts...), Point{Privacy: r.Float64(), Utility: r.Float64()})
 		return Hypervolume(extra, 0, 1) >= base-1e-12
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
@@ -257,8 +257,8 @@ func TestCoverageConsistentWithHypervolume(t *testing.T) {
 		a := make([]Point, 8)
 		b := make([]Point, 8)
 		for i := range a {
-			a[i] = Point{r.Float64(), r.Float64()}
-			b[i] = Point{r.Float64(), r.Float64()}
+			a[i] = Point{Privacy: r.Float64(), Utility: r.Float64()}
+			b[i] = Point{Privacy: r.Float64(), Utility: r.Float64()}
 		}
 		if Coverage(a, b) < 1 {
 			return true // premise not met
@@ -274,7 +274,7 @@ func BenchmarkFront100(b *testing.B) {
 	r := randx.New(1)
 	pts := make([]Point, 100)
 	for i := range pts {
-		pts[i] = Point{r.Float64(), r.Float64()}
+		pts[i] = Point{Privacy: r.Float64(), Utility: r.Float64()}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -286,7 +286,7 @@ func BenchmarkHypervolume100(b *testing.B) {
 	r := randx.New(1)
 	pts := make([]Point, 100)
 	for i := range pts {
-		pts[i] = Point{r.Float64(), r.Float64()}
+		pts[i] = Point{Privacy: r.Float64(), Utility: r.Float64()}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,191 @@
+package optrr
+
+import (
+	"fmt"
+	"math"
+
+	"optrr/internal/metrics"
+)
+
+// Pluggable objectives at the public surface. The paper's search optimizes
+// the canonical (privacy, utility) pair; ExtraObjectives on Problem appends
+// further axes by registry name, turning the front k-dimensional. The
+// metrics registry ships "ldp-epsilon" (alias "ldp"), "mutual-information"
+// (alias "mi") and "worst-mse"; RegisterObjective adds custom ones.
+
+// Objective is one extra optimization axis; see metrics.Objective for the
+// evaluation contract (reuse of the workspace's P* and inverse, finite
+// values only).
+type Objective = metrics.Objective
+
+// Direction states whether larger or smaller objective values are better.
+type Direction = metrics.Direction
+
+// Workspace is the evaluator's scratch space, handed to every Objective so
+// its Evaluate can reuse the intermediates of the fused privacy/utility
+// evaluation (PStar, Inverse) instead of recomputing them. The alias makes
+// the type nameable outside the module, so external code can write
+// NewObjective evaluation functions.
+type Workspace = metrics.Workspace
+
+// Objective directions.
+const (
+	// Minimize means smaller values are better.
+	Minimize = metrics.Minimize
+	// Maximize means larger values are better.
+	Maximize = metrics.Maximize
+)
+
+// NewObjective wraps an evaluation function as an Objective; register it
+// with RegisterObjective to make it addressable by name.
+var NewObjective = metrics.NewObjective
+
+// RegisterObjective adds a custom objective to the registry, making its
+// name usable in Problem.ExtraObjectives and cmd/optrr -objectives.
+func RegisterObjective(o Objective) error { return metrics.RegisterObjective(o) }
+
+// ObjectiveNames returns the sorted names of all registered extra
+// objectives.
+func ObjectiveNames() []string { return metrics.ObjectiveNames() }
+
+// resolveObjectives maps registry names (or aliases) to objectives,
+// rejecting unknown names with the available set in the error.
+func resolveObjectives(names []string) ([]metrics.Objective, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	objs := make([]metrics.Objective, len(names))
+	for i, name := range names {
+		o, ok := metrics.ObjectiveByName(name)
+		if !ok {
+			return nil, fmt.Errorf("optrr: unknown objective %q (registered: %v)", name, metrics.ObjectiveNames())
+		}
+		objs[i] = o
+	}
+	return objs, nil
+}
+
+// Objectives returns the names of every axis of the result front in point
+// order: "privacy", "utility", then the configured extras by canonical
+// name.
+func (r *Result) Objectives() []string {
+	out := make([]string, 0, 2+len(r.objectives))
+	out = append(out, "privacy", "utility")
+	for _, o := range r.objectives {
+		out = append(out, o.Name())
+	}
+	return out
+}
+
+// objectiveAxis resolves an objective name (or registry alias) against the
+// result's axes, returning the point index and whether larger raw values
+// are better.
+func (r *Result) objectiveAxis(name string) (idx int, largerBetter bool, ok bool) {
+	switch name {
+	case "privacy":
+		return 0, true, true
+	case "utility":
+		return 1, false, true
+	}
+	if o, found := metrics.ObjectiveByName(name); found {
+		name = o.Name()
+	}
+	for t, o := range r.objectives {
+		if o.Name() == name {
+			return 2 + t, o.Direction() == Maximize, true
+		}
+	}
+	return 0, false, false
+}
+
+// rawValue reads the named axis of front point i in its natural
+// orientation: extras are stored canonically (Maximize negated), so they
+// are un-negated here.
+func (r *Result) rawValue(i, idx int, largerBetter bool) float64 {
+	v := r.Front[i].At(idx)
+	if idx >= 2 && largerBetter {
+		v = -v
+	}
+	return v
+}
+
+// ObjectiveValues returns the named objective's value at every front point
+// (index-aligned with Front and Matrices), in the objective's natural
+// orientation — a Maximize extra is returned positive even though Points
+// store it negated. ok is false if the result has no such axis.
+func (r *Result) ObjectiveValues(name string) ([]float64, bool) {
+	idx, largerBetter, ok := r.objectiveAxis(name)
+	if !ok {
+		return nil, false
+	}
+	out := make([]float64, len(r.Front))
+	for i := range r.Front {
+		out[i] = r.rawValue(i, idx, largerBetter)
+	}
+	return out, true
+}
+
+// MatrixBest returns the front matrix with the best value of the named
+// objective among the points meeting every threshold in atLeast, or
+// ok=false if none qualifies (empty front included). "Best" and the
+// threshold sense follow each axis's direction: for larger-is-better axes
+// (privacy, Maximize extras) best is the maximum and a threshold means
+// value ≥ threshold; for smaller-is-better axes (utility, Minimize extras)
+// best is the minimum and a threshold means value ≤ threshold. So
+//
+//	MatrixBest("utility", map[string]float64{"privacy": 0.5})
+//
+// is MatrixWithPrivacyAtLeast(0.5), and thresholds on "ldp-epsilon" read
+// "at most this ε". Points with a NaN value on any involved axis never
+// qualify; an unknown objective name (in either argument) returns ok=false.
+func (r *Result) MatrixBest(objective string, atLeast map[string]float64) (*Matrix, bool) {
+	idx, largerBetter, ok := r.objectiveAxis(objective)
+	if !ok {
+		return nil, false
+	}
+	type constraint struct {
+		idx          int
+		largerBetter bool
+		threshold    float64
+	}
+	cons := make([]constraint, 0, len(atLeast))
+	for name, threshold := range atLeast {
+		ci, clb, ok := r.objectiveAxis(name)
+		if !ok {
+			return nil, false
+		}
+		cons = append(cons, constraint{ci, clb, threshold})
+	}
+	best := -1
+	var bestV float64
+	for i := range r.Front {
+		qualified := true
+		for _, c := range cons {
+			v := r.rawValue(i, c.idx, c.largerBetter)
+			meets := false
+			if c.largerBetter {
+				meets = v >= c.threshold
+			} else {
+				meets = v <= c.threshold
+			}
+			if math.IsNaN(v) || !meets {
+				qualified = false
+				break
+			}
+		}
+		if !qualified {
+			continue
+		}
+		v := r.rawValue(i, idx, largerBetter)
+		if math.IsNaN(v) {
+			continue
+		}
+		if best == -1 || (largerBetter && v > bestV) || (!largerBetter && v < bestV) {
+			best, bestV = i, v
+		}
+	}
+	if best == -1 {
+		return nil, false
+	}
+	return r.matrices[best], true
+}

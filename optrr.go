@@ -65,7 +65,9 @@ type IterativeOptions = rr.IterativeOptions
 // Evaluation bundles the privacy and utility of a matrix under a prior.
 type Evaluation = metrics.Evaluation
 
-// Point is a position in (privacy, utility) objective space.
+// Point is a position in objective space: the canonical (privacy, utility)
+// pair plus any extra objectives configured on the run (see
+// Problem.ExtraObjectives).
 type Point = pareto.Point
 
 // Rand is the deterministic random source used across the library.
@@ -141,6 +143,13 @@ type Problem struct {
 	// Generations overrides the search budget; zero uses the default (500).
 	// The paper's experiments use 20000.
 	Generations int
+	// ExtraObjectives names additional optimization axes from the objective
+	// registry (e.g. "ldp-epsilon", "mutual-information", "worst-mse", or
+	// anything added with RegisterObjective; aliases like "ldp" and "mi"
+	// resolve). The search then returns a k-dimensional front, with the
+	// extra values carried on each Point and readable by name through
+	// Result.ObjectiveValues. Empty keeps the paper's two-objective search.
+	ExtraObjectives []string
 	// Recorder, if non-nil, receives the optimizer's structured run-trace
 	// events (optimizer.start / optimizer.generation / optimizer.done); see
 	// NewJSONLRecorder. Nil disables tracing at zero cost.
@@ -160,6 +169,9 @@ type Result struct {
 	Front []Point
 	// matrices[i] corresponds to Front[i].
 	matrices []*Matrix
+	// objectives are the extra axes the run was configured with; Front[i]
+	// carries their canonical values beyond the privacy/utility pair.
+	objectives []metrics.Objective
 	// Generations and Evaluations report the search effort spent.
 	Generations int
 	Evaluations int
@@ -247,6 +259,13 @@ func OptimizeContext(ctx context.Context, p Problem) (*Result, error) {
 	if cfg.OmegaSize == 0 && p.Advanced == nil {
 		cfg.OmegaSize = 1000
 	}
+	if len(p.ExtraObjectives) > 0 {
+		objs, err := resolveObjectives(p.ExtraObjectives)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Objectives = objs
+	}
 	opt, err := core.New(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("optrr: %w", err)
@@ -263,6 +282,7 @@ func OptimizeContext(ctx context.Context, p Problem) (*Result, error) {
 	out := &Result{
 		Front:       make([]Point, len(res.Front)),
 		matrices:    ms,
+		objectives:  cfg.Objectives,
 		Generations: res.Generations,
 		Evaluations: res.Evaluations,
 	}
@@ -279,7 +299,17 @@ func OptimizeContext(ctx context.Context, p Problem) (*Result, error) {
 		if pa.Privacy != pb.Privacy {
 			return pa.Privacy < pb.Privacy
 		}
-		return pa.Utility < pb.Utility
+		if pa.Utility != pb.Utility {
+			return pa.Utility < pb.Utility
+		}
+		// Extra objectives break remaining ties lexicographically so
+		// k-dim result ordering is deterministic.
+		for t := 2; t < pa.Dim() && t < pb.Dim(); t++ {
+			if pa.At(t) != pb.At(t) {
+				return pa.At(t) < pb.At(t)
+			}
+		}
+		return false
 	})
 	sortedFront := make([]Point, len(order))
 	sortedMats := make([]*Matrix, len(order))
