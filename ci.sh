@@ -6,13 +6,15 @@
 #   analysis     go vet ./...; staticcheck when installed (gating)
 #   build        go build ./...
 #   tests        go test ./...
-#   race           go test -race over the concurrency-critical packages and
-#                  the worker-parallel kernels (SPEA2 passes, experiment
-#                  grid, batch disguise/sampling)
+#   race           go test -race over the concurrency-critical packages
+#                  (collector, core, obs — metrics and trace recording race
+#                  live scrapes by design) and the worker-parallel kernels
+#                  (SPEA2 passes, experiment grid, batch disguise/sampling)
 #   bench smoke    the BenchmarkOptimize pair plus the hot-path
 #                  micro-benchmarks (fused evaluation, extra-objective
 #                  evaluation, SPEA2 scratch — serial, worker-parallel and
-#                  k-dimensional — bound repair, batch disguise) and
+#                  k-dimensional — bound repair, batch disguise,
+#                  convergence-snapshot emission, histogram quantiles) and
 #                  the safe-vs-sharded collector contention matrix, at pinned
 #                  -benchtime/-count with -benchmem, all rendered into
 #                  BENCH_optimize.json
@@ -49,8 +51,8 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (collector, core) =="
-go test -race ./internal/collector ./internal/core
+echo "== go test -race (collector, core, obs) =="
+go test -race ./internal/collector ./internal/core ./internal/obs
 
 echo "== go test -race (parallel kernels) =="
 go test -race -run 'Parallel|ForRows|Grid|Batch|Stream' \
@@ -63,7 +65,8 @@ echo "== bench smoke =="
 go test -run '^$' -bench '^BenchmarkOptimize' -benchtime=3x -count=1 -benchmem . | tee BENCH_optimize.txt
 go test -run '^$' -bench '^(BenchmarkEvaluate|BenchmarkMaxPosterior|BenchmarkEvaluateExtraObjectives)$' -benchtime=2000x -count=1 -benchmem ./internal/metrics | tee -a BENCH_optimize.txt
 go test -run '^$' -bench '^(BenchmarkAssignFitness|BenchmarkTruncate|BenchmarkAssignFitnessParallel|BenchmarkTruncateParallel|BenchmarkAssignFitnessK3)$' -benchtime=50x -count=1 -benchmem ./internal/emoo | tee -a BENCH_optimize.txt
-go test -run '^$' -bench '^(BenchmarkRepair|BenchmarkRealizeSteadyState)$' -benchtime=2000x -count=1 -benchmem ./internal/core | tee -a BENCH_optimize.txt
+go test -run '^$' -bench '^(BenchmarkRepair|BenchmarkRealizeSteadyState|BenchmarkConvergenceSnapshot)$' -benchtime=2000x -count=1 -benchmem ./internal/core | tee -a BENCH_optimize.txt
+go test -run '^$' -bench '^BenchmarkHistogramQuantiles$' -benchtime=2000x -count=1 -benchmem ./internal/obs | tee -a BENCH_optimize.txt
 go test -run '^$' -bench '^BenchmarkDisguise$' -benchtime=20x -count=1 -benchmem ./internal/rr | tee -a BENCH_optimize.txt
 go test -run '^$' -bench '^BenchmarkCollectorContention' -benchtime=100000x -count=1 -benchmem ./internal/collector | tee -a BENCH_optimize.txt
 # Render the benchmark lines ("BenchmarkName  iters  value unit ...") as a

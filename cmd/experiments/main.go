@@ -14,6 +14,10 @@
 // adds an ASCII rendering of the fronts and -csv writes one CSV per
 // experiment into the given directory for external plotting. The exit code
 // is non-zero when any check fails.
+//
+// Observability: -trace file writes a JSONL run trace covering every
+// experiment's optimizer events (analyze with cmd/rrtrace); -metrics-addr
+// host:port serves expvar, pprof and /metrics while the grid runs.
 package main
 
 import (

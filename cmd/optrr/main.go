@@ -21,9 +21,12 @@
 // the search returns a k-dimensional front and both the listing and -csv
 // gain one column per extra objective.
 //
-// Observability: -trace file writes a JSONL run trace (one event per
-// generation); -metrics-addr host:port serves live expvar, pprof and the
-// metric registry while the search (and any -collect campaign) runs;
+// Observability: -trace file writes a JSONL run trace (per-generation
+// timing, front and convergence events — analyze it with cmd/rrtrace:
+// phase breakdowns, convergence-curve CSVs, A/B run comparison);
+// -metrics-addr host:port serves live expvar, pprof and the metric registry
+// while the search (and any -collect campaign) runs — /metrics speaks JSON
+// by default and the Prometheus text format under content negotiation;
 // -collect N simulates a collection campaign of N disguised reports through
 // the picked matrix with an instrumented concurrency-safe collector.
 package main

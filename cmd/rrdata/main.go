@@ -15,7 +15,8 @@
 // the seed, never on the worker count.
 //
 // Observability: -trace file writes a JSONL event per generate/disguise
-// stage; -metrics-addr host:port serves expvar, pprof and /metrics.
+// stage (inspect with cmd/rrtrace or jq); -metrics-addr host:port serves
+// expvar, pprof and /metrics.
 package main
 
 import (

@@ -16,7 +16,8 @@
 //
 // Observability: -trace file writes one JSONL event per mining stage (load,
 // disguise, marginals, tree, independence, bayes) with wall-time and key
-// outcomes; -metrics-addr host:port serves expvar, pprof and /metrics.
+// outcomes (inspect with cmd/rrtrace or jq); -metrics-addr host:port serves
+// expvar, pprof and /metrics.
 package main
 
 import (

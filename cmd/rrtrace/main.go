@@ -1,0 +1,191 @@
+// Command rrtrace analyzes the JSONL run traces the optimizer writes under
+// -trace (cmd/optrr, cmd/experiments, cmd/rrmine): where did the wall time
+// go, how did the front converge, and which of two runs got there faster.
+//
+// Usage:
+//
+//	rrtrace summary trace.jsonl           per-phase timing breakdown + outcome
+//	rrtrace curve trace.jsonl             convergence curve as CSV on stdout
+//	rrtrace compare a.jsonl b.jsonl       A/B: generations to reach fractions
+//	                                      of the common hypervolume target
+//
+// summary totals the select/vary/eval/omega phase timings (which partition
+// each generation) and the fitness/truncate kernel sub-phases (which overlap
+// them) across all optimizer.generation events. curve emits one CSV row per
+// generation from the optimizer.convergence events — best_hypervolume is the
+// monotone envelope the paper's convergence figures plot; traces recorded
+// without convergence events fall back to the generation events' hypervolume
+// field. compare measures both runs against min(bestA, bestB), so each run
+// is judged on a target both actually reached — the cold-vs-warm-start
+// measurement of ROADMAP's adaptive-campaigns item.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"optrr/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rrtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: rrtrace summary|curve|compare <trace.jsonl> [b.jsonl]")
+	}
+	switch cmd := args[0]; cmd {
+	case "summary":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: rrtrace summary <trace.jsonl>")
+		}
+		events, err := readTrace(args[1])
+		if err != nil {
+			return err
+		}
+		return writeSummary(w, trace.Summarize(events))
+	case "curve":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: rrtrace curve <trace.jsonl>")
+		}
+		events, err := readTrace(args[1])
+		if err != nil {
+			return err
+		}
+		return writeCurveCSV(w, trace.ConvergenceCurve(events))
+	case "compare":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: rrtrace compare <a.jsonl> <b.jsonl>")
+		}
+		eventsA, err := readTrace(args[1])
+		if err != nil {
+			return err
+		}
+		eventsB, err := readTrace(args[2])
+		if err != nil {
+			return err
+		}
+		curveA, curveB := trace.ConvergenceCurve(eventsA), trace.ConvergenceCurve(eventsB)
+		if len(curveA) == 0 || len(curveB) == 0 {
+			return fmt.Errorf("no convergence data (need optimizer.convergence or optimizer.generation events in both traces)")
+		}
+		return writeCompare(w, args[1], args[2], trace.Compare(curveA, curveB, nil))
+	default:
+		return fmt.Errorf("unknown subcommand %q (want summary, curve or compare)", cmd)
+	}
+}
+
+func readTrace(path string) ([]trace.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	events, err := trace.ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("%s: empty trace", path)
+	}
+	return events, nil
+}
+
+// writeSummary renders the per-phase breakdown. Phase percentages are of the
+// select+vary+eval+omega timeline; the overlapping fitness/truncate
+// sub-phases are shown without one.
+func writeSummary(w io.Writer, s trace.Summary) error {
+	fmt.Fprintf(w, "run: %d categories, %d records, delta %g, engine %s, seed %d\n",
+		s.Categories, s.Records, s.Delta, s.Engine, s.Seed)
+	fmt.Fprintf(w, "generations: %d run of %d budgeted, %d evaluations\n",
+		s.GenerationsRun, s.Generations, s.Evaluations)
+
+	var timeline float64
+	for _, p := range s.Phases {
+		if isTimelinePhase(p.Name) {
+			timeline += p.TotalMS
+		}
+	}
+	fmt.Fprintf(w, "\n%-10s %14s %8s\n", "phase", "total_ms", "share")
+	for _, p := range s.Phases {
+		if isTimelinePhase(p.Name) && timeline > 0 {
+			fmt.Fprintf(w, "%-10s %14.3f %7.1f%%\n", p.Name, p.TotalMS, 100*p.TotalMS/timeline)
+		} else {
+			fmt.Fprintf(w, "%-10s %14.3f %8s\n", p.Name, p.TotalMS, "-")
+		}
+	}
+	fmt.Fprintf(w, "%-10s %14.3f\n", "timeline", timeline)
+
+	if s.BestHypervolume != 0 || s.SinceImprovement != 0 {
+		fmt.Fprintf(w, "\nconvergence: best hypervolume %.9g, %d generations since improvement",
+			s.BestHypervolume, s.SinceImprovement)
+		if s.Stalled {
+			fmt.Fprintf(w, " (stalled)")
+		}
+		fmt.Fprintln(w)
+	}
+	if s.Done {
+		fmt.Fprintf(w, "done: front %d, wall %.1f ms", s.FrontSize, s.WallMS)
+		if s.Stagnated {
+			fmt.Fprintf(w, ", stagnated")
+		}
+		fmt.Fprintln(w)
+	} else {
+		fmt.Fprintln(w, "done: no optimizer.done event (trace cut short)")
+	}
+	return nil
+}
+
+// isTimelinePhase reports whether the phase is part of the generation
+// timeline partition (as opposed to an overlapping kernel sub-phase).
+func isTimelinePhase(name string) bool {
+	switch name {
+	case "select", "vary", "eval", "omega":
+		return true
+	}
+	return false
+}
+
+// writeCurveCSV emits the convergence curve, one row per generation.
+func writeCurveCSV(w io.Writer, pts []trace.ConvergencePoint) error {
+	if len(pts) == 0 {
+		return fmt.Errorf("no convergence data in trace")
+	}
+	fmt.Fprintln(w, "gen,hypervolume,best_hypervolume,improved,since_improvement,stalled,omega_inserts,omega_evictions,spread")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%d,%s,%s,%t,%d,%t,%d,%d,%s\n",
+			p.Gen, csvFloat(p.Hypervolume), csvFloat(p.BestHypervolume),
+			p.Improved, p.SinceImprovement, p.Stalled,
+			p.OmegaInserts, p.OmegaEvictions, csvFloat(p.Spread))
+	}
+	return nil
+}
+
+func csvFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// writeCompare renders the A/B table.
+func writeCompare(w io.Writer, nameA, nameB string, c trace.Comparison) error {
+	fmt.Fprintf(w, "A: %s (best hypervolume %.9g over %d generations)\n", nameA, c.BestA, c.FinalGenA+1)
+	fmt.Fprintf(w, "B: %s (best hypervolume %.9g over %d generations)\n", nameB, c.BestB, c.FinalGenB+1)
+	fmt.Fprintf(w, "common target: %.9g\n\n", c.Target)
+	fmt.Fprintf(w, "%-14s %10s %10s\n", "target_frac", "gens_A", "gens_B")
+	for i, f := range c.Fractions {
+		fmt.Fprintf(w, "%-14s %10s %10s\n",
+			fmt.Sprintf("%.0f%%", 100*f), gens(c.GensA[i]), gens(c.GensB[i]))
+	}
+	return nil
+}
+
+// gens renders a generations-to-target count; -1 means never reached.
+func gens(g int) string {
+	if g < 0 {
+		return "never"
+	}
+	return strconv.Itoa(g)
+}

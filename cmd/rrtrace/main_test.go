@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden files from current output")
+
+// golden runs one rrtrace invocation and compares it against the committed
+// expectation. Every input is a fixed testdata trace, so the output is
+// deterministic byte for byte; regenerate with -update-golden after an
+// intended format change.
+func golden(t *testing.T, goldenName string, args ...string) {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	path := filepath.Join("testdata", goldenName)
+	if *updateGolden {
+		if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test ./cmd/rrtrace -update-golden): %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", path, out.Bytes(), want)
+	}
+}
+
+func TestSummaryGolden(t *testing.T) {
+	golden(t, "summary.golden", "summary", filepath.Join("testdata", "cold.jsonl"))
+}
+
+func TestCurveGolden(t *testing.T) {
+	golden(t, "curve.golden", "curve", filepath.Join("testdata", "cold.jsonl"))
+}
+
+func TestCompareGolden(t *testing.T) {
+	golden(t, "compare.golden", "compare",
+		filepath.Join("testdata", "cold.jsonl"), filepath.Join("testdata", "warm.jsonl"))
+}
+
+func TestCurveIsMonotone(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"curve", filepath.Join("testdata", "cold.jsonl")}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 5 { // header + 4 generations
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out.String())
+	}
+	prev := -1.0
+	for _, line := range lines[1:] {
+		cols := strings.Split(line, ",")
+		best, err := strconv.ParseFloat(cols[2], 64)
+		if err != nil {
+			t.Fatalf("parse best_hypervolume %q: %v", cols[2], err)
+		}
+		if best < prev {
+			t.Errorf("best_hypervolume not monotone: %v after %v", best, prev)
+		}
+		prev = best
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{},
+		{"nonesuch"},
+		{"summary"},
+		{"summary", "testdata/does-not-exist.jsonl"},
+		{"compare", "testdata/cold.jsonl"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

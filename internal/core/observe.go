@@ -38,6 +38,16 @@ type optimizerMetrics struct {
 	hypervolume *obs.Gauge
 	workers     *obs.Gauge
 	genSeconds  *obs.Histogram
+
+	// Convergence snapshot mirrors (see convergence.go): the best
+	// hypervolume reached, generations since it improved, a 0/1 stall
+	// flag, front spread, and Ω churn counters.
+	bestHypervolume *obs.Gauge
+	staleGens       *obs.Gauge
+	stalled         *obs.Gauge
+	spread          *obs.Gauge
+	omegaInserts    *obs.Counter
+	omegaEvictions  *obs.Counter
 }
 
 // newOptimizerMetrics registers the optimizer metrics on reg; nil in, nil
@@ -60,6 +70,12 @@ func newOptimizerMetrics(reg *obs.Registry) *optimizerMetrics {
 		workers:     reg.Gauge("optimizer.workers"),
 		genSeconds: reg.Histogram("optimizer.generation_seconds",
 			[]float64{0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10}),
+		bestHypervolume: reg.Gauge("optimizer.convergence.best_hypervolume"),
+		staleGens:       reg.Gauge("optimizer.convergence.stale_generations"),
+		stalled:         reg.Gauge("optimizer.convergence.stalled"),
+		spread:          reg.Gauge("optimizer.convergence.spread"),
+		omegaInserts:    reg.Counter("optimizer.omega_inserts"),
+		omegaEvictions:  reg.Counter("optimizer.omega_evictions"),
 	}
 }
 
@@ -141,6 +157,39 @@ func (o *Optimizer) emitGeneration(st Stats, phases [phaseCount]time.Duration, e
 		"fitness_ms":  ms(o.fitnessDur),
 		"truncate_ms": ms(o.truncateDur),
 		"workers":     o.cfg.Workers,
+	})
+}
+
+// emitConvergence publishes one generation's convergence snapshot: the
+// "optimizer.convergence" trace event plus the registry mirrors. Like
+// emitGeneration it is free when neither a recorder nor a registry is
+// attached.
+func (o *Optimizer) emitConvergence(c Convergence) {
+	if m := o.met; m != nil {
+		m.bestHypervolume.Set(c.BestHypervolume)
+		m.staleGens.Set(float64(c.SinceImprovement))
+		if c.Stalled {
+			m.stalled.Set(1)
+		} else {
+			m.stalled.Set(0)
+		}
+		m.spread.Set(c.Spread)
+		m.omegaInserts.Add(int64(c.OmegaInserts))
+		m.omegaEvictions.Add(int64(c.OmegaEvictions))
+	}
+	if !o.rec.Enabled() {
+		return
+	}
+	o.rec.Record("optimizer.convergence", obs.Fields{
+		"gen":               c.Generation,
+		"hypervolume":       c.Hypervolume,
+		"best_hypervolume":  c.BestHypervolume,
+		"improved":          c.Improved,
+		"since_improvement": c.SinceImprovement,
+		"stalled":           c.Stalled,
+		"omega_inserts":     c.OmegaInserts,
+		"omega_evictions":   c.OmegaEvictions,
+		"spread":            c.Spread,
 	})
 }
 

@@ -110,8 +110,10 @@ func TestRecorderEventStream(t *testing.T) {
 	res := runWith(t, cfg)
 
 	events := rec.Events()
-	if len(events) != cfg.Generations+2 {
-		t.Fatalf("got %d events, want %d", len(events), cfg.Generations+2)
+	// Per run: one start, per generation a generation event followed by a
+	// convergence event, one done.
+	if len(events) != 2*cfg.Generations+2 {
+		t.Fatalf("got %d events, want %d", len(events), 2*cfg.Generations+2)
 	}
 	if events[0].Name != "optimizer.start" {
 		t.Fatalf("first event = %q", events[0].Name)
@@ -129,12 +131,12 @@ func TestRecorderEventStream(t *testing.T) {
 
 	prevEvals := 0
 	for g := 0; g < cfg.Generations; g++ {
-		e := events[g+1]
+		e := events[2*g+1]
 		if e.Name != "optimizer.generation" {
-			t.Fatalf("event %d = %q", g+1, e.Name)
+			t.Fatalf("event %d = %q", 2*g+1, e.Name)
 		}
 		if e.Fields["gen"] != g {
-			t.Fatalf("event %d gen = %v, want %d", g+1, e.Fields["gen"], g)
+			t.Fatalf("event %d gen = %v, want %d", 2*g+1, e.Fields["gen"], g)
 		}
 		evals := e.Fields["evals"].(int)
 		if evals <= prevEvals {
@@ -153,13 +155,24 @@ func TestRecorderEventStream(t *testing.T) {
 				t.Fatalf("gen %d %s = %v", g, key, v)
 			}
 		}
+		c := events[2*g+2]
+		if c.Name != "optimizer.convergence" {
+			t.Fatalf("event %d = %q, want optimizer.convergence", 2*g+2, c.Name)
+		}
+		if c.Fields["gen"] != g {
+			t.Fatalf("convergence event %d gen = %v, want %d", 2*g+2, c.Fields["gen"], g)
+		}
+		if hv := c.Fields["hypervolume"].(float64); hv != e.Fields["hypervolume"].(float64) {
+			t.Fatalf("gen %d convergence hypervolume %v != generation hypervolume %v",
+				g, hv, e.Fields["hypervolume"])
+		}
 	}
 
 	// Each generation event must own its front points (Stats.Clone in the
 	// recorder path), not alias the optimizer's scratch buffer.
 	for g := 0; g < cfg.Generations-1; g++ {
-		a := events[g+1].Fields["front"].([]pareto.Point)
-		b := events[g+2].Fields["front"].([]pareto.Point)
+		a := events[2*g+1].Fields["front"].([]pareto.Point)
+		b := events[2*g+3].Fields["front"].([]pareto.Point)
 		if len(a) > 0 && len(b) > 0 && &a[0] == &b[0] {
 			t.Fatalf("generation events %d and %d share a front backing array", g, g+1)
 		}
@@ -251,6 +264,7 @@ func TestEmitHelpersNopAllocations(t *testing.T) {
 	if n := testing.AllocsPerRun(100, func() {
 		opt.emitStart()
 		opt.emitGeneration(st, phases, 10, 0, 0)
+		opt.emitConvergence(st.Convergence)
 		opt.emitDone(Result{}, time.Time{})
 	}); n != 0 {
 		t.Fatalf("disabled emit path allocated %v times per run, want 0", n)

@@ -27,6 +27,16 @@ func (ind Individual) Point() pareto.Point {
 // environmental-selection cost.
 type Omega struct {
 	bins []*Individual
+
+	// Cumulative churn counters: inserts counts every entry stored (first
+	// occupation or replacement of a bin), evictions counts the subset that
+	// displaced an existing entry. inserts − evictions is therefore the
+	// number of occupied bins. The convergence telemetry diffs these across
+	// generations — high eviction rates mean the search is still reshuffling
+	// the optimal set, a churn signal the paper's Section V-H update has no
+	// other way to expose.
+	inserts   int
+	evictions int
 }
 
 // NewOmega returns an optimal set with the given number of privacy bins.
@@ -84,9 +94,20 @@ func (o *Omega) Update(ind Individual) bool {
 	if cur != nil && cur.Eval.Utility <= ind.Eval.Utility {
 		return false
 	}
+	if cur != nil {
+		o.evictions++
+	}
+	o.inserts++
 	clone := Individual{Genome: ind.Genome.Clone(), Eval: ind.Eval}
 	o.bins[i] = &clone
 	return true
+}
+
+// Churn returns the cumulative insert and eviction counts since
+// construction. Per-generation churn is the difference between two
+// consecutive readings.
+func (o *Omega) Churn() (inserts, evictions int) {
+	return o.inserts, o.evictions
 }
 
 // UpdateAll offers every individual and returns how many bins improved.

@@ -358,6 +358,10 @@ type Stats struct {
 	// buffer the optimizer overwrites every generation: callbacks keeping
 	// Stats past their return must use Clone.
 	Front []pareto.Point
+	// Convergence is the generation's search-quality snapshot: best
+	// hypervolume so far, generations since it improved, stall flag, Ω
+	// churn and front spread. See the Convergence type.
+	Convergence Convergence
 }
 
 // Clone returns a deep copy of the stats that is safe to retain after the
@@ -427,6 +431,9 @@ type Optimizer struct {
 	met      *optimizerMetrics
 	observed bool
 	timed    bool
+	// conv folds per-generation fronts into Convergence snapshots; only
+	// consulted when observed.
+	conv convergenceTracker
 	// frontBuf is the objective-space scratch buffer reused every
 	// generation for mating selection and Stats.Front — the reuse is why
 	// Progress callbacks must not retain Stats slices without Clone.
@@ -481,6 +488,7 @@ func New(cfg Config) (*Optimizer, error) {
 		met:         met,
 		observed:    cfg.Progress != nil || rec.Enabled() || met != nil,
 		timed:       rec.Enabled() || met != nil,
+		conv:        newConvergenceTracker(cfg.StagnationLimit),
 		emooScratch: emoo.NewScratch(),
 		workers:     workers,
 	}, nil
@@ -649,7 +657,9 @@ func (o *Optimizer) Run() (Result, error) {
 				Rejects:          o.tally.rejects,
 				Front:            archivePts,
 			}
+			st.Convergence = o.conv.observe(gen, st.FrontHypervolume, o.omega, archivePts)
 			o.emitGeneration(st, phases, o.evaluations-evalsBefore, truncated, backfilled)
+			o.emitConvergence(st.Convergence)
 			if cfg.Progress != nil {
 				cfg.Progress(st)
 			}

@@ -1,11 +1,13 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 )
 
@@ -13,7 +15,9 @@ import (
 //
 //	/debug/vars    expvar (all published variables, incl. registries)
 //	/debug/pprof/  net/http/pprof profiles (cpu, heap, goroutine, ...)
-//	/metrics       the registry passed to Serve, as one JSON object
+//	/metrics       the registry passed to Serve: JSON by default, the
+//	               Prometheus text exposition under content negotiation
+//	/healthz       liveness probe: 200 "ok" while the server runs
 //
 // It deliberately uses its own mux, not http.DefaultServeMux, so importing
 // this package never changes the behavior of an application's own server.
@@ -21,6 +25,11 @@ type Server struct {
 	ln  net.Listener
 	srv *http.Server
 }
+
+// shutdownTimeout bounds how long Close waits for in-flight scrapes before
+// forcing connections shut. Scrape handlers respond in milliseconds; the
+// grace period only matters for a pprof profile in progress.
+const shutdownTimeout = 5 * time.Second
 
 // Serve starts a debug server on addr ("host:port"; ":0" picks a free port).
 // reg may be nil; when non-nil it is additionally served at /metrics. The
@@ -37,11 +46,12 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
 	if reg != nil {
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "application/json; charset=utf-8")
-			fmt.Fprintln(w, reg.String())
-		})
+		mux.HandleFunc("/metrics", metricsHandler(reg))
 	}
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	s := &Server{ln: ln, srv: srv}
@@ -49,8 +59,48 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	return s, nil
 }
 
+// metricsHandler serves the registry with content negotiation. The JSON
+// document of Registry.String stays the default (existing consumers see
+// byte-identical output); the Prometheus text exposition is selected by a
+// scraper's Accept header (which names text/plain or an OpenMetrics type
+// before any JSON type) or explicitly with ?format=prometheus. ?format=json
+// forces JSON regardless of Accept.
+func metricsHandler(reg *Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		format := r.URL.Query().Get("format")
+		prom := format == "prometheus"
+		if format == "" {
+			accept := r.Header.Get("Accept")
+			prom = strings.Contains(accept, "text/plain") ||
+				strings.Contains(accept, "application/openmetrics-text")
+		}
+		if prom {
+			w.Header().Set("Content-Type", PrometheusContentType)
+			reg.WritePrometheus(w) //nolint:errcheck // client gone; nothing to do
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintln(w, reg.String())
+	}
+}
+
 // Addr returns the bound address, e.g. "127.0.0.1:43561".
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server and releases the port.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close gracefully stops the server: the listener closes immediately (the
+// port is released, /healthz goes unreachable) and in-flight requests get
+// shutdownTimeout to finish before their connections are forced shut.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	// Shutdown only closes listeners the serve goroutine has registered; if
+	// Close races server startup the listener may not be tracked yet, so
+	// close it directly too (idempotent — double close just errors).
+	s.ln.Close() //nolint:errcheck
+	if err == context.DeadlineExceeded {
+		// Grace period exhausted: drop whatever is still running.
+		return s.srv.Close()
+	}
+	return err
+}

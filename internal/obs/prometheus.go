@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) for a Registry: the format
+// every scrape-based monitoring stack ingests. Metric names are sanitized
+// (dots and other illegal runes become underscores), counters and gauges
+// expose their value directly, and histograms expose the standard
+// cumulative le-labelled bucket series plus _sum and _count — so
+// histogram_quantile() works server-side on the same fixed buckets the
+// in-process Quantile method uses.
+
+// PrometheusContentType is the Content-Type of the text exposition format.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every metric of the registry in the Prometheus
+// text exposition format. Metrics render in name order; unknown expvar kinds
+// (anything that is not a Counter, Gauge or Histogram) are skipped — they
+// have no well-defined exposition. The first error from w aborts the walk.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var err error
+	r.Do(func(name string, v expvar.Var) {
+		if err != nil {
+			return
+		}
+		pn := promName(name)
+		switch m := v.(type) {
+		case *Counter:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, m.Value())
+		case *Gauge:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(m.Value()))
+		case *Histogram:
+			err = writePromHistogram(w, pn, m)
+		}
+	})
+	return err
+}
+
+// writePromHistogram renders one histogram: cumulative buckets, sum, count.
+// Each bucket counter is read once, so the le="+Inf" series equals the
+// cumulative total even while writers race the scrape.
+func writePromHistogram(w io.Writer, name string, h *Histogram) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.BucketCount(i)
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(bound), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.BucketCount(len(h.bounds))
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, promFloat(h.Sum()), name, cum)
+	return err
+}
+
+// promFloat renders a float64 in the exposition format, which — unlike JSON
+// — has spellings for the non-finite values.
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promName maps a registry metric name onto the Prometheus name charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*: every illegal rune becomes an underscore, and a
+// leading digit gains one. "optimizer.generation_seconds" →
+// "optimizer_generation_seconds".
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}

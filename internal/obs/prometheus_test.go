@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("optimizer.generations").Add(7)
+	reg.Gauge("optimizer.front_size").Set(12.5)
+	h := reg.Histogram("optimizer.generation_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE optimizer_generations counter\noptimizer_generations 7\n",
+		"# TYPE optimizer_front_size gauge\noptimizer_front_size 12.5\n",
+		"# TYPE optimizer_generation_seconds histogram\n",
+		`optimizer_generation_seconds_bucket{le="0.1"} 1`,
+		`optimizer_generation_seconds_bucket{le="1"} 2`,
+		`optimizer_generation_seconds_bucket{le="+Inf"} 3`,
+		"optimizer_generation_seconds_sum 5.55\n",
+		"optimizer_generation_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, ".") && strings.Contains(out, "optimizer.generations") {
+		t.Errorf("unsanitized metric name leaked into exposition:\n%s", out)
+	}
+}
+
+func TestWritePrometheusNonFinite(t *testing.T) {
+	// Unlike JSON, the exposition format has spellings for non-finite
+	// values; they must pass through, not turn into null.
+	reg := NewRegistry()
+	reg.Gauge("g.nan").Set(math.NaN())
+	reg.Gauge("g.inf").Set(math.Inf(1))
+	reg.Gauge("g.neg").Set(math.Inf(-1))
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"g_nan NaN\n", "g_inf +Inf\n", "g_neg -Inf\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"optimizer.generation_seconds", "optimizer_generation_seconds"},
+		{"a-b c", "a_b_c"},
+		{"9lives", "_9lives"},
+		{"ok_name:sub", "ok_name:sub"},
+		{"", "_"},
+	} {
+		if got := promName(tc.in); got != tc.want {
+			t.Errorf("promName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func fetch(t *testing.T, url string, accept string) (int, string, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatalf("new request: %v", err)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+func TestServerContentNegotiationAndHealthz(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("optimizer.generations").Add(3)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// Default (no Accept): JSON, as before this change.
+	code, ct, body := fetch(t, base+"/metrics", "")
+	if code != http.StatusOK || !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("default /metrics: code=%d ct=%q", code, ct)
+	}
+	if !strings.Contains(body, `"optimizer.generations":3`) {
+		t.Errorf("default /metrics body not the JSON document: %s", body)
+	}
+
+	// A Prometheus scraper's Accept header selects the text exposition.
+	code, ct, body = fetch(t, base+"/metrics", "text/plain;version=0.0.4")
+	if code != http.StatusOK || ct != PrometheusContentType {
+		t.Errorf("prometheus /metrics: code=%d ct=%q", code, ct)
+	}
+	if !strings.Contains(body, "optimizer_generations 3\n") {
+		t.Errorf("prometheus /metrics body missing series: %s", body)
+	}
+
+	// Explicit format override beats the Accept header.
+	code, _, body = fetch(t, base+"/metrics?format=prometheus", "application/json")
+	if code != http.StatusOK || !strings.Contains(body, "optimizer_generations 3") {
+		t.Errorf("?format=prometheus: code=%d body=%s", code, body)
+	}
+	code, _, body = fetch(t, base+"/metrics?format=json", "text/plain")
+	if code != http.StatusOK || !strings.Contains(body, `"optimizer.generations":3`) {
+		t.Errorf("?format=json: code=%d body=%s", code, body)
+	}
+
+	code, _, body = fetch(t, base+"/healthz", "")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz: code=%d body=%q", code, body)
+	}
+}
+
+func TestServerGracefulClose(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	addr := srv.Addr()
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(shutdownTimeout + time.Second):
+		t.Fatal("Close did not return within the shutdown grace period")
+	}
+	// The port must be released: a fresh listener can bind immediately.
+	srv2, err := Serve(addr, nil)
+	if err != nil {
+		t.Fatalf("rebind %s after Close: %v", addr, err)
+	}
+	srv2.Close()
+}

@@ -1,0 +1,110 @@
+package obs
+
+import "math"
+
+// Quantile estimation from fixed histogram buckets, Prometheus-style: the
+// observation at a requested rank is located in its bucket by the cumulative
+// counts, then linearly interpolated between the bucket's bounds. Accuracy
+// is bounded by bucket width, which is why latency histograms use log-spaced
+// bounds (LogBuckets): the relative error of a quantile estimate is then
+// bounded by the bucket growth factor regardless of scale.
+
+// Quantile returns the estimated q-quantile (0 ≤ q ≤ 1) of the observed
+// values. It returns NaN when the histogram is empty or q is outside [0, 1].
+// Observations in the overflow (+Inf) bucket cannot be interpolated: a
+// quantile landing there returns the largest finite bound. The first
+// bucket interpolates from 0 when its bound is positive (the natural lower
+// edge for duration and size histograms), from the bound itself otherwise.
+//
+// The counts are read without a lock, like every other histogram accessor:
+// under concurrent writers a quantile is a near-consistent estimate, which
+// is all a bucketed quantile ever is. Each bucket is read exactly once, so
+// the located rank never runs past the counted total. Allocation-free for
+// histograms up to 63 finite bounds.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	var inline [64]int64
+	counts := inline[:]
+	if len(h.counts) > len(inline) {
+		counts = make([]int64, len(h.counts))
+	}
+	counts = counts[:len(h.counts)]
+	var total int64
+	for i := range counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(counts)-1 {
+			// Overflow bucket: no upper edge to interpolate toward.
+			break
+		}
+		upper := h.bounds[i]
+		lower := 0.0
+		if i > 0 {
+			lower = h.bounds[i-1]
+		} else if upper <= 0 {
+			lower = upper
+		}
+		// Position of the rank within this bucket's count mass.
+		within := (rank - float64(cum-c)) / float64(c)
+		if within < 0 {
+			within = 0
+		}
+		return lower + (upper-lower)*within
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// QuantileSnapshot is a one-shot summary of a histogram: the count, the sum,
+// and the three operational quantiles every latency dashboard wants.
+type QuantileSnapshot struct {
+	Count         int64
+	Sum           float64
+	P50, P90, P99 float64
+}
+
+// Quantiles returns the histogram's quantile snapshot (p50/p90/p99). The
+// three quantiles are estimated from the same lock-free bucket reads as
+// Quantile; under concurrent writers the snapshot is near-consistent.
+func (h *Histogram) Quantiles() QuantileSnapshot {
+	return QuantileSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// LogBuckets returns n log-spaced histogram bounds starting at start and
+// multiplying by factor: start, start·factor, start·factor², .... It panics
+// on non-positive start, factor ≤ 1 or n < 1 — wiring-time programming
+// errors, like NewHistogram's. A quantile estimated from such buckets has
+// relative error at most factor−1.
+func LogBuckets(start, factor float64, n int) []float64 {
+	if !(start > 0) || !(factor > 1) || n < 1 {
+		panic("obs: LogBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}

@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestQuantileUniformBucket(t *testing.T) {
+	// 100 observations spread evenly through (0, 10]: the estimate should
+	// interpolate linearly inside the single bucket.
+	h := NewHistogram([]float64{10, 20})
+	for i := 0; i < 100; i++ {
+		h.Observe(5)
+	}
+	if got := h.Quantile(0.5); !almostEqual(got, 5, 1e-9) {
+		t.Errorf("p50 of one full (0,10] bucket = %v, want 5", got)
+	}
+	if got := h.Quantile(0.9); !almostEqual(got, 9, 1e-9) {
+		t.Errorf("p90 of one full (0,10] bucket = %v, want 9", got)
+	}
+	if got := h.Quantile(1); !almostEqual(got, 10, 1e-9) {
+		t.Errorf("p100 of one full (0,10] bucket = %v, want 10", got)
+	}
+}
+
+func TestQuantileAcrossBuckets(t *testing.T) {
+	// 50 observations in (0,1], 50 in (1,2]: the median sits at the shared
+	// edge, p75 in the middle of the second bucket.
+	h := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 50; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); !almostEqual(got, 1, 1e-9) {
+		t.Errorf("p50 = %v, want 1", got)
+	}
+	if got := h.Quantile(0.75); !almostEqual(got, 1.5, 1e-9) {
+		t.Errorf("p75 = %v, want 1.5", got)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if got := h.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("quantile of empty histogram = %v, want NaN", got)
+	}
+	h.Observe(0.5)
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if got := h.Quantile(q); !math.IsNaN(got) {
+			t.Errorf("Quantile(%v) = %v, want NaN", q, got)
+		}
+	}
+	// Overflow-bucket observations clamp to the largest finite bound.
+	h2 := NewHistogram([]float64{1, 2})
+	h2.Observe(100)
+	if got := h2.Quantile(0.5); got != 2 {
+		t.Errorf("p50 of overflow-only histogram = %v, want 2 (largest bound)", got)
+	}
+	// Negative-bound first bucket has no natural zero edge: interpolation
+	// degenerates to the bound itself.
+	h3 := NewHistogram([]float64{-1, 1})
+	h3.Observe(-5)
+	if got := h3.Quantile(0.5); got != -1 {
+		t.Errorf("p50 in first negative bucket = %v, want -1", got)
+	}
+}
+
+func TestQuantilesSnapshot(t *testing.T) {
+	h := NewHistogram(LogBuckets(0.001, 2, 20))
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 1000) // (0, 1]
+	}
+	qs := h.Quantiles()
+	if qs.Count != 1000 {
+		t.Fatalf("Count = %d, want 1000", qs.Count)
+	}
+	if !almostEqual(qs.Sum, 500.5, 1e-6) {
+		t.Errorf("Sum = %v, want 500.5", qs.Sum)
+	}
+	// Log buckets with factor 2 bound the relative error by 2: each estimate
+	// must land within a factor of 2 of the true quantile.
+	for _, tc := range []struct{ got, want float64 }{
+		{qs.P50, 0.5}, {qs.P90, 0.9}, {qs.P99, 0.99},
+	} {
+		if tc.got < tc.want/2 || tc.got > tc.want*2 {
+			t.Errorf("quantile estimate %v not within factor 2 of %v", tc.got, tc.want)
+		}
+	}
+	if qs.P50 > qs.P90 || qs.P90 > qs.P99 {
+		t.Errorf("quantiles not monotone: p50=%v p90=%v p99=%v", qs.P50, qs.P90, qs.P99)
+	}
+}
+
+func TestQuantileManyBucketsHeapPath(t *testing.T) {
+	// More than 63 finite bounds forces the heap-allocated scratch path;
+	// the estimate must be identical in kind.
+	h := NewHistogram(LogBuckets(1, 1.1, 100))
+	for i := 0; i < 1000; i++ {
+		h.Observe(50)
+	}
+	got := h.Quantile(0.5)
+	if got < 40 || got > 60 {
+		t.Errorf("p50 = %v, want within [40, 60]", got)
+	}
+}
+
+func TestQuantileConcurrentWriters(t *testing.T) {
+	// Quantile reads race live writers; under -race this exercises the
+	// lock-free access pattern, and the estimate must stay inside the
+	// observed value range at all times.
+	h := NewHistogram(LogBuckets(0.001, 2, 24))
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			v := 0.001 * float64(seed+1)
+			h.Observe(v) // at least one observation survives even if stop wins the scheduling race
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(v)
+				v *= 1.37
+				if v > 1000 {
+					v = 0.001 * float64(seed+1)
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		if q := h.Quantile(0.9); !math.IsNaN(q) && (q < 0 || q > 1e7) {
+			t.Errorf("mid-write p90 = %v, outside plausible range", q)
+		}
+		_ = h.Quantiles()
+		_ = h.String()
+	}
+	close(stop)
+	wg.Wait()
+	qs := h.Quantiles()
+	if qs.Count == 0 || math.IsNaN(qs.P50) {
+		t.Fatalf("post-race snapshot degenerate: %+v", qs)
+	}
+}
+
+func TestHistogramStringIncludesQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(h.String()), &doc); err != nil {
+		t.Fatalf("histogram String not valid JSON: %v\n%s", err, h.String())
+	}
+	for _, key := range []string{"p50", "p90", "p99"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("histogram JSON missing %q: %s", key, h.String())
+		}
+	}
+	// Empty histogram: quantiles are NaN and must render as null, keeping
+	// the document parseable.
+	empty := NewHistogram([]float64{1})
+	var doc2 map[string]any
+	if err := json.Unmarshal([]byte(empty.String()), &doc2); err != nil {
+		t.Fatalf("empty histogram String not valid JSON: %v\n%s", err, empty.String())
+	}
+	if doc2["p50"] != nil {
+		t.Errorf("empty histogram p50 = %v, want null", doc2["p50"])
+	}
+}
+
+func TestLogBuckets(t *testing.T) {
+	got := LogBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("LogBuckets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Fatalf("LogBuckets = %v, want %v", got, want)
+		}
+	}
+	for _, bad := range [][3]float64{{0, 2, 4}, {1, 1, 4}, {1, 2, 0}, {-1, 2, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("LogBuckets(%v, %v, %v) did not panic", bad[0], bad[1], bad[2])
+				}
+			}()
+			LogBuckets(bad[0], bad[1], int(bad[2]))
+		}()
+	}
+}
+
+func TestNonFiniteMetricsRenderAsValidJSON(t *testing.T) {
+	// Regression: a NaN or ±Inf gauge used to render bare (NaN is not a JSON
+	// token), corrupting the whole Registry.String document.
+	reg := NewRegistry()
+	reg.Gauge("g.nan").Set(math.NaN())
+	reg.Gauge("g.posinf").Set(math.Inf(1))
+	reg.Gauge("g.neginf").Set(math.Inf(-1))
+	reg.Gauge("g.finite").Set(1.5)
+	h := reg.Histogram("h.poisoned", []float64{1, 2})
+	h.Observe(math.Inf(1)) // poisons the sum
+	doc := reg.String()
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(doc), &parsed); err != nil {
+		t.Fatalf("registry with non-finite metrics is not valid JSON: %v\n%s", err, doc)
+	}
+	for _, name := range []string{"g.nan", "g.posinf", "g.neginf"} {
+		if parsed[name] != nil {
+			t.Errorf("%s = %v, want null", name, parsed[name])
+		}
+	}
+	if parsed["g.finite"] != 1.5 {
+		t.Errorf("g.finite = %v, want 1.5", parsed["g.finite"])
+	}
+	hist, ok := parsed["h.poisoned"].(map[string]any)
+	if !ok {
+		t.Fatalf("h.poisoned did not parse as object: %v", parsed["h.poisoned"])
+	}
+	if hist["sum"] != nil {
+		t.Errorf("poisoned histogram sum = %v, want null", hist["sum"])
+	}
+	if !strings.Contains(doc, `"g.nan":null`) {
+		t.Errorf("document does not spell null for NaN gauge: %s", doc)
+	}
+}
+
+func BenchmarkHistogramQuantiles(b *testing.B) {
+	h := NewHistogram(LogBuckets(0.0001, 2, 30))
+	for i := 1; i <= 10000; i++ {
+		h.Observe(float64(i) * 0.0003)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qs := h.Quantiles()
+		if qs.Count == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}

@@ -57,9 +57,19 @@ func (g *Gauge) Add(delta float64) {
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
-// String implements expvar.Var.
-func (g *Gauge) String() string {
-	return strconv.FormatFloat(g.Value(), 'g', -1, 64)
+// String implements expvar.Var. NaN and ±Inf have no JSON representation;
+// they render as null so a single poisoned gauge cannot corrupt the whole
+// /debug/vars or /metrics document (the Prometheus exposition keeps the
+// exact values — its text format represents non-finite numbers).
+func (g *Gauge) String() string { return jsonFloat(g.Value()) }
+
+// jsonFloat renders a float64 as a JSON value: the shortest round-trip
+// representation for finite values, null for NaN and ±Inf.
+func jsonFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "null"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 // Histogram accumulates observations into fixed buckets defined by ascending
@@ -111,18 +121,23 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 // BucketCount returns the count of bucket i (i == len(bounds) is +Inf).
 func (h *Histogram) BucketCount(i int) int64 { return h.counts[i].Load() }
 
-// String implements expvar.Var: {"count":n,"sum":s,"buckets":{"0.5":1,...,"+Inf":0}}.
+// String implements expvar.Var:
+// {"count":n,"sum":s,"buckets":{"0.5":1,...,"+Inf":0},"p50":...,"p90":...,"p99":...}.
+// The p50/p90/p99 keys are the bucket-interpolated quantile snapshot (see
+// Quantile). A non-finite sum (after observing NaN or ±Inf values) and the
+// quantiles of an empty histogram render as null, like Gauge.String.
 func (h *Histogram) String() string {
 	var b bytes.Buffer
-	fmt.Fprintf(&b, `{"count":%d,"sum":%s,"buckets":{`, h.Count(),
-		strconv.FormatFloat(h.Sum(), 'g', -1, 64))
+	fmt.Fprintf(&b, `{"count":%d,"sum":%s,"buckets":{`, h.Count(), jsonFloat(h.Sum()))
 	for i, bound := range h.bounds {
 		if i > 0 {
 			b.WriteByte(',')
 		}
 		fmt.Fprintf(&b, `"%s":%d`, strconv.FormatFloat(bound, 'g', -1, 64), h.counts[i].Load())
 	}
-	fmt.Fprintf(&b, `,"+Inf":%d}}`, h.counts[len(h.bounds)].Load())
+	fmt.Fprintf(&b, `,"+Inf":%d}`, h.counts[len(h.bounds)].Load())
+	fmt.Fprintf(&b, `,"p50":%s,"p90":%s,"p99":%s}`,
+		jsonFloat(h.Quantile(0.50)), jsonFloat(h.Quantile(0.90)), jsonFloat(h.Quantile(0.99)))
 	return b.String()
 }
 

@@ -1,0 +1,230 @@
+package pareto
+
+// Front-quality indicators beyond the 2-D hypervolume of pareto.go: a
+// k-dimensional hypervolume (k ≤ 2+MaxExtraObjectives), the additive-epsilon
+// indicator, and a spread measure. Together they answer the questions the
+// paper's evaluation (Section VI) asks of an evolved front — how much
+// objective space it dominates, how far it sits from a reference front, and
+// how evenly it covers its extent — and they are what the per-generation
+// convergence telemetry and cmd/rrtrace report.
+
+import "math"
+
+// HypervolumeK returns the k-dimensional hypervolume dominated by the front
+// of pts relative to the reference point ref, which must be weakly worse
+// than every point on every axis (lower privacy, higher utility and extras).
+// Larger is better. Points not strictly better than the reference on every
+// axis contribute no volume (they are clipped, like in Hypervolume).
+//
+// For 2-D inputs (no extra objectives on pts or ref) this is exactly
+// Hypervolume(pts, ref.Privacy, ref.Utility) — the same code path, bit for
+// bit. Higher dimensions run a dominated-hyperbox sweep (hypervolume by
+// slicing objectives): the boxes spanned between each point and the
+// reference are swept along the last axis, each slab contributing its width
+// times the (k−1)-dimensional volume of the boxes alive in it. Exact for
+// every k this package supports; cost grows steeply with k, which is fine
+// for k ≤ 2+MaxExtraObjectives and front sizes in the hundreds.
+func HypervolumeK(pts []Point, ref Point) float64 {
+	dim := ref.Dim()
+	for _, p := range pts {
+		if p.Dim() > dim {
+			dim = p.Dim()
+		}
+	}
+	if dim == 2 {
+		return Hypervolume(pts, ref.Privacy, ref.Utility)
+	}
+	// Gain space: per-axis improvement over the reference, every axis
+	// oriented "larger is better". A point contributes the box [0, g] and
+	// the hypervolume is the volume of the union of those boxes.
+	boxes := make([][]float64, 0, len(pts))
+	for _, p := range pts {
+		g := make([]float64, dim)
+		clipped := false
+		for t := 0; t < dim; t++ {
+			var d float64
+			if t == 0 {
+				d = p.At(0) - ref.At(0) // privacy: maximized
+			} else {
+				d = ref.At(t) - axisValue(p, t) // minimized axes
+			}
+			if d <= 0 {
+				clipped = true
+				break
+			}
+			g[t] = d
+		}
+		if !clipped {
+			boxes = append(boxes, g)
+		}
+	}
+	return unionVolume(boxes, dim)
+}
+
+// axisValue reads objective t of p, treating axes the point does not carry
+// as 0 — the canonical value of a missing minimized extra. Mixing dimensions
+// in one front is a caller bug everywhere else in the package; here it
+// degrades gracefully instead of panicking.
+func axisValue(p Point, t int) float64 {
+	if t < p.Dim() {
+		return p.At(t)
+	}
+	return 0
+}
+
+// unionVolume computes the volume of the union of origin-anchored boxes
+// [0,b[0]]×...×[0,b[dim-1]] by slicing along the last axis.
+func unionVolume(boxes [][]float64, dim int) float64 {
+	if len(boxes) == 0 {
+		return 0
+	}
+	if dim == 1 {
+		max := 0.0
+		for _, b := range boxes {
+			if b[0] > max {
+				max = b[0]
+			}
+		}
+		return max
+	}
+	if dim == 2 {
+		return union2D(boxes)
+	}
+	// Sort the distinct heights along the last axis descending; each slab
+	// between consecutive heights is covered by exactly the boxes at least
+	// that tall, whose (dim−1)-volume is constant across the slab.
+	order := make([]int, len(boxes))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ { // insertion sort: n is small
+		for j := i; j > 0 && boxes[order[j]][dim-1] > boxes[order[j-1]][dim-1]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	var volume float64
+	alive := make([][]float64, 0, len(boxes))
+	for i, idx := range order {
+		alive = append(alive, boxes[idx])
+		upper := boxes[idx][dim-1]
+		lower := 0.0
+		if i+1 < len(order) {
+			lower = boxes[order[i+1]][dim-1]
+		}
+		if upper > lower {
+			volume += (upper - lower) * unionVolume(alive, dim-1)
+		}
+	}
+	return volume
+}
+
+// union2D is the exact area of a union of origin-anchored rectangles:
+// sweep by descending width, each rectangle adding area only above the
+// tallest rectangle at least as wide.
+func union2D(boxes [][]float64) float64 {
+	order := make([]int, len(boxes))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && boxes[order[j]][0] > boxes[order[j-1]][0]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	var area, maxH float64
+	for _, idx := range order {
+		w, h := boxes[idx][0], boxes[idx][1]
+		if h > maxH {
+			area += w * (h - maxH)
+			maxH = h
+		}
+	}
+	return area
+}
+
+// AdditiveEpsilon returns the additive-epsilon indicator ε+(a, b): the
+// smallest ε such that shifting every point of a by ε on every axis (toward
+// worse values' direction of b) makes some a-point weakly dominate each
+// b-point. Zero means a already weakly dominates all of b; larger values
+// mean a sits farther from b. It is not symmetric. An empty b yields 0; an
+// empty a against a non-empty b yields +Inf. NaN objective values propagate
+// to the result, matching the contract of the other indicators: a NaN ε
+// means the comparison is meaningless.
+//
+// With a as the evolved front and b as a reference front (for example the
+// closed-form DP-optimal mechanisms of Holohan et al.), ε+ measures how far
+// the search still is from the reference — the front-proximity number the
+// adaptive-campaign work tracks over generations.
+func AdditiveEpsilon(a, b []Point) float64 {
+	if len(b) == 0 {
+		return 0
+	}
+	if len(a) == 0 {
+		return math.Inf(1)
+	}
+	var eps float64
+	for _, q := range b {
+		best := math.Inf(1)
+		for _, p := range a {
+			// Smallest shift making p weakly dominate q over shared axes.
+			need := q.Privacy - p.Privacy // privacy is maximized
+			if d := p.Utility - q.Utility; d > need {
+				need = d
+			}
+			na, nb := int(p.nExtra), int(q.nExtra)
+			for t := 0; t < na && t < nb; t++ {
+				if d := p.extra[t] - q.extra[t]; d > need {
+					need = d
+				}
+			}
+			if need < best || math.IsNaN(need) {
+				best = need
+			}
+		}
+		if best > eps || math.IsNaN(best) {
+			eps = best
+		}
+	}
+	if eps < 0 {
+		eps = 0
+	}
+	return eps
+}
+
+// Spread measures how evenly a front covers its extent: the normalized mean
+// absolute deviation of nearest-neighbour distances, Σ|dᵢ−d̄| / (n·d̄),
+// where dᵢ is point i's Euclidean distance to its nearest other point. Zero
+// means perfectly uniform spacing; values near 1 mean the front is clumped
+// with large gaps. Fronts with fewer than 3 points, or whose points all
+// coincide, yield 0. Distances are taken over all shared axes, unscaled —
+// like Point.Distance, callers wanting scale-aware spread normalize first.
+func Spread(pts []Point) float64 {
+	n := len(pts)
+	if n < 3 {
+		return 0
+	}
+	dists := make([]float64, n)
+	var mean float64
+	for i, p := range pts {
+		best := math.Inf(1)
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			if d := p.Distance(q); d < best {
+				best = d
+			}
+		}
+		dists[i] = best
+		mean += best
+	}
+	mean /= float64(n)
+	if mean == 0 {
+		return 0
+	}
+	var dev float64
+	for _, d := range dists {
+		dev += math.Abs(d - mean)
+	}
+	return dev / (float64(n) * mean)
+}

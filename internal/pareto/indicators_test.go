@@ -1,0 +1,210 @@
+package pareto
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestHypervolumeK2DMatchesHypervolume pins the 2-D dispatch: for plain
+// two-objective points HypervolumeK must be the existing Hypervolume, bit
+// for bit, including clipping and empty inputs.
+func TestHypervolumeK2DMatchesHypervolume(t *testing.T) {
+	cases := [][]Point{
+		nil,
+		{{Privacy: 0.4, Utility: 0.6}},
+		{{Privacy: 0.2, Utility: 0.5}, {Privacy: 0.5, Utility: 0.7}, {Privacy: 0.8, Utility: 0.9}},
+		{{Privacy: -0.5, Utility: 0.5}, {Privacy: 0.3, Utility: 2}}, // clipped points
+		{{Privacy: 0.3, Utility: 0.1}, {Privacy: 0.3, Utility: 0.1}},
+	}
+	for i, pts := range cases {
+		want := Hypervolume(pts, 0, 1)
+		got := HypervolumeK(pts, Point{Privacy: 0, Utility: 1})
+		if got != want {
+			t.Errorf("case %d: HypervolumeK = %v, Hypervolume = %v", i, got, want)
+		}
+	}
+}
+
+// TestHypervolumeK3DBoxes checks exact volumes on hand-computable 3-D
+// configurations (one extra minimized axis).
+func TestHypervolumeK3DBoxes(t *testing.T) {
+	ref := NewPoint(0, 1, 1)
+	// One point: a single box (privacy gain 0.5) × (utility gain 0.6) ×
+	// (extra gain 0.8).
+	one := []Point{NewPoint(0.5, 0.4, 0.2)}
+	if got, want := HypervolumeK(one, ref), 0.5*0.6*0.8; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("single box = %v, want %v", got, want)
+	}
+	// Two nested boxes: the second is dominated, volume unchanged.
+	nested := append(one, NewPoint(0.4, 0.5, 0.3))
+	if got, want := HypervolumeK(nested, ref), 0.5*0.6*0.8; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("nested boxes = %v, want %v", got, want)
+	}
+	// Two disjointly-strong boxes: inclusion-exclusion by hand.
+	// a: gains (0.5, 0.6, 0.8); b: gains (0.8, 0.3, 0.2).
+	two := []Point{NewPoint(0.5, 0.4, 0.2), NewPoint(0.8, 0.7, 0.8)}
+	want := 0.5*0.6*0.8 + 0.8*0.3*0.2 - 0.5*0.3*0.2
+	if got := HypervolumeK(two, ref); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("two boxes = %v, want %v", got, want)
+	}
+	// A point worse than the reference on one axis contributes nothing.
+	clipped := append(two, NewPoint(0.9, 0.2, 1.5))
+	if got := HypervolumeK(clipped, ref); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("clipped boxes = %v, want %v", got, want)
+	}
+}
+
+// hvMonteCarlo estimates the k-dim hypervolume by sampling the reference
+// box, the brute-force oracle for the sweep.
+func hvMonteCarlo(pts []Point, ref Point, dim int, samples int, rng *rand.Rand) float64 {
+	// Axis ranges: privacy in [ref, ref+1], minimized axes in [ref-1, ref].
+	hit := 0
+	x := make([]float64, dim)
+	for s := 0; s < samples; s++ {
+		for t := 0; t < dim; t++ {
+			u := rng.Float64()
+			if t == 0 {
+				x[t] = ref.At(t) + u
+			} else {
+				x[t] = ref.At(t) - u
+			}
+		}
+		for _, p := range pts {
+			dominated := p.At(0) >= x[0]
+			for t := 1; t < dim && dominated; t++ {
+				dominated = p.At(t) <= x[t]
+			}
+			if dominated {
+				hit++
+				break
+			}
+		}
+	}
+	return float64(hit) / float64(samples)
+}
+
+// TestHypervolumeKAgainstMonteCarlo cross-checks the sweep against sampling
+// for k = 3 and k = 4 on random fronts inside the unit reference box.
+func TestHypervolumeKAgainstMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dim := range []int{3, 4} {
+		for trial := 0; trial < 3; trial++ {
+			n := 5 + rng.Intn(10)
+			pts := make([]Point, n)
+			for i := range pts {
+				extras := make([]float64, dim-2)
+				for t := range extras {
+					extras[t] = 1 - rng.Float64()
+				}
+				pts[i] = NewPoint(rng.Float64(), 1-rng.Float64(), extras...)
+			}
+			refExtras := make([]float64, dim-2)
+			for t := range refExtras {
+				refExtras[t] = 1
+			}
+			ref := NewPoint(0, 1, refExtras...)
+			got := HypervolumeK(pts, ref)
+			est := hvMonteCarlo(pts, ref, dim, 200000, rng)
+			if math.Abs(got-est) > 0.01 {
+				t.Errorf("dim %d trial %d: sweep %v vs Monte-Carlo %v", dim, trial, got, est)
+			}
+		}
+	}
+}
+
+// TestHypervolumeKDominatedInvariance: adding dominated points must not
+// change the volume.
+func TestHypervolumeKDominatedInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := make([]Point, 8)
+	for i := range pts {
+		pts[i] = NewPoint(rng.Float64(), 1-rng.Float64(), 1-rng.Float64())
+	}
+	ref := NewPoint(0, 1, 1)
+	base := HypervolumeK(pts, ref)
+	withDominated := append(append([]Point(nil), pts...),
+		NewPoint(pts[0].Privacy/2, pts[0].Utility*1.5, pts[0].ExtraAt(0)*1.5))
+	if got := HypervolumeK(withDominated, ref); math.Abs(got-base) > 1e-12 {
+		t.Fatalf("dominated point changed volume: %v vs %v", got, base)
+	}
+}
+
+func TestAdditiveEpsilon(t *testing.T) {
+	a := []Point{{Privacy: 0.5, Utility: 0.2}, {Privacy: 0.7, Utility: 0.4}}
+	// a weakly dominates b: epsilon 0.
+	b := []Point{{Privacy: 0.5, Utility: 0.2}, {Privacy: 0.6, Utility: 0.5}}
+	if got := AdditiveEpsilon(a, b); got != 0 {
+		t.Fatalf("dominating front epsilon = %v, want 0", got)
+	}
+	// b's second point has privacy 0.8: the best a can do is 0.7 shifted by
+	// 0.1 (its utility 0.4 ≤ 0.6 already holds).
+	b = []Point{{Privacy: 0.8, Utility: 0.6}}
+	if got := AdditiveEpsilon(a, b); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("epsilon = %v, want 0.1", got)
+	}
+	// The max over both axes rules: needing 0.1 privacy and 0.3 utility
+	// costs 0.3.
+	b = []Point{{Privacy: 0.8, Utility: 0.1}}
+	if got := AdditiveEpsilon(a, b); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("epsilon = %v, want 0.3", got)
+	}
+	// Extra axes participate.
+	a3 := []Point{NewPoint(0.5, 0.2, 0.3)}
+	b3 := []Point{NewPoint(0.5, 0.2, 0.1)}
+	if got := AdditiveEpsilon(a3, b3); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("3-D epsilon = %v, want 0.2", got)
+	}
+	// Edge cases.
+	if got := AdditiveEpsilon(a, nil); got != 0 {
+		t.Fatalf("empty b epsilon = %v, want 0", got)
+	}
+	if got := AdditiveEpsilon(nil, b); !math.IsInf(got, 1) {
+		t.Fatalf("empty a epsilon = %v, want +Inf", got)
+	}
+	if got := AdditiveEpsilon(a, []Point{{Privacy: math.NaN(), Utility: 0.5}}); !math.IsNaN(got) {
+		t.Fatalf("NaN target epsilon = %v, want NaN", got)
+	}
+}
+
+// TestAdditiveEpsilonSelf: every front is at epsilon 0 from itself.
+func TestAdditiveEpsilonSelf(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]Point, 12)
+	for i := range pts {
+		pts[i] = NewPoint(rng.Float64(), rng.Float64(), rng.Float64())
+	}
+	if got := AdditiveEpsilon(pts, pts); got != 0 {
+		t.Fatalf("self epsilon = %v, want 0", got)
+	}
+}
+
+func TestSpread(t *testing.T) {
+	// Perfectly uniform front: spread 0.
+	uniform := []Point{
+		{Privacy: 0.1, Utility: 0.9}, {Privacy: 0.2, Utility: 0.8},
+		{Privacy: 0.3, Utility: 0.7}, {Privacy: 0.4, Utility: 0.6},
+	}
+	if got := Spread(uniform); got > 1e-12 {
+		t.Fatalf("uniform spread = %v, want ~0", got)
+	}
+	// A clumped front spreads worse than a uniform one.
+	clumped := []Point{
+		{Privacy: 0.1, Utility: 0.9}, {Privacy: 0.101, Utility: 0.899},
+		{Privacy: 0.102, Utility: 0.898}, {Privacy: 0.9, Utility: 0.1},
+	}
+	if got := Spread(clumped); got <= 0.1 {
+		t.Fatalf("clumped spread = %v, want clearly > 0", got)
+	}
+	// Degenerate inputs.
+	if got := Spread(nil); got != 0 {
+		t.Fatalf("nil spread = %v, want 0", got)
+	}
+	if got := Spread(uniform[:2]); got != 0 {
+		t.Fatalf("2-point spread = %v, want 0", got)
+	}
+	coincident := []Point{{Privacy: 0.5, Utility: 0.5}, {Privacy: 0.5, Utility: 0.5}, {Privacy: 0.5, Utility: 0.5}}
+	if got := Spread(coincident); got != 0 {
+		t.Fatalf("coincident spread = %v, want 0", got)
+	}
+}

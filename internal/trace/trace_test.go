@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleTrace = `{"ts":"2026-08-07T10:00:00.000Z","seq":0,"event":"optimizer.start","categories":4,"records":1000,"delta":0.8,"generations":3,"engine":"spea2","seed":9}
+
+{"ts":"2026-08-07T10:00:00.010Z","seq":1,"event":"optimizer.generation","gen":0,"evals":40,"hypervolume":0.5,"select_ms":1.5,"vary_ms":0.5,"eval_ms":2,"omega_ms":0.25,"fitness_ms":1,"truncate_ms":0.5}
+{"ts":"2026-08-07T10:00:00.011Z","seq":2,"event":"optimizer.convergence","gen":0,"hypervolume":0.5,"best_hypervolume":0.5,"improved":true,"since_improvement":0,"stalled":false,"omega_inserts":10,"omega_evictions":2,"spread":0.4}
+{"ts":"2026-08-07T10:00:00.020Z","seq":3,"event":"optimizer.generation","gen":1,"evals":80,"hypervolume":0.8,"select_ms":1.5,"vary_ms":0.5,"eval_ms":2,"omega_ms":0.25,"fitness_ms":1,"truncate_ms":0.5}
+{"ts":"2026-08-07T10:00:00.021Z","seq":4,"event":"optimizer.convergence","gen":1,"hypervolume":0.8,"best_hypervolume":0.8,"improved":true,"since_improvement":0,"stalled":false,"omega_inserts":4,"omega_evictions":1,"spread":0.3}
+{"ts":"2026-08-07T10:00:00.030Z","seq":5,"event":"optimizer.generation","gen":2,"evals":120,"hypervolume":0.7,"select_ms":1,"vary_ms":1,"eval_ms":2,"omega_ms":0.25,"fitness_ms":1,"truncate_ms":0.5}
+{"ts":"2026-08-07T10:00:00.031Z","seq":6,"event":"optimizer.convergence","gen":2,"hypervolume":0.7,"best_hypervolume":0.8,"improved":false,"since_improvement":1,"stalled":false,"omega_inserts":1,"omega_evictions":0,"spread":0.35}
+{"ts":"2026-08-07T10:00:00.040Z","seq":7,"event":"optimizer.done","generations":3,"evaluations":120,"front_size":9,"stagnated":false,"wall_ms":40.5}
+`
+
+func readSample(t *testing.T, text string) []Event {
+	t.Helper()
+	events, err := ReadAll(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	return events
+}
+
+func TestReadAllLiftsEnvelope(t *testing.T) {
+	events := readSample(t, sampleTrace)
+	if len(events) != 8 {
+		t.Fatalf("got %d events, want 8 (blank line skipped)", len(events))
+	}
+	ev := events[0]
+	if ev.Name != "optimizer.start" || ev.Seq != 0 {
+		t.Errorf("envelope: name=%q seq=%d", ev.Name, ev.Seq)
+	}
+	if ev.TS.IsZero() {
+		t.Error("ts not parsed")
+	}
+	for _, key := range []string{"ts", "seq", "event"} {
+		if _, ok := ev.Fields[key]; ok {
+			t.Errorf("envelope key %q left in Fields", key)
+		}
+	}
+	if ev.Int("categories") != 4 || ev.Float("delta") != 0.8 {
+		t.Errorf("fields not preserved: %v", ev.Fields)
+	}
+}
+
+func TestReadAllFieldAccessors(t *testing.T) {
+	events := readSample(t, `{"event":"x","n":3,"f":1.5,"b":true,"s":"str"}`)
+	ev := events[0]
+	if ev.Int("n") != 3 || ev.Int("missing") != 0 || ev.Int("s") != 0 {
+		t.Errorf("Int accessor wrong")
+	}
+	if ev.Float("f") != 1.5 || !math.IsNaN(ev.Float("missing")) || !math.IsNaN(ev.Float("s")) {
+		t.Errorf("Float accessor wrong")
+	}
+	if !ev.Bool("b") || ev.Bool("missing") || ev.Bool("s") {
+		t.Errorf("Bool accessor wrong")
+	}
+}
+
+func TestReadAllMalformedLine(t *testing.T) {
+	// A malformed interior line is corruption and must error with its line
+	// number.
+	_, err := ReadAll(strings.NewReader("{\"event\":\"ok\"}\nnot json\n{\"event\":\"ok2\"}\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line-2 parse error", err)
+	}
+	// A malformed final line is the truncated tail of a killed run; it is
+	// dropped, the rest of the trace parses.
+	events, err := ReadAll(strings.NewReader("{\"event\":\"ok\"}\n{\"event\":\"optimizer.gen"))
+	if err != nil {
+		t.Fatalf("truncated tail: %v", err)
+	}
+	if len(events) != 1 || events[0].Name != "ok" {
+		t.Fatalf("truncated tail events = %+v, want the one whole line", events)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(readSample(t, sampleTrace))
+	if s.Categories != 4 || s.Records != 1000 || s.Delta != 0.8 || s.Engine != "spea2" || s.Seed != 9 {
+		t.Errorf("start fields: %+v", s)
+	}
+	if s.GenerationsRun != 3 || s.Evaluations != 120 {
+		t.Errorf("generations: run=%d evals=%d", s.GenerationsRun, s.Evaluations)
+	}
+	want := map[string]float64{
+		"select": 4, "vary": 2, "eval": 6, "omega": 0.75, "fitness": 3, "truncate": 1.5,
+	}
+	for _, p := range s.Phases {
+		if math.Abs(p.TotalMS-want[p.Name]) > 1e-9 {
+			t.Errorf("phase %s = %v, want %v", p.Name, p.TotalMS, want[p.Name])
+		}
+	}
+	if s.BestHypervolume != 0.8 || s.SinceImprovement != 1 || s.Stalled {
+		t.Errorf("convergence tail: %+v", s)
+	}
+	if !s.Done || s.FrontSize != 9 || s.WallMS != 40.5 || s.Stagnated {
+		t.Errorf("done: %+v", s)
+	}
+}
+
+func TestConvergenceCurvePrefersConvergenceEvents(t *testing.T) {
+	pts := ConvergenceCurve(readSample(t, sampleTrace))
+	if len(pts) != 3 {
+		t.Fatalf("got %d points, want 3", len(pts))
+	}
+	// Dedicated events carry churn and spread; the fallback cannot.
+	if pts[0].OmegaInserts != 10 || pts[0].Spread != 0.4 {
+		t.Errorf("point 0 not from convergence event: %+v", pts[0])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].BestHypervolume < pts[i-1].BestHypervolume {
+			t.Errorf("best hypervolume not monotone at %d: %v < %v",
+				i, pts[i].BestHypervolume, pts[i-1].BestHypervolume)
+		}
+	}
+	if pts[2].Hypervolume != 0.7 || pts[2].BestHypervolume != 0.8 || pts[2].SinceImprovement != 1 {
+		t.Errorf("point 2: %+v", pts[2])
+	}
+}
+
+func TestConvergenceCurveFallback(t *testing.T) {
+	// A pre-convergence-event trace: only generation events. The curve must
+	// reconstruct the monotone envelope.
+	old := `{"event":"optimizer.generation","gen":0,"hypervolume":0.5}
+{"event":"optimizer.generation","gen":1,"hypervolume":0.4}
+{"event":"optimizer.generation","gen":2,"hypervolume":0.9}
+`
+	pts := ConvergenceCurve(readSample(t, old))
+	if len(pts) != 3 {
+		t.Fatalf("got %d points, want 3", len(pts))
+	}
+	wantBest := []float64{0.5, 0.5, 0.9}
+	wantSince := []int{0, 1, 0}
+	for i, p := range pts {
+		if p.BestHypervolume != wantBest[i] || p.SinceImprovement != wantSince[i] {
+			t.Errorf("fallback point %d: %+v, want best %v since %d", i, p, wantBest[i], wantSince[i])
+		}
+	}
+	if !pts[0].Improved || pts[1].Improved || !pts[2].Improved {
+		t.Errorf("fallback improved flags: %+v", pts)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := []ConvergencePoint{
+		{Gen: 0, BestHypervolume: 0.3},
+		{Gen: 1, BestHypervolume: 0.6},
+		{Gen: 2, BestHypervolume: 1.0},
+	}
+	b := []ConvergencePoint{
+		{Gen: 0, BestHypervolume: 0.5},
+		{Gen: 1, BestHypervolume: 0.7},
+		{Gen: 2, BestHypervolume: 0.8},
+	}
+	c := Compare(a, b, nil)
+	if c.Target != 0.8 || c.BestA != 1.0 || c.BestB != 0.8 {
+		t.Fatalf("targets: %+v", c)
+	}
+	// Fractions of 0.8: 0.4, 0.72, 0.792, 0.8. b's gen-1 best (0.7) misses
+	// the 0.72 threshold, so the 90% milestone lands on gen 2 for both.
+	wantA := []int{1, 2, 2, 2}
+	wantB := []int{0, 2, 2, 2}
+	for i := range c.Fractions {
+		if c.GensA[i] != wantA[i] || c.GensB[i] != wantB[i] {
+			t.Errorf("fraction %v: A=%d B=%d, want A=%d B=%d",
+				c.Fractions[i], c.GensA[i], c.GensB[i], wantA[i], wantB[i])
+		}
+	}
+	// The common target is reachable by construction (it's the min of the
+	// two finals), but a custom fraction above 1 can exceed a run's best;
+	// that reports -1.
+	c2 := Compare(a, b, []float64{1.5})
+	if c2.GensA[0] != -1 || c2.GensB[0] != -1 {
+		t.Errorf("unreachable target: gensA=%d gensB=%d, want -1,-1", c2.GensA[0], c2.GensB[0])
+	}
+}

@@ -33,9 +33,11 @@ func TestOptimizeWritesParseableJSONLTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// One start event, a generation + convergence pair per generation, one
+	// done event.
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	if len(lines) != p.Generations+2 {
-		t.Fatalf("got %d trace lines, want %d", len(lines), p.Generations+2)
+	if len(lines) != 2*p.Generations+2 {
+		t.Fatalf("got %d trace lines, want %d", len(lines), 2*p.Generations+2)
 	}
 	var names []string
 	for i, line := range lines {
@@ -57,8 +59,11 @@ func TestOptimizeWritesParseableJSONLTrace(t *testing.T) {
 		t.Fatalf("event order = %v", names)
 	}
 	for g := 0; g < p.Generations; g++ {
-		if names[g+1] != "optimizer.generation" {
-			t.Fatalf("event %d = %q", g+1, names[g+1])
+		if names[2*g+1] != "optimizer.generation" {
+			t.Fatalf("event %d = %q", 2*g+1, names[2*g+1])
+		}
+		if names[2*g+2] != "optimizer.convergence" {
+			t.Fatalf("event %d = %q", 2*g+2, names[2*g+2])
 		}
 	}
 }
