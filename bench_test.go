@@ -16,6 +16,7 @@ package optrr
 
 import (
 	"io"
+	"runtime"
 	"testing"
 
 	"optrr/internal/core"
@@ -185,6 +186,49 @@ func BenchmarkOptimizeTraced(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(res.Front)), "front-size")
+}
+
+// BenchmarkOptimizeParallel pins the island-model scaling on a
+// population-200 search: w1 is the single-population baseline, w4 and wmax
+// split the same generation budget across that many islands. The win does
+// not require cores — W sub-populations shrink the O(u²) fitness and O(u³)
+// truncation kernels by roughly W× at an equal evaluation budget, so the
+// speedup holds even at GOMAXPROCS=1 (and compounds with worker-parallel
+// evaluation on bigger machines). Tracked in BENCH_optimize.json.
+func BenchmarkOptimizeParallel(b *testing.B) {
+	prior := dataset.DefaultNormal(10).Prior(10)
+	wmax := runtime.GOMAXPROCS(0)
+	if wmax < 8 {
+		wmax = 8
+	}
+	for _, wc := range []struct {
+		label   string
+		islands int
+	}{{"w1", 1}, {"w4", 4}, {"wmax", wmax}} {
+		b.Run(wc.label, func(b *testing.B) {
+			var res core.Result
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig(prior, 10000, 0.8)
+				cfg.PopulationSize = 200
+				cfg.ArchiveSize = 200
+				cfg.Generations = 100
+				cfg.Islands = wc.islands
+				cfg.Seed = uint64(i + 1)
+				opt, err := core.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err = opt.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			pts := res.FrontPoints()
+			b.ReportMetric(float64(len(pts)), "front-size")
+			min, max := pareto.PrivacyRange(pts)
+			b.ReportMetric(max-min, "priv-span")
+		})
+	}
 }
 
 // benchOptimize runs the core search with the given config tweaks and

@@ -8,16 +8,19 @@
 #   tests        go test ./...
 #   race           go test -race over the concurrency-critical packages
 #                  (collector, core, obs — metrics and trace recording race
-#                  live scrapes by design) and the worker-parallel kernels
-#                  (SPEA2 passes, experiment grid, batch disguise/sampling)
-#   bench smoke    the BenchmarkOptimize pair plus the hot-path
-#                  micro-benchmarks (fused evaluation, extra-objective
-#                  evaluation, SPEA2 scratch — serial, worker-parallel and
-#                  k-dimensional — bound repair, batch disguise,
+#                  live scrapes by design) and the worker-parallel paths
+#                  (experiment grid, batch disguise/sampling); the island
+#                  scheduler and sharded collector additionally run under
+#                  -cpu 1,4 to exercise both the single-P and multi-P
+#                  schedules
+#   bench smoke    the BenchmarkOptimize trio (baseline, traced, island
+#                  scaling) plus the hot-path micro-benchmarks (fused
+#                  evaluation, extra-objective evaluation, SPEA2 scratch —
+#                  2-D and k-dimensional — bound repair, batch disguise,
 #                  convergence-snapshot emission, histogram quantiles) and
-#                  the safe-vs-sharded collector contention matrix, at pinned
-#                  -benchtime/-count with -benchmem, all rendered into
-#                  BENCH_optimize.json
+#                  the safe-vs-sharded collector contention matrix with the
+#                  batched writer, at pinned -benchtime/-count with
+#                  -benchmem, all rendered into BENCH_optimize.json
 #   bench compare  gating diff of the fresh run against the committed
 #                  BENCH_optimize.json via cmd/benchdiff: fails the suite on
 #                  a >25% ns/op (5% allocs/op, 10% B/op) regression unless
@@ -54,9 +57,13 @@ go test ./...
 echo "== go test -race (collector, core, obs) =="
 go test -race ./internal/collector ./internal/core ./internal/obs
 
-echo "== go test -race (parallel kernels) =="
-go test -race -run 'Parallel|ForRows|Grid|Batch|Stream' \
-    ./internal/emoo ./internal/experiments ./internal/rr ./internal/dataset
+echo "== go test -race -cpu 1,4 (islands, collector sharding) =="
+go test -race -cpu 1,4 -run 'Island|Sharded|Writer|Contention|Race|Concurrent' \
+    ./internal/core ./internal/collector
+
+echo "== go test -race (parallel paths) =="
+go test -race -run 'Parallel|Grid|Batch|Stream' \
+    ./internal/experiments ./internal/rr ./internal/dataset
 
 echo "== bench smoke =="
 # Iteration counts are pinned (-benchtime=Nx -count=1) so runs are
@@ -64,7 +71,7 @@ echo "== bench smoke =="
 # noise is bounded by the fixed workload.
 go test -run '^$' -bench '^BenchmarkOptimize' -benchtime=3x -count=1 -benchmem . | tee BENCH_optimize.txt
 go test -run '^$' -bench '^(BenchmarkEvaluate|BenchmarkMaxPosterior|BenchmarkEvaluateExtraObjectives)$' -benchtime=2000x -count=1 -benchmem ./internal/metrics | tee -a BENCH_optimize.txt
-go test -run '^$' -bench '^(BenchmarkAssignFitness|BenchmarkTruncate|BenchmarkAssignFitnessParallel|BenchmarkTruncateParallel|BenchmarkAssignFitnessK3)$' -benchtime=50x -count=1 -benchmem ./internal/emoo | tee -a BENCH_optimize.txt
+go test -run '^$' -bench '^(BenchmarkAssignFitness|BenchmarkTruncate|BenchmarkAssignFitnessK3)$' -benchtime=50x -count=1 -benchmem ./internal/emoo | tee -a BENCH_optimize.txt
 go test -run '^$' -bench '^(BenchmarkRepair|BenchmarkRealizeSteadyState|BenchmarkConvergenceSnapshot)$' -benchtime=2000x -count=1 -benchmem ./internal/core | tee -a BENCH_optimize.txt
 go test -run '^$' -bench '^BenchmarkHistogramQuantiles$' -benchtime=2000x -count=1 -benchmem ./internal/obs | tee -a BENCH_optimize.txt
 go test -run '^$' -bench '^BenchmarkDisguise$' -benchtime=20x -count=1 -benchmem ./internal/rr | tee -a BENCH_optimize.txt

@@ -42,6 +42,8 @@ func main() {
 		csvDir      = flag.String("csv", "", "directory to write per-experiment CSV series into")
 		plot        = flag.Bool("plot", false, "print ASCII plots of the fronts")
 		workers     = flag.Int("workers", 0, "experiments to run concurrently (0 = GOMAXPROCS); figures do not depend on this")
+		islands     = flag.Int("islands", 0, "island-model sub-populations per OptRR search (0 or 1 = single population; island figures differ from the pinned single-population ones)")
+		migrate     = flag.Int("migrate-every", 0, "island migration interval in generations (0 = default 25)")
 		tracePath   = flag.String("trace", "", "write a JSONL run trace to this path")
 		metricsAddr = flag.String("metrics-addr", "", "serve expvar, pprof and /metrics on host:port while running")
 		timeout     = flag.Duration("timeout", 0, "stop the whole run after this long (0 = no limit); Ctrl-C also stops gracefully")
@@ -77,6 +79,8 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	cfg.Islands = *islands
+	cfg.MigrateEvery = *migrate
 	cfg.Context = ctx
 
 	os.Exit(run(options{

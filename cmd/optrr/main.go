@@ -60,6 +60,9 @@ func main() {
 		delta       = flag.Float64("delta", 0.8, "worst-case posterior bound (Equation 9)")
 		generations = flag.Int("generations", 3000, "EMO generation budget (the paper used 20000)")
 		seed        = flag.Uint64("seed", 1, "random seed")
+		workers     = flag.Int("workers", 0, "evaluation worker goroutines (0 = GOMAXPROCS); results are identical at every count")
+		islands     = flag.Int("islands", 0, "island-model sub-populations (0 or 1 = single-population search)")
+		migrate     = flag.Int("migrate-every", 0, "migration interval in generations for -islands (0 = default 25)")
 		objectives  = flag.String("objectives", "", "comma-separated extra objectives beyond privacy/utility (e.g. ldp,mi; see registry names)")
 		pickPrivacy = flag.Float64("pick-privacy", -1, "print the best matrix with at least this privacy")
 		showMatrix  = flag.Bool("show-matrix", false, "print the picked matrix")
@@ -73,7 +76,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := validateFlags(*records, *delta, *generations, *collectN); err != nil {
+	if err := validateFlags(*records, *delta, *generations, *collectN, *workers, *islands, *migrate); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -96,6 +99,9 @@ func main() {
 
 	cfg := core.DefaultConfig(prior, *records, *delta)
 	cfg.Generations = *generations
+	cfg.Workers = *workers
+	cfg.Islands = *islands
+	cfg.MigrateEvery = *migrate
 	prob := optrr.Problem{
 		Prior:    prior,
 		Records:  *records,
@@ -299,7 +305,7 @@ func simulateCollection(m *optrr.Matrix, prior []float64, n int, seed uint64, te
 
 // validateFlags fails fast on flag values that would otherwise surface as a
 // confusing optimizer or collector error minutes into a run.
-func validateFlags(records int, delta float64, generations, collectN int) error {
+func validateFlags(records int, delta float64, generations, collectN, workers, islands, migrate int) error {
 	if records <= 0 {
 		return fmt.Errorf("-records must be positive, got %d", records)
 	}
@@ -311,6 +317,15 @@ func validateFlags(records int, delta float64, generations, collectN int) error 
 	}
 	if collectN < 0 {
 		return fmt.Errorf("-collect must be non-negative, got %d", collectN)
+	}
+	if workers < 0 {
+		return fmt.Errorf("-workers must be non-negative, got %d", workers)
+	}
+	if islands < 0 {
+		return fmt.Errorf("-islands must be non-negative, got %d", islands)
+	}
+	if migrate < 0 {
+		return fmt.Errorf("-migrate-every must be non-negative, got %d", migrate)
 	}
 	return nil
 }

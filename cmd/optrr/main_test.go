@@ -98,8 +98,11 @@ func TestResolvePriorDataFileErrors(t *testing.T) {
 }
 
 func TestValidateFlags(t *testing.T) {
-	if err := validateFlags(10000, 0.8, 3000, 0); err != nil {
+	if err := validateFlags(10000, 0.8, 3000, 0, 0, 0, 0); err != nil {
 		t.Fatalf("default flags rejected: %v", err)
+	}
+	if err := validateFlags(10000, 0.8, 3000, 100, 4, 8, 25); err != nil {
+		t.Fatalf("island flags rejected: %v", err)
 	}
 	for _, tc := range []struct {
 		name        string
@@ -107,15 +110,21 @@ func TestValidateFlags(t *testing.T) {
 		delta       float64
 		generations int
 		collectN    int
+		workers     int
+		islands     int
+		migrate     int
 	}{
-		{"zero records", 0, 0.8, 3000, 0},
-		{"negative records", -5, 0.8, 3000, 0},
-		{"zero delta", 10000, 0, 3000, 0},
-		{"delta above one", 10000, 1.5, 3000, 0},
-		{"zero generations", 10000, 0.8, 0, 0},
-		{"negative collect", 10000, 0.8, 3000, -1},
+		{name: "zero records", records: 0, delta: 0.8, generations: 3000},
+		{name: "negative records", records: -5, delta: 0.8, generations: 3000},
+		{name: "zero delta", records: 10000, delta: 0, generations: 3000},
+		{name: "delta above one", records: 10000, delta: 1.5, generations: 3000},
+		{name: "zero generations", records: 10000, delta: 0.8, generations: 0},
+		{name: "negative collect", records: 10000, delta: 0.8, generations: 3000, collectN: -1},
+		{name: "negative workers", records: 10000, delta: 0.8, generations: 3000, workers: -1},
+		{name: "negative islands", records: 10000, delta: 0.8, generations: 3000, islands: -2},
+		{name: "negative migrate", records: 10000, delta: 0.8, generations: 3000, migrate: -1},
 	} {
-		if err := validateFlags(tc.records, tc.delta, tc.generations, tc.collectN); err == nil {
+		if err := validateFlags(tc.records, tc.delta, tc.generations, tc.collectN, tc.workers, tc.islands, tc.migrate); err == nil {
 			t.Errorf("%s accepted", tc.name)
 		}
 	}

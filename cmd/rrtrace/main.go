@@ -103,6 +103,10 @@ func readTrace(path string) ([]trace.Event, error) {
 func writeSummary(w io.Writer, s trace.Summary) error {
 	fmt.Fprintf(w, "run: %d categories, %d records, delta %g, engine %s, seed %d\n",
 		s.Categories, s.Records, s.Delta, s.Engine, s.Seed)
+	if s.Islands > 1 {
+		fmt.Fprintf(w, "islands: %d sub-populations, migration every %d generations (%d migrations, %d island generations)\n",
+			s.Islands, s.MigrateEvery, s.Migrations, s.IslandGenerations)
+	}
 	fmt.Fprintf(w, "generations: %d run of %d budgeted, %d evaluations\n",
 		s.GenerationsRun, s.Generations, s.Evaluations)
 

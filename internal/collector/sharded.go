@@ -6,20 +6,29 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"optrr/internal/obs"
 	"optrr/internal/rr"
 )
 
-// ShardedCollector stripes the per-category counts across independently
-// locked shards so many goroutines can ingest without serializing on one
-// mutex (the SafeCollector bottleneck). Single reports rotate across shards
-// with an atomic cursor; a batch lands whole on one shard, so batch callers
-// pay one lock acquisition per batch regardless of shard count.
+// ShardedCollector spreads the per-category counts across cache-line-padded
+// shards of atomic counters so many goroutines can ingest without
+// serializing on one mutex (the SafeCollector bottleneck) and without
+// funnelling every report through one shared cursor cache line (the previous
+// striped design's bottleneck). A single report is one atomic add on the
+// ingesting goroutine's home shard — no lock, no shared write other than the
+// counter cell itself; goroutines map onto shards by stack address, so a
+// steady ingester keeps hitting the same shard and never bounces a foreign
+// cache line.
 //
-// Query methods (Count, Estimate, Snapshot, …) lock every shard in index
-// order before reading, so they observe a consistent point in time exactly
-// like SafeCollector — a report is either fully in the view or not at all.
+// Batches (IngestBatch, Merge, Writer.Flush) land whole on one shard under
+// that shard's mutex; query methods (Count, Estimate, Snapshot, …) take
+// every shard mutex in index order before reading, so a batch is either
+// fully in a query's view or not at all. A single report is one counter
+// increment and therefore atomic by construction; the total is derived from
+// the counts actually read, so every consistent view is a whole number of
+// reports and every estimate reconstructs from a true distribution.
 // Estimates go through the same cached LU factorization as Collector, so a
 // ShardedCollector and a SafeCollector fed the same stream answer every
 // query with bit-for-bit identical numbers.
@@ -29,21 +38,31 @@ type ShardedCollector struct {
 	m      *rr.Matrix
 	sv     *solver
 	shards []shard
-	cursor atomic.Uint64
+	cursor atomic.Uint64 // round-robins Writer shard assignment only
 	ins    *instrumentation
 }
 
-// shard is one stripe of counts behind its own lock, padded out to a cache
-// line so neighbouring shards' mutexes don't false-share.
+// shard is one stripe of counts: a row of atomic counters (padded out to
+// whole cache lines so neighbouring shards' rows never false-share) plus the
+// mutex that makes batch-style writes atomic with respect to queries.
+// Single-report ingestion never touches the mutex.
 type shard struct {
 	mu     sync.Mutex
-	total  int
-	counts []int
-	_      [24]byte
+	counts []atomic.Int64
+	_      [40]byte
 }
 
-// NewSharded returns a sharded collector for reports disguised with m,
-// striped across the given number of shards. shards <= 0 picks a default
+// countersPerLine is how many atomic.Int64 cells fill one 64-byte cache
+// line; count rows are rounded up to this so two shards never share a line.
+const countersPerLine = 8
+
+func newShardRow(n int) []atomic.Int64 {
+	padded := (n + countersPerLine - 1) / countersPerLine * countersPerLine
+	return make([]atomic.Int64, padded)[:n]
+}
+
+// NewSharded returns a sharded collector for reports disguised with m. The
+// shard count is rounded up to a power of two; shards <= 0 picks a default
 // sized to the scheduler (GOMAXPROCS). As with New, a singular matrix is
 // accepted — ingestion works, estimate queries return rr.ErrSingular.
 func NewSharded(m *rr.Matrix, shards int) *ShardedCollector {
@@ -53,13 +72,17 @@ func NewSharded(m *rr.Matrix, shards int) *ShardedCollector {
 			shards = 1
 		}
 	}
+	pow2 := 1
+	for pow2 < shards {
+		pow2 <<= 1
+	}
 	c := &ShardedCollector{
 		m:      m,
 		sv:     newSolver(m),
-		shards: make([]shard, shards),
+		shards: make([]shard, pow2),
 	}
 	for i := range c.shards {
-		c.shards[i].counts = make([]int, m.N())
+		c.shards[i].counts = newShardRow(m.N())
 	}
 	return c
 }
@@ -79,23 +102,35 @@ func (c *ShardedCollector) Instrument(rec obs.Recorder, reg *obs.Registry) {
 	c.ins = newInstrumentation(rec, reg, c.m.N())
 }
 
-// Ingest adds one disguised report, rotating across shards.
+// home picks the calling goroutine's shard from its stack address. Stacks
+// live in distinct memory regions at least 2 KiB apart, so shifting a stack
+// address down 11 bits gives a value that is stable for one goroutine at a
+// given call depth and distinct across goroutines — shard affinity without a
+// goroutine ID and without any shared cursor. The address never converts
+// back to a pointer; only its page number is used. A collision only means
+// two goroutines share a shard's counters (still correct, just contended).
+func (c *ShardedCollector) home() *shard {
+	var marker byte
+	page := uintptr(unsafe.Pointer(&marker)) >> 11
+	return &c.shards[int(page)&(len(c.shards)-1)]
+}
+
+// Ingest adds one disguised report: a single atomic increment on the calling
+// goroutine's home shard.
 func (c *ShardedCollector) Ingest(report int) error {
 	if report < 0 || report >= c.m.N() {
 		c.ins.observeBad()
 		return fmt.Errorf("%w: %d of %d categories", ErrBadReport, report, c.m.N())
 	}
-	sh := &c.shards[c.cursor.Add(1)%uint64(len(c.shards))]
-	sh.mu.Lock()
-	sh.counts[report]++
-	sh.total++
-	sh.mu.Unlock()
+	c.home().counts[report].Add(1)
 	c.ins.observeIngest(report)
 	return nil
 }
 
 // IngestBatch adds many reports atomically onto one shard; on error the
-// collector state is unchanged.
+// collector state is unchanged. The shard mutex holds the batch together
+// against queries; the adds stay atomic because lock-free single reports may
+// land on the same shard concurrently.
 func (c *ShardedCollector) IngestBatch(reports []int) error {
 	n := c.m.N()
 	for _, r := range reports {
@@ -104,12 +139,11 @@ func (c *ShardedCollector) IngestBatch(reports []int) error {
 			return fmt.Errorf("%w: %d of %d categories", ErrBadReport, r, n)
 		}
 	}
-	sh := &c.shards[c.cursor.Add(1)%uint64(len(c.shards))]
+	sh := c.home()
 	sh.mu.Lock()
 	for _, r := range reports {
-		sh.counts[r]++
+		sh.counts[r].Add(1)
 	}
-	sh.total += len(reports)
 	sh.mu.Unlock()
 	if c.ins != nil {
 		for _, r := range reports {
@@ -121,7 +155,10 @@ func (c *ShardedCollector) IngestBatch(reports []int) error {
 }
 
 // lockAll acquires every shard lock in index order (the fixed order makes
-// nested acquisition deadlock-free) and returns the unlock function.
+// nested acquisition deadlock-free) and returns the unlock function. Holding
+// all locks excludes batch-style writers; single-report ingesters are
+// lock-free but individually atomic, so the fold below is still a whole
+// number of reports.
 func (c *ShardedCollector) lockAll() func() {
 	for i := range c.shards {
 		c.shards[i].mu.Lock()
@@ -133,14 +170,17 @@ func (c *ShardedCollector) lockAll() func() {
 	}
 }
 
-// counts folds the shard stripes into one consistent (counts, total) view.
+// countsLocked folds the shard stripes into one (counts, total) view. The
+// total is the sum of the counts actually read, so the view is always
+// internally consistent.
 func (c *ShardedCollector) countsLocked() ([]int, int) {
 	out := make([]int, c.m.N())
 	total := 0
 	for i := range c.shards {
-		total += c.shards[i].total
-		for k, v := range c.shards[i].counts {
+		for k := range c.shards[i].counts {
+			v := int(c.shards[i].counts[k].Load())
 			out[k] += v
+			total += v
 		}
 	}
 	return out, total
@@ -244,12 +284,11 @@ func (c *ShardedCollector) Merge(other *ShardedCollector) error {
 	unlock := other.lockAll()
 	counts, total := other.countsLocked()
 	unlock()
-	sh := &c.shards[c.cursor.Add(1)%uint64(len(c.shards))]
+	sh := c.home()
 	sh.mu.Lock()
 	for k, v := range counts {
-		sh.counts[k] += v
+		sh.counts[k].Add(int64(v))
 	}
-	sh.total += total
 	sh.mu.Unlock()
 	if c.ins != nil {
 		c.ins.observeBatch(total, c.Count())
@@ -295,8 +334,7 @@ func RestoreSharded(data []byte, shards int) (*ShardedCollector, error) {
 		if v < 0 {
 			return nil, fmt.Errorf("collector: snapshot count[%d] = %d is negative", k, v)
 		}
-		sh.counts[k] = v
-		sh.total += v
+		sh.counts[k].Store(int64(v))
 	}
 	return c, nil
 }

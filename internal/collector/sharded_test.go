@@ -277,9 +277,99 @@ func TestRestoreShardedRejectsBadSnapshots(t *testing.T) {
 	}
 }
 
+// TestWriterFlushSemantics pins the buffered writer contract: reports stay
+// invisible until Flush, a flush lands them as one batch, and the flushed
+// totals match what direct ingestion would give.
+func TestWriterFlushSemantics(t *testing.T) {
+	m := mustWarner(t, 4, 0.7)
+	c := NewSharded(m, 4)
+	direct := NewSharded(m, 1)
+
+	w := c.NewWriter(1000) // larger than the stream: nothing auto-flushes
+	rng := randx.New(11)
+	for i := 0; i < 500; i++ {
+		r := rng.Intn(4)
+		if err := w.Ingest(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := direct.Ingest(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Count(); got != 0 {
+		t.Fatalf("buffered reports visible before flush: count = %d", got)
+	}
+	if got := w.Buffered(); got != 500 {
+		t.Fatalf("Buffered() = %d, want 500", got)
+	}
+	w.Flush()
+	if got := w.Buffered(); got != 0 {
+		t.Fatalf("Buffered() = %d after flush, want 0", got)
+	}
+	gotCounts, wantCounts := c.Counts(), direct.Counts()
+	for k := range wantCounts {
+		if gotCounts[k] != wantCounts[k] {
+			t.Fatalf("flushed counts[%d] = %d, want %d", k, gotCounts[k], wantCounts[k])
+		}
+	}
+	// Flushing an empty buffer is a no-op.
+	w.Flush()
+	if got := c.Count(); got != 500 {
+		t.Fatalf("count = %d after empty flush, want 500", got)
+	}
+}
+
+// TestWriterAutoFlushAndValidation: the buffer drains itself at the flush
+// threshold, and a bad report errors immediately without contaminating it.
+func TestWriterAutoFlushAndValidation(t *testing.T) {
+	m := mustWarner(t, 3, 0.8)
+	c := NewSharded(m, 2)
+	w := c.NewWriter(10)
+	for i := 0; i < 25; i++ {
+		if err := w.Ingest(i % 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Count(); got != 20 {
+		t.Fatalf("count = %d after 25 ingests at flushEvery=10, want 20 auto-flushed", got)
+	}
+	if got := w.Buffered(); got != 5 {
+		t.Fatalf("Buffered() = %d, want 5", got)
+	}
+	if err := w.Ingest(3); !errors.Is(err, ErrBadReport) {
+		t.Fatalf("err = %v, want ErrBadReport", err)
+	}
+	if got := w.Buffered(); got != 5 {
+		t.Fatalf("bad report changed the buffer: Buffered() = %d, want 5", got)
+	}
+	w.Flush()
+	if got := c.Count(); got != 25 {
+		t.Fatalf("count = %d, want 25", got)
+	}
+	// Default threshold kicks in for flushEvery <= 0.
+	if def := c.NewWriter(0); def.limit != 256 {
+		t.Fatalf("default flushEvery = %d, want 256", def.limit)
+	}
+}
+
+// TestWritersSpreadAcrossShards: round-robin pinning sends consecutive
+// writers to distinct shards.
+func TestWritersSpreadAcrossShards(t *testing.T) {
+	c := NewSharded(mustWarner(t, 3, 0.8), 4)
+	seen := make(map[*shard]bool)
+	for i := 0; i < 4; i++ {
+		seen[c.NewWriter(8).sh] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("4 writers landed on %d shards, want 4", len(seen))
+	}
+}
+
 // BenchmarkCollectorContention compares SafeCollector's single mutex with
-// the sharded stripes under 1-, 4- and 16-goroutine ingestion. Reports are
-// pregenerated outside the timer; each goroutine ingests a disjoint slice.
+// the sharded atomic counters under 1-, 4- and 16-goroutine ingestion, plus
+// a buffered-Writer batch-ingest case driven through b.RunParallel. Reports
+// are pregenerated outside the timer; each goroutine ingests a disjoint
+// slice.
 func BenchmarkCollectorContention(b *testing.B) {
 	m, err := rr.Warner(5, 0.75)
 	if err != nil {
@@ -321,4 +411,21 @@ func BenchmarkCollectorContention(b *testing.B) {
 			run(b, NewSharded(m, 16), g)
 		})
 	}
+	b.Run("writer/batch", func(b *testing.B) {
+		c := NewSharded(m, 16)
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			w := c.NewWriter(256)
+			i := 0
+			for pb.Next() {
+				if err := w.Ingest(reports[i&(len(reports)-1)]); err != nil {
+					b.Error(err)
+					return
+				}
+				i++
+			}
+			w.Flush()
+		})
+	})
 }

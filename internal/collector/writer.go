@@ -1,0 +1,83 @@
+package collector
+
+import "fmt"
+
+// Writer is a per-goroutine ingestion front for a ShardedCollector: reports
+// accumulate in a goroutine-local per-category buffer and flush to the
+// collector's shards in batches, so a high-rate ingester pays one shard
+// mutex acquisition per flushEvery reports instead of one shared-memory
+// write per report. Each Writer is pinned to one shard at construction
+// (round-robin), so a pool of Writers spreads across shards without any
+// per-report cursor traffic.
+//
+// A Writer is NOT safe for concurrent use — that is the point; give each
+// ingesting goroutine its own. Buffered reports are invisible to queries
+// until Flush, and a flushed batch lands atomically exactly like
+// IngestBatch. Call Flush when the stream ends or a consistency point is
+// needed; dropping a Writer without flushing drops its buffered reports.
+type Writer struct {
+	c       *ShardedCollector
+	sh      *shard
+	pending []int // per-category buffered counts
+	n       int   // buffered reports
+	limit   int   // flush threshold
+}
+
+// NewWriter returns a buffered writer pinned to the next shard in
+// round-robin order. flushEvery <= 0 picks a default of 256 reports per
+// flush.
+func (c *ShardedCollector) NewWriter(flushEvery int) *Writer {
+	if flushEvery <= 0 {
+		flushEvery = 256
+	}
+	idx := int(c.cursor.Add(1)-1) & (len(c.shards) - 1)
+	return &Writer{
+		c:       c,
+		sh:      &c.shards[idx],
+		pending: make([]int, c.m.N()),
+		limit:   flushEvery,
+	}
+}
+
+// Ingest buffers one disguised report, flushing when the buffer reaches the
+// writer's threshold. Validation happens here, so a bad report is reported
+// immediately and never contaminates a flush.
+func (w *Writer) Ingest(report int) error {
+	if report < 0 || report >= len(w.pending) {
+		w.c.ins.observeBad()
+		return fmt.Errorf("%w: %d of %d categories", ErrBadReport, report, len(w.pending))
+	}
+	w.pending[report]++
+	w.n++
+	w.c.ins.observeIngest(report)
+	if w.n >= w.limit {
+		w.Flush()
+	}
+	return nil
+}
+
+// Buffered returns the number of reports waiting in the local buffer.
+func (w *Writer) Buffered() int { return w.n }
+
+// Flush lands the buffered reports on the writer's shard as one atomic
+// batch. A flush of an empty buffer is a no-op.
+func (w *Writer) Flush() {
+	if w.n == 0 {
+		return
+	}
+	w.sh.mu.Lock()
+	for k, v := range w.pending {
+		if v != 0 {
+			w.sh.counts[k].Add(int64(v))
+		}
+	}
+	w.sh.mu.Unlock()
+	flushed := w.n
+	for k := range w.pending {
+		w.pending[k] = 0
+	}
+	w.n = 0
+	if w.c.ins != nil {
+		w.c.ins.observeBatch(flushed, w.c.Count())
+	}
+}

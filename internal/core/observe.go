@@ -80,8 +80,8 @@ func newOptimizerMetrics(reg *obs.Registry) *optimizerMetrics {
 }
 
 // emitStart records the run configuration. The effective worker count (the
-// resolved Config.Workers every parallel kernel sees) goes to both the
-// registry gauge and the start event.
+// resolved Config.Workers every parallel kernel sees) and the effective
+// island topology go to both the registry gauges and the start event.
 func (o *Optimizer) emitStart() {
 	if m := o.met; m != nil {
 		m.workers.Set(float64(o.cfg.Workers))
@@ -90,18 +90,24 @@ func (o *Optimizer) emitStart() {
 		return
 	}
 	cfg := o.cfg
+	islands := cfg.Islands
+	if islands < 1 {
+		islands = 1
+	}
 	o.rec.Record("optimizer.start", obs.Fields{
-		"categories":  len(cfg.Prior),
-		"records":     cfg.Records,
-		"delta":       cfg.Delta,
-		"population":  cfg.PopulationSize,
-		"archive":     cfg.ArchiveSize,
-		"omega":       cfg.OmegaSize,
-		"generations": cfg.Generations,
-		"engine":      cfg.Engine.String(),
-		"bound_mode":  cfg.BoundMode.String(),
-		"seed":        cfg.Seed,
-		"workers":     cfg.Workers,
+		"categories":    len(cfg.Prior),
+		"records":       cfg.Records,
+		"delta":         cfg.Delta,
+		"population":    cfg.PopulationSize,
+		"archive":       cfg.ArchiveSize,
+		"omega":         cfg.OmegaSize,
+		"generations":   cfg.Generations,
+		"engine":        cfg.Engine.String(),
+		"bound_mode":    cfg.BoundMode.String(),
+		"seed":          cfg.Seed,
+		"workers":       cfg.Workers,
+		"islands":       islands,
+		"migrate_every": cfg.MigrateEvery,
 	})
 }
 

@@ -121,6 +121,20 @@ func (o *Omega) UpdateAll(inds []Individual) int {
 	return changed
 }
 
+// Fold offers every occupied entry of src to o under the normal Update rule
+// and returns how many bins improved. Unlike UpdateAll over src.Snapshot()
+// it clones nothing up front — only entries that actually land in a bin pay
+// for a copy — which keeps the island-model epoch fold cheap.
+func (o *Omega) Fold(src *Omega) int {
+	changed := 0
+	for _, b := range src.bins {
+		if b != nil && o.Update(*b) {
+			changed++
+		}
+	}
+	return changed
+}
+
 // ImproveArchive is the reverse direction of the paper's three-set update:
 // each archive member whose privacy bin holds a strictly better (lower
 // utility) Ω entry is replaced by a clone of that entry. It returns the
@@ -156,7 +170,47 @@ func (o *Omega) Snapshot() []Individual {
 // FrontSnapshot returns the Pareto-optimal subset of the occupied entries,
 // sorted by ascending privacy — the paper's final output.
 func (o *Omega) FrontSnapshot() []Individual {
-	all := o.Snapshot()
+	refs := o.frontRefs()
+	out := make([]Individual, len(refs))
+	for i, ind := range refs {
+		out[i] = Individual{Genome: ind.Genome.Clone(), Eval: ind.Eval}
+	}
+	return out
+}
+
+// spread returns k occupied entries evenly spaced across the privacy bins,
+// without cloning — the cheap privacy-diverse sample the island migration
+// exports. Unlike frontRefs it skips the O(n²) dominance filter: bins
+// already hold the utility-best entry per privacy level, so an evenly
+// spaced pick is near-optimal at O(bins) cost. The returned genomes alias
+// the live bins and must be cloned before retention.
+func (o *Omega) spread(k int) []Individual {
+	var all []Individual
+	for _, b := range o.bins {
+		if b != nil {
+			all = append(all, *b)
+		}
+	}
+	if len(all) <= k || k < 2 {
+		return all
+	}
+	out := make([]Individual, 0, k)
+	for j := 0; j < k; j++ {
+		out = append(out, all[j*(len(all)-1)/(k-1)])
+	}
+	return out
+}
+
+// frontRefs is FrontSnapshot without the clones: the returned genomes alias
+// the live bins, so callers must either not retain them past the next Update
+// or clone what they keep.
+func (o *Omega) frontRefs() []Individual {
+	var all []Individual
+	for _, b := range o.bins {
+		if b != nil {
+			all = append(all, *b)
+		}
+	}
 	pts := make([]pareto.Point, len(all))
 	for i, ind := range all {
 		pts[i] = ind.Point()

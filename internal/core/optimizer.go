@@ -143,10 +143,28 @@ type Config struct {
 	// Seed drives all randomness; runs with equal configs are bit-for-bit
 	// reproducible.
 	Seed uint64
-	// Workers bounds the parallelism of objective evaluation and of the
-	// SPEA2 selection kernels (see emoo.Config.Workers); zero means
+	// Workers bounds the parallelism of objective evaluation; zero means
 	// GOMAXPROCS. Results are bit-for-bit identical at every worker count.
 	Workers int
+
+	// Islands splits the search into this many independent sub-populations
+	// (each with its own RNG stream, scratch and local Ω archive) that
+	// exchange their best members along a ring every MigrateEvery
+	// generations and fold their fronts into one global Ω. 0 or 1 (the
+	// default) is the single-population search, bit-for-bit identical to
+	// previous releases regardless of Workers. Island runs are
+	// seeded-reproducible for a fixed (Seed, Islands, MigrateEvery,
+	// MigrationSize) but produce different (equivalent-quality) fronts than
+	// the serial search. In island mode Progress fires once per migration
+	// epoch rather than per generation.
+	Islands int
+	// MigrateEvery is the migration interval M in generations; zero means
+	// 25. Only meaningful with Islands > 1.
+	MigrateEvery int
+	// MigrationSize is the number of front members each island exports to
+	// its ring neighbor per migration; zero means 4. Only meaningful with
+	// Islands > 1.
+	MigrationSize int
 
 	// SPEA2 tuning (see emoo.Config). KNearest zero means 1.
 	KNearest  int
@@ -211,11 +229,19 @@ func (c Config) withDefaults() Config {
 	if c.KNearest == 0 {
 		c.KNearest = 1
 	}
+	if c.Islands > 1 {
+		if c.MigrateEvery == 0 {
+			c.MigrateEvery = 25
+		}
+		if c.MigrationSize == 0 {
+			c.MigrationSize = 4
+		}
+	}
 	return c
 }
 
 func (c Config) emooConfig() emoo.Config {
-	return emoo.Config{KNearest: c.KNearest, Normalize: c.Normalize, Workers: c.Workers}
+	return emoo.Config{KNearest: c.KNearest, Normalize: c.Normalize}
 }
 
 // Optimizer errors.
@@ -272,6 +298,9 @@ func (c Config) Validate() error {
 	}
 	if c.MutationRate < 0 || c.MutationRate > 1 {
 		return fmt.Errorf("%w: mutation rate %v outside [0, 1]", ErrBadConfig, c.MutationRate)
+	}
+	if c.Islands < 0 || c.MigrateEvery < 0 || c.MigrationSize < 0 {
+		return fmt.Errorf("%w: negative island parameter", ErrBadConfig)
 	}
 	return validateObjectives(c.Objectives)
 }
@@ -457,6 +486,11 @@ type Optimizer struct {
 	unionBuf    []Individual
 	unionPts    []pareto.Point
 	outcomes    []genomeOutcome
+
+	// seedGenomes, when non-nil, is injected at the head of the initial
+	// population before the random fill — the island scheduler's
+	// closed-form anchors. Never set on the plain serial path.
+	seedGenomes []Genome
 }
 
 // generationTally counts the feasibility work done by one generation's
@@ -503,37 +537,84 @@ func New(cfg Config) (*Optimizer, error) {
 //  5. bound repair (or rejection),
 //  6. three-set update with Ω,
 //  7. termination on the generation budget or Ω stagnation.
+//
+// With Config.Islands > 1 the same loop runs as independent island
+// searches with periodic migration; see runIslands.
 func (o *Optimizer) Run() (Result, error) {
-	cfg := o.cfg
-	if err := ctxErr(cfg.Context); err != nil {
+	if o.cfg.Islands > 1 {
+		return o.runIslands()
+	}
+	if err := ctxErr(o.cfg.Context); err != nil {
 		// Already cancelled: return promptly, before paying for the seed
 		// population. The front is empty — no work was done.
 		return Result{}, cancelError(0, err)
 	}
 	o.emitStart()
-	var wallStart time.Time
-	if o.timed {
-		wallStart = time.Now()
-	}
-	population, err := o.seedPopulation()
+	st, err := o.begin()
 	if err != nil {
 		return Result{}, err
 	}
-	var archive []Individual
-
-	stagnant := 0
-	gen := 0
-	stagnated := false
-	var cancelErr error
-	refUtility := o.referenceUtility()
-	for ; gen < cfg.Generations; gen++ {
-		// One cancellation check per generation: cheap against the cost of
-		// a generation, and the loop state is always consistent at the
-		// boundary, so the best-so-far front below stays well-formed.
-		if err := ctxErr(cfg.Context); err != nil {
-			cancelErr = cancelError(gen, err)
+	for st.gen < o.cfg.Generations {
+		done, err := o.stepGeneration(st)
+		if err != nil {
+			return Result{}, err
+		}
+		if done {
 			break
 		}
+	}
+	return o.finish(st), st.cancelErr
+}
+
+// runState is one search's loop state between generations. Run drives it
+// straight through the generation budget; the island scheduler advances W of
+// them a migration interval at a time.
+type runState struct {
+	population []Individual
+	archive    []Individual
+	gen        int  // completed generations
+	stagnant   int  // consecutive generations without Ω improvement
+	stagnated  bool // stopped on the stagnation criterion
+	cancelErr  error
+	refUtility float64
+	wallStart  time.Time
+}
+
+// begin seeds the initial population and prepares the loop state. It does
+// not emit the start event — island mode emits one start per island through
+// the tagged recorder, so emission stays with the caller.
+func (o *Optimizer) begin() (*runState, error) {
+	st := &runState{}
+	if o.timed {
+		st.wallStart = time.Now()
+	}
+	population, err := o.seedPopulation()
+	if err != nil {
+		return nil, err
+	}
+	st.population = population
+	st.refUtility = o.referenceUtility()
+	return st, nil
+}
+
+// stepGeneration advances the search by one generation. It returns done
+// when the run should stop early — cancellation (recorded in rs.cancelErr)
+// or Ω stagnation — and a non-nil error only for fatal failures. The
+// generation counter advances exactly as the monolithic loop did, so a
+// sequence of steps is bit-for-bit the pre-refactor Run.
+func (o *Optimizer) stepGeneration(rs *runState) (bool, error) {
+	cfg := o.cfg
+	gen := rs.gen
+	population, archive := rs.population, rs.archive
+	refUtility := rs.refUtility
+	// One cancellation check per generation: cheap against the cost of
+	// a generation, and the loop state is always consistent at the
+	// boundary, so the best-so-far front below stays well-formed.
+	if err := ctxErr(cfg.Context); err != nil {
+		rs.cancelErr = cancelError(gen, err)
+		return true, nil
+	}
+	{
 		o.tally = generationTally{}
 		o.fitnessDur, o.truncateDur = 0, 0
 		evalsBefore := o.evaluations
@@ -564,7 +645,7 @@ func (o *Optimizer) Run() (Result, error) {
 		}
 		selIdx, err := o.selectEnvironment(pts)
 		if err != nil {
-			return Result{}, err
+			return false, err
 		}
 		nextArchive := make([]Individual, len(selIdx))
 		for k, i := range selIdx {
@@ -601,7 +682,7 @@ func (o *Optimizer) Run() (Result, error) {
 			ib := emoo.BinaryTournament(archiveFit, o.rng)
 			c1, c2, err := Crossover(nextArchive[ia].Genome, nextArchive[ib].Genome, o.rng)
 			if err != nil {
-				return Result{}, err
+				return false, err
 			}
 			for _, child := range []Genome{c1, c2} {
 				if len(genomes) >= cfg.PopulationSize-immigrants {
@@ -629,7 +710,7 @@ func (o *Optimizer) Run() (Result, error) {
 
 		nextPopulation, err := o.realize(genomes)
 		if err != nil {
-			return Result{}, err
+			return false, err
 		}
 		lap(phaseEval)
 
@@ -641,6 +722,8 @@ func (o *Optimizer) Run() (Result, error) {
 
 		population = nextPopulation
 		archive = nextArchive
+		rs.population = population
+		rs.archive = archive
 
 		if o.observed {
 			st := Stats{
@@ -667,18 +750,25 @@ func (o *Optimizer) Run() (Result, error) {
 
 		if cfg.StagnationLimit > 0 {
 			if improved == 0 {
-				stagnant++
-				if stagnant >= cfg.StagnationLimit {
-					gen++
-					stagnated = true
-					break
+				rs.stagnant++
+				if rs.stagnant >= cfg.StagnationLimit {
+					rs.gen = gen + 1
+					rs.stagnated = true
+					return true, nil
 				}
 			} else {
-				stagnant = 0
+				rs.stagnant = 0
 			}
 		}
 	}
+	rs.gen = gen + 1
+	return false, nil
+}
 
+// finish folds the loop state into the run's Result and emits the done
+// event.
+func (o *Optimizer) finish(rs *runState) Result {
+	archive := rs.archive
 	front := o.omega.FrontSnapshot()
 	if !o.omega.Enabled() {
 		// Ablation mode: the archive itself is the output set.
@@ -695,12 +785,12 @@ func (o *Optimizer) Run() (Result, error) {
 	res := Result{
 		Front:       front,
 		Archive:     archive,
-		Generations: gen,
+		Generations: rs.gen,
 		Evaluations: o.evaluations,
-		Stagnated:   stagnated,
+		Stagnated:   rs.stagnated,
 	}
-	o.emitDone(res, wallStart)
-	return res, cancelErr
+	o.emitDone(res, rs.wallStart)
+	return res
 }
 
 // assignFitness computes the configured engine's fitness over points. The
@@ -758,11 +848,22 @@ func (o *Optimizer) referenceUtility() float64 {
 	return 1
 }
 
-// seedPopulation builds the random initial population Q_0, repairing (or
-// re-drawing) until every member is feasible.
+// seedPopulation builds the initial population Q_0: any injected seed
+// genomes first (island mode's closed-form anchors; nil for the plain
+// search, which stays purely random and bit-for-bit unchanged), random
+// genomes for the rest, everything repaired (or re-drawn) until feasible.
 func (o *Optimizer) seedPopulation() ([]Individual, error) {
 	n := len(o.cfg.Prior)
 	genomes := make([]Genome, 0, o.cfg.PopulationSize)
+	for _, g := range o.seedGenomes {
+		if len(genomes) >= o.cfg.PopulationSize {
+			break
+		}
+		if o.cfg.SymmetricOnly {
+			g.Symmetrize()
+		}
+		genomes = append(genomes, g)
+	}
 	for len(genomes) < o.cfg.PopulationSize {
 		g := NewRandomGenome(n, o.rng)
 		if o.cfg.SymmetricOnly {

@@ -2,7 +2,6 @@ package emoo
 
 import (
 	"fmt"
-	"runtime"
 	"testing"
 
 	"optrr/internal/pareto"
@@ -50,66 +49,57 @@ func cloneFitness(f Fitness) Fitness {
 	}
 }
 
-// TestAssignFitnessKDimSerialMatchesParallel pins the worker-count
-// determinism guarantee on k-dim points: the parallel kernels must be
-// bit-for-bit identical to the serial ones for every dimension, not just
-// the canonical pair.
-func TestAssignFitnessKDimSerialMatchesParallel(t *testing.T) {
+// TestAssignFitnessKDimScratchReuse pins the scratch-reuse guarantee on
+// k-dim points: a warm, previously-used Scratch must be bit-for-bit
+// identical to a fresh one for every dimension, not just the canonical pair.
+func TestAssignFitnessKDimScratchReuse(t *testing.T) {
 	r := randx.New(31)
-	workers := []int{2, 3, runtime.GOMAXPROCS(0)}
+	warm := NewScratch()
 	for _, dim := range []int{3, 4, 6} {
 		for _, n := range []int{2, 17, 80, 130} {
 			pts := kdimCloud(n, dim, r)
 			for _, k := range []int{1, 3} {
 				for _, normalize := range []bool{true, false} {
-					serialCfg := Config{KNearest: k, Normalize: normalize, Workers: 1}
-					want := cloneFitness(NewScratch().AssignFitness(pts, serialCfg))
-					for _, w := range workers {
-						cfg := serialCfg
-						cfg.Workers = w
-						got := NewScratch().AssignFitness(pts, cfg)
-						label := fmt.Sprintf("dim=%d n=%d k=%d norm=%v w=%d", dim, n, k, normalize, w)
-						fitnessEqual(t, label, want, got)
-					}
+					cfg := Config{KNearest: k, Normalize: normalize}
+					want := cloneFitness(NewScratch().AssignFitness(pts, cfg))
+					got := warm.AssignFitness(pts, cfg)
+					label := fmt.Sprintf("dim=%d n=%d k=%d norm=%v", dim, n, k, normalize)
+					fitnessEqual(t, label, want, got)
 				}
 			}
 		}
 	}
 }
 
-// TestSelectEnvironmentKDimSerialMatchesParallel drives the truncation path
-// (capacity below the non-dominated count) on k-dim points across worker
-// counts, including the scale-change rebuild when normalization is on.
-func TestSelectEnvironmentKDimSerialMatchesParallel(t *testing.T) {
+// TestSelectEnvironmentKDimScratchReuse drives the truncation path (capacity
+// below the non-dominated count) on k-dim points through a reused Scratch,
+// including the scale-change rebuild when normalization is on.
+func TestSelectEnvironmentKDimScratchReuse(t *testing.T) {
 	r := randx.New(47)
+	warm := NewScratch()
 	for _, dim := range []int{3, 4} {
 		for _, n := range []int{20, 60, 110} {
 			pts := kdimCloud(n, dim, r)
 			for _, normalize := range []bool{true, false} {
-				serialCfg := Config{KNearest: 1, Normalize: normalize, Workers: 1}
-				sFit := NewScratch().AssignFitness(pts, serialCfg)
-				want, err := SelectEnvironment(pts, sFit, n/3, serialCfg)
+				cfg := Config{KNearest: 1, Normalize: normalize}
+				sFit := NewScratch().AssignFitness(pts, cfg)
+				want, err := SelectEnvironment(pts, sFit, n/3, cfg)
 				if err != nil {
 					t.Fatal(err)
 				}
 				want = append([]int(nil), want...)
-				for _, w := range []int{2, runtime.GOMAXPROCS(0)} {
-					cfg := serialCfg
-					cfg.Workers = w
-					sc := NewScratch()
-					fit := sc.AssignFitness(pts, cfg)
-					got, err := sc.SelectEnvironment(pts, fit, n/3, cfg)
-					if err != nil {
-						t.Fatal(err)
-					}
-					if len(got) != len(want) {
-						t.Fatalf("dim=%d n=%d w=%d: %d selected, want %d", dim, n, w, len(got), len(want))
-					}
-					for i := range want {
-						if got[i] != want[i] {
-							t.Fatalf("dim=%d n=%d norm=%v w=%d: selection differs at %d: %d vs %d",
-								dim, n, normalize, w, i, got[i], want[i])
-						}
+				fit := warm.AssignFitness(pts, cfg)
+				got, err := warm.SelectEnvironment(pts, fit, n/3, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("dim=%d n=%d: %d selected, want %d", dim, n, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("dim=%d n=%d norm=%v: selection differs at %d: %d vs %d",
+							dim, n, normalize, i, got[i], want[i])
 					}
 				}
 			}
@@ -146,7 +136,7 @@ func TestAssignFitnessKDimZeroAlloc(t *testing.T) {
 	r := randx.New(61)
 	for _, dim := range []int{2, 3} {
 		pts := kdimCloud(64, dim, r)
-		cfg := Config{KNearest: 1, Normalize: true, Workers: 1}
+		cfg := Config{KNearest: 1, Normalize: true}
 		s := NewScratch()
 		s.AssignFitness(pts, cfg) // warm the buffers
 		allocs := testing.AllocsPerRun(10, func() {

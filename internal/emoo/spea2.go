@@ -36,12 +36,6 @@ type Config struct {
 	// on very different scales (privacy ≈ 0.5, MSE ≈ 1e-4), so without
 	// normalization density and truncation would ignore utility entirely.
 	Normalize bool
-	// Workers bounds the parallelism of the O(n²) kernels (dominance and
-	// strength, the distance matrices, density, and truncation vector
-	// maintenance). Zero or one means serial. The row partition is fixed
-	// and worker-count independent, so results are bit-for-bit identical
-	// at every worker count (see parallel.go and spea2_ref_test.go).
-	Workers int
 }
 
 func (c Config) k() int {
@@ -80,8 +74,8 @@ type Scratch struct {
 	density  []float64
 	value    []float64
 	dom      []bool
-	dist     []float64   // flat n×n pairwise distances
-	kbufs    [][]float64 // per-worker k-th-element selection buffers
+	dist     []float64 // flat n×n pairwise distances
+	kbuf     []float64 // k-th-element selection buffer
 
 	// Selection buffers.
 	sel  []int
@@ -115,13 +109,13 @@ type Scratch struct {
 	scalesNew      []float64      // truncation scale-change detection buffer
 	k              int            // effective density k
 	victim         int            // slot being removed by the truncation delete pass
-	strengthPass   func(worker, lo, hi int)
-	rawPass        func(worker, lo, hi int)
-	distPass       func(worker, lo, hi int)
-	densityPass    func(worker, lo, hi int)
-	tdistPass      func(worker, lo, hi int)
-	tvecPass       func(worker, lo, hi int)
-	deletePass     func(worker, lo, hi int)
+	strengthPass   func(lo, hi int)
+	rawPass        func(lo, hi int)
+	distPass       func(lo, hi int)
+	densityPass    func(lo, hi int)
+	tdistPass      func(lo, hi int)
+	tvecPass       func(lo, hi int)
+	deletePass     func(lo, hi int)
 }
 
 // NewScratch returns an empty scratch; buffers grow on demand and are reused
@@ -162,27 +156,24 @@ func (s *Scratch) AssignFitness(pts []pareto.Point, cfg Config) Fitness {
 	if n == 0 {
 		return f
 	}
-	workers := kernelWorkers(cfg.Workers, n)
 	s.ensurePasses()
 	s.pts = pts
 	s.dim = pointDim(pts)
 	s.dom = growBools(s.dom, n*n)
 	// Dominance + strength: row i owns dom[i*n:(i+1)*n] and Strength[i].
-	forRows(n, workers, s.strengthPass)
-	// Raw fitness reads every strength, so it needs the barrier above; row i
-	// then accumulates its dominators' strengths in the same ascending-j
-	// order as the serial loop.
-	forRows(n, workers, s.rawPass)
-	s.distanceMatrix(pts, cfg, workers)
+	s.strengthPass(0, n)
+	// Raw fitness reads every strength, so it must follow the full strength
+	// pass; row i accumulates its dominators' strengths in ascending-j order.
+	s.rawPass(0, n)
+	s.distanceMatrix(pts, cfg)
 	k := cfg.k()
 	if k > n-1 {
 		k = n - 1
 	}
 	s.k = k
-	s.growKbufs(workers, n)
-	// Density: row i reads its completed distance row; the k-th-element
-	// buffer is per worker, so quickselect scratch is never shared.
-	forRows(n, workers, s.densityPass)
+	s.kbuf = growFloats(s.kbuf, n)[:0]
+	// Density: row i reads its completed distance row.
+	s.densityPass(0, n)
 	s.pts = nil
 	return f
 }
@@ -194,7 +185,7 @@ func (s *Scratch) ensurePasses() {
 	if s.strengthPass != nil {
 		return
 	}
-	s.strengthPass = func(_, lo, hi int) {
+	s.strengthPass = func(lo, hi int) {
 		pts, dom := s.pts, s.dom
 		n := len(pts)
 		if s.dim == 2 {
@@ -235,7 +226,7 @@ func (s *Scratch) ensurePasses() {
 			s.strength[i] = st
 		}
 	}
-	s.rawPass = func(_, lo, hi int) {
+	s.rawPass = func(lo, hi int) {
 		dom := s.dom
 		n := len(s.pts)
 		for i := lo; i < hi; i++ {
@@ -248,7 +239,7 @@ func (s *Scratch) ensurePasses() {
 			s.raw[i] = raw
 		}
 	}
-	s.distPass = func(_, lo, hi int) {
+	s.distPass = func(lo, hi int) {
 		pts, d := s.pts, s.dist
 		n := len(pts)
 		if s.dim == 2 {
@@ -275,7 +266,7 @@ func (s *Scratch) ensurePasses() {
 			}
 		}
 	}
-	s.densityPass = func(worker, lo, hi int) {
+	s.densityPass = func(lo, hi int) {
 		n := len(s.pts)
 		k := s.k
 		for i := lo; i < hi; i++ {
@@ -292,21 +283,21 @@ func (s *Scratch) ensurePasses() {
 						}
 					}
 				} else {
-					buf := s.kbufs[worker][:0]
+					buf := s.kbuf[:0]
 					for j, d := range row {
 						if j != i {
 							buf = append(buf, d)
 						}
 					}
 					sigma = kthSmallest(buf, k)
-					s.kbufs[worker] = buf[:0]
+					s.kbuf = buf[:0]
 				}
 			}
 			s.density[i] = 1 / (sigma + 2)
 			s.value[i] = s.raw[i] + s.density[i]
 		}
 	}
-	s.tdistPass = func(_, lo, hi int) {
+	s.tdistPass = func(lo, hi int) {
 		m := len(s.live)
 		if s.dim == 2 {
 			scaleP, scaleU := s.scaleP, s.scaleU
@@ -347,7 +338,7 @@ func (s *Scratch) ensurePasses() {
 			}
 		}
 	}
-	s.tvecPass = func(_, lo, hi int) {
+	s.tvecPass = func(lo, hi int) {
 		m := len(s.live)
 		for a := lo; a < hi; a++ {
 			if !s.alive[a] {
@@ -363,7 +354,7 @@ func (s *Scratch) ensurePasses() {
 			s.vecLen[a] = len(row)
 		}
 	}
-	s.deletePass = func(_, lo, hi int) {
+	s.deletePass = func(lo, hi int) {
 		m := len(s.live)
 		victim := s.victim
 		for a := lo; a < hi; a++ {
@@ -376,19 +367,6 @@ func (s *Scratch) ensurePasses() {
 			copy(row[idx:], row[idx+1:])
 			s.vecLen[a]--
 		}
-	}
-}
-
-// growKbufs sizes one n-capacity selection buffer per worker.
-func (s *Scratch) growKbufs(workers, n int) {
-	if cap(s.kbufs) < workers {
-		old := s.kbufs
-		s.kbufs = make([][]float64, workers)
-		copy(s.kbufs, old)
-	}
-	s.kbufs = s.kbufs[:workers]
-	for w := range s.kbufs {
-		s.kbufs[w] = growFloats(s.kbufs[w], n)[:0]
 	}
 }
 
@@ -450,10 +428,10 @@ func kthSmallest(buf []float64, k int) float64 {
 // distances of pts, optionally normalized per objective by the range over
 // pts. For two-objective points the expressions match the historical
 // [][]-based implementation exactly; for k-dim points the same
-// scale-difference-square-sum recurrence runs over every axis. The row loop
-// parallelizes safely because each unordered pair {i, j} is written (to both
-// symmetric cells) only by the worker owning the smaller row index.
-func (s *Scratch) distanceMatrix(pts []pareto.Point, cfg Config, workers int) {
+// scale-difference-square-sum recurrence runs over every axis. Each
+// unordered pair {i, j} is written (to both symmetric cells) by the row with
+// the smaller index.
+func (s *Scratch) distanceMatrix(pts []pareto.Point, cfg Config) {
 	n := len(pts)
 	s.pts = pts
 	s.dim = pointDim(pts)
@@ -463,7 +441,7 @@ func (s *Scratch) distanceMatrix(pts []pareto.Point, cfg Config, workers int) {
 		s.scales = s.objectiveScalesK(pts, cfg, s.scales)
 	}
 	s.dist = growFloats(s.dist, n*n)
-	forRows(n, workers, s.distPass)
+	s.distPass(0, n)
 }
 
 // pointDim returns the objective count of a point set; an empty set counts
@@ -626,7 +604,6 @@ func (s *Scratch) truncate(pts []pareto.Point, selected []int, capacity int, cfg
 	s.vec = growFloats(s.vec, m*m)
 	s.vecLen = growInts(s.vecLen, m)
 
-	workers := kernelWorkers(cfg.Workers, m)
 	s.ensurePasses()
 	s.pts = pts
 	s.dim = pointDim(pts)
@@ -635,8 +612,8 @@ func (s *Scratch) truncate(pts []pareto.Point, selected []int, capacity int, cfg
 	} else {
 		s.scales = s.truncScalesK(pts, cfg, s.scales)
 	}
-	s.truncDistances(workers)
-	s.truncVectors(workers)
+	s.truncDistances()
+	s.truncVectors()
 
 	for count > capacity {
 		// Victim: first live slot with the lexicographically smallest
@@ -663,25 +640,24 @@ func (s *Scratch) truncate(pts []pareto.Point, selected []int, capacity int, cfg
 					// The victim carried an objective extremum: ranges and
 					// therefore all normalized distances changed. Rebuild.
 					s.scaleP, s.scaleU = p, u
-					s.truncDistances(workers)
-					s.truncVectors(workers)
+					s.truncDistances()
+					s.truncVectors()
 					continue
 				}
 			} else {
 				s.scalesNew = s.truncScalesK(pts, cfg, s.scalesNew)
 				if !floatsEqual(s.scales, s.scalesNew) {
 					s.scales, s.scalesNew = s.scalesNew, s.scales
-					s.truncDistances(workers)
-					s.truncVectors(workers)
+					s.truncDistances()
+					s.truncVectors()
 					continue
 				}
 			}
 		}
 		// Scales unchanged: drop the victim's distance from every
-		// survivor's sorted vector in place. Each survivor's vector is
-		// touched by exactly one row, so the sweep parallelizes.
+		// survivor's sorted vector in place.
 		s.victim = victim
-		forRows(m, workers, s.deletePass)
+		s.deletePass(0, m)
 	}
 
 	s.pts = nil
@@ -797,17 +773,16 @@ func floatsEqual(a, b []float64) bool {
 
 // truncDistances fills s.tdist with pairwise distances over the live slots
 // under the scales in s.scaleP/s.scaleU. Dead slots are skipped; their
-// entries are stale and must not be read. Pair {a, b} is written only by the
-// worker owning the smaller slot, so rows parallelize with disjoint writes.
-func (s *Scratch) truncDistances(workers int) {
-	forRows(len(s.live), workers, s.tdistPass)
+// entries are stale and must not be read.
+func (s *Scratch) truncDistances() {
+	s.tdistPass(0, len(s.live))
 }
 
 // truncVectors rebuilds every live slot's sorted distance vector from
 // s.tdist — the per-row nearest-neighbour recomputation after a scale
-// change. Each slot's vector and length are private to its row.
-func (s *Scratch) truncVectors(workers int) {
-	forRows(len(s.live), workers, s.tvecPass)
+// change.
+func (s *Scratch) truncVectors() {
+	s.tvecPass(0, len(s.live))
 }
 
 // lexLess reports whether distance vector a is lexicographically smaller

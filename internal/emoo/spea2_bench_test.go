@@ -2,29 +2,11 @@ package emoo
 
 import (
 	"fmt"
-	"runtime"
 	"testing"
 
 	"optrr/internal/pareto"
 	"optrr/internal/randx"
 )
-
-// workerBenchCounts is the worker matrix for the parallel-kernel benches:
-// serial, a fixed mid fan-out, and whatever this machine's GOMAXPROCS is.
-// The labels stay machine-independent so pinned bench baselines diff cleanly.
-func workerBenchCounts() []struct {
-	label   string
-	workers int
-} {
-	return []struct {
-		label   string
-		workers int
-	}{
-		{"w1", 1},
-		{"w4", 4},
-		{"wmax", runtime.GOMAXPROCS(0)},
-	}
-}
 
 // benchPoints draws a cloud sized like the optimizer's union (population ∪
 // archive) with realistic objective scales: privacy in [0.3, 0.65], utility
@@ -102,60 +84,5 @@ func BenchmarkTruncate(b *testing.B) {
 				}
 			}
 		})
-	}
-}
-
-// BenchmarkAssignFitnessParallel measures the worker-parallel fitness kernels
-// at the optimizer's union sizes. w1 runs the identical serial loop inline;
-// larger counts pay one goroutine fan-out per pass, which only wins when the
-// machine has cores to spread the O(n²) row work over.
-func BenchmarkAssignFitnessParallel(b *testing.B) {
-	for _, n := range []int{80, 200} {
-		pts := benchPoints(n, uint64(n))
-		for _, wc := range workerBenchCounts() {
-			cfg := Config{KNearest: 1, Normalize: true, Workers: wc.workers}
-			b.Run(fmt.Sprintf("n=%d/%s", n, wc.label), func(b *testing.B) {
-				s := NewScratch()
-				s.AssignFitness(pts, cfg) // grow buffers outside the timed loop
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					s.AssignFitness(pts, cfg)
-				}
-			})
-		}
-	}
-}
-
-// BenchmarkTruncateParallel measures worker-parallel environmental selection
-// on the worst-case all-non-dominated front (capacity n/2).
-func BenchmarkTruncateParallel(b *testing.B) {
-	for _, n := range []int{80, 200} {
-		pts := make([]pareto.Point, n)
-		r := randx.New(uint64(n))
-		for i := range pts {
-			pts[i] = pareto.Point{
-				Privacy: 0.3 + 0.35*(float64(i)+r.Float64())/float64(n),
-				Utility: 1e-4 * (float64(i) + r.Float64()),
-			}
-		}
-		capacity := n / 2
-		for _, wc := range workerBenchCounts() {
-			cfg := Config{KNearest: 1, Normalize: true, Workers: wc.workers}
-			b.Run(fmt.Sprintf("n=%d/%s", n, wc.label), func(b *testing.B) {
-				s := NewScratch()
-				fit := s.AssignFitness(pts, cfg)
-				if _, err := s.SelectEnvironment(pts, fit, capacity, cfg); err != nil {
-					b.Fatal(err)
-				}
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					if _, err := s.SelectEnvironment(pts, fit, capacity, cfg); err != nil {
-						b.Fatal(err)
-					}
-				}
-			})
-		}
 	}
 }

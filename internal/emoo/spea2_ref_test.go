@@ -2,7 +2,6 @@ package emoo
 
 import (
 	"math"
-	"runtime"
 	"sort"
 	"testing"
 
@@ -200,27 +199,17 @@ func randomClouds(r *randx.Source, count int) [][]pareto.Point {
 	return clouds
 }
 
-// configsUnderTest varies the density estimate, normalization, and — since
-// the kernels went parallel — the worker count. The reference implementations
-// ignore Workers, so every parallel configuration is checked for exact
-// equality against the serial arithmetic.
+// configsUnderTest varies the density estimate and normalization; every
+// configuration is checked for exact equality against the reference
+// arithmetic.
 func configsUnderTest() []Config {
-	base := []Config{
+	return []Config{
 		{KNearest: 1, Normalize: true},
 		{KNearest: 1, Normalize: false},
 		{KNearest: 2, Normalize: true},
 		{KNearest: 3, Normalize: false},
 		{KNearest: 7, Normalize: true},
 	}
-	workers := []int{1, 2, runtime.GOMAXPROCS(0)}
-	var out []Config
-	for _, cfg := range base {
-		for _, w := range workers {
-			cfg.Workers = w
-			out = append(out, cfg)
-		}
-	}
-	return out
 }
 
 func TestScratchAssignFitnessMatchesReference(t *testing.T) {

@@ -41,6 +41,14 @@ type Config struct {
 	// figure — cells are independent and each derives its randomness from
 	// Seed — only wall-clock time.
 	Workers int
+	// Islands runs each OptRR search as this many sub-populations with ring
+	// migration (core.Config.Islands). 0 or 1 keeps the single-population
+	// search the figures were pinned on; island runs trade bit-for-bit
+	// continuity with those figures for a cheaper equivalent-quality search.
+	Islands int
+	// MigrateEvery is the island migration interval; zero means the core
+	// default. Only meaningful with Islands > 1.
+	MigrateEvery int
 	// Context optionally bounds every optimizer run inside the experiment;
 	// nil means run to completion. A cancelled context surfaces as the
 	// experiment's error (wrapping context.Canceled / DeadlineExceeded).
@@ -207,6 +215,8 @@ func optrrRun(prior []float64, records int, delta float64, cfg Config) (core.Res
 	cc.Generations = cfg.Generations
 	cc.Seed = cfg.Seed
 	cc.Context = cfg.Context
+	cc.Islands = cfg.Islands
+	cc.MigrateEvery = cfg.MigrateEvery
 	opt, err := core.New(cc)
 	if err != nil {
 		return core.Result{}, err

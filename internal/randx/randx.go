@@ -195,9 +195,18 @@ func (r *Source) Split() *Source {
 // the chunks. idx is stirred through a splitmix64 round before mixing so
 // that consecutive indices land far apart in seed space.
 func Stream(seed, idx uint64) *Source {
+	return New(StreamSeed(seed, idx))
+}
+
+// StreamSeed returns the root seed of Stream(seed, idx) — the same
+// decorrelated family, exposed as a plain seed value for components that
+// carry seeds rather than sources (e.g. a sub-optimizer Config whose own
+// New re-derives the generator). Stream(seed, idx) and
+// New(StreamSeed(seed, idx)) are the same source.
+func StreamSeed(seed, idx uint64) uint64 {
 	z := idx + 0x9e3779b97f4a7c15
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	z ^= z >> 31
-	return New(seed ^ z)
+	return seed ^ z
 }

@@ -114,17 +114,23 @@ type PhaseTotal struct {
 // optimizer.done (zero when the trace was cut short).
 type Summary struct {
 	// From optimizer.start (zero values when the event is absent).
-	Categories  int
-	Records     int
-	Delta       float64
-	Generations int // configured budget
-	Engine      string
-	Seed        int
+	Categories   int
+	Records      int
+	Delta        float64
+	Generations  int // configured budget
+	Engine       string
+	Seed         int
+	Islands      int // island-model sub-populations; 1 = single population
+	MigrateEvery int // migration interval in generations (island runs)
 
 	// Accumulated over optimizer.generation events.
 	GenerationsRun int
 	Evaluations    int // last generation event's cumulative counter
 	Phases         []PhaseTotal
+
+	// Accumulated over the island-model events of an Islands > 1 run.
+	Migrations        int // optimizer.migration events seen
+	IslandGenerations int // optimizer.island.generation events seen
 
 	// From the last optimizer.convergence event (if any).
 	BestHypervolume  float64
@@ -164,6 +170,28 @@ func Summarize(events []Event) Summary {
 			s.Generations = ev.Int("generations")
 			s.Engine, _ = ev.Fields["engine"].(string)
 			s.Seed = ev.Int("seed")
+			s.Islands = ev.Int("islands")
+			s.MigrateEvery = ev.Int("migrate_every")
+		case "optimizer.migration":
+			s.Migrations++
+			// Island runs emit no top-level generation events; the epoch
+			// events carry the cumulative depth and evaluation counters.
+			if g := ev.Int("gen"); g > s.GenerationsRun {
+				s.GenerationsRun = g
+			}
+			if e := ev.Int("evals"); e > 0 {
+				s.Evaluations = e
+			}
+		case "optimizer.island.generation":
+			s.IslandGenerations++
+			// Per-island generations carry the same timing fields as the
+			// serial ones; summed across islands they form the run's
+			// CPU-time phase breakdown.
+			for _, p := range phaseFields {
+				if v := ev.Float(p.field); !math.IsNaN(v) {
+					totals[p.field] += v
+				}
+			}
 		case "optimizer.generation":
 			s.GenerationsRun++
 			s.Evaluations = ev.Int("evals")
