@@ -8,7 +8,8 @@
 #   tests        go test ./...
 #   race           go test -race over the concurrency-critical packages
 #                  (collector, core, obs — metrics and trace recording race
-#                  live scrapes by design) and the worker-parallel paths
+#                  live scrapes by design — plus the rrserver collection
+#                  service and its SDK) and the worker-parallel paths
 #                  (experiment grid, batch disguise/sampling); the island
 #                  scheduler and sharded collector additionally run under
 #                  -cpu 1,4 to exercise both the single-P and multi-P
@@ -19,8 +20,10 @@
 #                  2-D and k-dimensional — bound repair, batch disguise,
 #                  convergence-snapshot emission, histogram quantiles) and
 #                  the safe-vs-sharded collector contention matrix with the
-#                  batched writer, at pinned -benchtime/-count with
-#                  -benchmem, all rendered into BENCH_optimize.json
+#                  batched writer and the rrserver HTTP batch-ingest path
+#                  (with its p99 batch latency as a custom metric), at pinned
+#                  -benchtime/-count with -benchmem, all rendered into
+#                  BENCH_optimize.json
 #   bench compare  gating diff of the fresh run against the committed
 #                  BENCH_optimize.json via cmd/benchdiff: fails the suite on
 #                  a >25% ns/op (5% allocs/op, 10% B/op) regression unless
@@ -54,8 +57,9 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (collector, core, obs) =="
-go test -race ./internal/collector ./internal/core ./internal/obs
+echo "== go test -race (collector, core, obs, rrserver) =="
+go test -race ./internal/collector ./internal/core ./internal/obs \
+    ./internal/rrserver ./internal/rrclient
 
 echo "== go test -race -cpu 1,4 (islands, collector sharding) =="
 go test -race -cpu 1,4 -run 'Island|Sharded|Writer|Contention|Race|Concurrent' \
@@ -76,6 +80,7 @@ go test -run '^$' -bench '^(BenchmarkRepair|BenchmarkRealizeSteadyState|Benchmar
 go test -run '^$' -bench '^BenchmarkHistogramQuantiles$' -benchtime=2000x -count=1 -benchmem ./internal/obs | tee -a BENCH_optimize.txt
 go test -run '^$' -bench '^BenchmarkDisguise$' -benchtime=20x -count=1 -benchmem ./internal/rr | tee -a BENCH_optimize.txt
 go test -run '^$' -bench '^BenchmarkCollectorContention' -benchtime=100000x -count=1 -benchmem ./internal/collector | tee -a BENCH_optimize.txt
+go test -run '^$' -bench '^BenchmarkServerIngest$' -benchtime=100000x -count=1 -benchmem ./internal/rrserver | tee -a BENCH_optimize.txt
 # Render the benchmark lines ("BenchmarkName  iters  value unit ...") as a
 # JSON array so downstream tooling can diff runs.
 awk '

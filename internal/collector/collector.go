@@ -20,6 +20,16 @@ var (
 	ErrBadReport = errors.New("collector: report out of category range")
 	// ErrNoReports reports an estimate request before any ingestion.
 	ErrNoReports = errors.New("collector: no reports ingested")
+	// ErrBadSnapshot reports a corrupted or inconsistent crash-recovery
+	// snapshot: RestoreSharded refuses it rather than poisoning every
+	// subsequent Estimate. Long-lived servers should treat it as "start
+	// fresh and alert", not as fatal.
+	ErrBadSnapshot = errors.New("collector: invalid snapshot")
+	// ErrBadMargin reports a margin target that is not a positive finite
+	// number, for which "reports needed" has no meaning.
+	ErrBadMargin = errors.New("collector: margin must be a positive finite number")
+	// ErrWriterClosed reports ingestion through a Writer after Close.
+	ErrWriterClosed = errors.New("collector: writer is closed")
 )
 
 // Collector accumulates disguised reports for one attribute and answers

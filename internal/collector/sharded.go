@@ -296,44 +296,59 @@ func (c *ShardedCollector) Merge(other *ShardedCollector) error {
 	return nil
 }
 
-// shardedJSON is the crash-recovery wire form: the disguise matrix plus a
-// consistent fold of the counts. Shard layout is an in-memory concern and
+// shardedJSON is the crash-recovery wire form: the disguise matrix, a
+// consistent fold of the counts, and the total as a redundant integrity
+// check (a truncated or hand-edited counts array with a plausible shape is
+// otherwise undetectable). Shard layout is an in-memory concern and
 // deliberately not persisted — restore re-stripes freely.
 type shardedJSON struct {
 	Matrix *rr.Matrix `json:"matrix"`
 	Counts []int      `json:"counts"`
+	// Total is optional on decode so snapshots written before it existed
+	// still restore; when present it must equal the sum of Counts.
+	Total *int `json:"total,omitempty"`
 }
 
 // MarshalJSON serializes a consistent snapshot of the collection state
-// (matrix + folded counts) for crash recovery.
+// (matrix + folded counts + total) for crash recovery.
 func (c *ShardedCollector) MarshalJSON() ([]byte, error) {
 	unlock := c.lockAll()
-	counts, _ := c.countsLocked()
+	counts, total := c.countsLocked()
 	unlock()
-	return json.Marshal(shardedJSON{Matrix: c.m, Counts: counts})
+	return json.Marshal(shardedJSON{Matrix: c.m, Counts: counts, Total: &total})
 }
 
 // RestoreSharded rebuilds a sharded collector from a MarshalJSON snapshot,
 // striped across the given number of shards (<= 0 picks the default). The
-// matrix is validated on decode; counts must match its dimension and be
-// non-negative.
+// snapshot is fully validated before any state is built: the matrix must
+// decode as a valid RR matrix, the counts must match its dimension and be
+// non-negative, and the recorded total (when present) must equal their sum.
+// Every rejection wraps ErrBadSnapshot, so a server restoring at boot can
+// distinguish "corrupt file, start fresh" from I/O errors.
 func RestoreSharded(data []byte, shards int) (*ShardedCollector, error) {
 	var raw shardedJSON
 	if err := json.Unmarshal(data, &raw); err != nil {
-		return nil, fmt.Errorf("collector: decoding snapshot: %w", err)
+		return nil, fmt.Errorf("%w: decoding: %v", ErrBadSnapshot, err)
 	}
 	if raw.Matrix == nil {
-		return nil, fmt.Errorf("collector: snapshot has no matrix")
+		return nil, fmt.Errorf("%w: no matrix", ErrBadSnapshot)
 	}
 	if len(raw.Counts) != raw.Matrix.N() {
-		return nil, fmt.Errorf("%w: %d counts for %d categories", rr.ErrShape, len(raw.Counts), raw.Matrix.N())
+		return nil, fmt.Errorf("%w: %d counts for %d categories", ErrBadSnapshot, len(raw.Counts), raw.Matrix.N())
+	}
+	sum := 0
+	for k, v := range raw.Counts {
+		if v < 0 {
+			return nil, fmt.Errorf("%w: count[%d] = %d is negative", ErrBadSnapshot, k, v)
+		}
+		sum += v
+	}
+	if raw.Total != nil && *raw.Total != sum {
+		return nil, fmt.Errorf("%w: total %d but counts sum to %d", ErrBadSnapshot, *raw.Total, sum)
 	}
 	c := NewSharded(raw.Matrix, shards)
 	sh := &c.shards[0]
 	for k, v := range raw.Counts {
-		if v < 0 {
-			return nil, fmt.Errorf("collector: snapshot count[%d] = %d is negative", k, v)
-		}
 		sh.counts[k].Store(int64(v))
 	}
 	return c, nil

@@ -78,8 +78,10 @@ func (sv *solver) distributions(counts []int, total int) (disguised, est []float
 // the two collectors reconstruct through the same cached factorization and
 // report identical numbers for identical ingest streams.
 func summarize(sv *solver, counts []int, total int, z float64) (Summary, error) {
-	if z <= 0 {
-		return Summary{}, fmt.Errorf("collector: z must be positive, got %v", z)
+	// !(z > 0) rather than z <= 0: NaN fails every comparison, so a NaN z
+	// would otherwise sail through and poison every half-width.
+	if !(z > 0) || math.IsInf(z, 1) {
+		return Summary{}, fmt.Errorf("collector: z must be a positive finite number, got %v", z)
 	}
 	disguised, est, err := sv.distributions(counts, total)
 	if err != nil {
@@ -106,10 +108,19 @@ func summarize(sv *solver, counts []int, total int, z float64) (Summary, error) 
 
 // reportsForMargin projects the reports needed for the worst-category
 // half-width at quantile z to shrink to the target margin, given the current
-// counts.
+// counts. Edge cases are pinned by TestReportsForMarginEdgeCases: a
+// non-positive or non-finite margin is ErrBadMargin (NaN fails the < 0 and
+// <= 0 comparisons, so it needs an explicit check — before the fix it flowed
+// into the extrapolation and produced an undefined int conversion); an empty
+// collector is ErrNoReports, never a division by zero; and a margin the
+// current collection already meets answers with the current total rather
+// than extrapolating downward.
 func reportsForMargin(sv *solver, counts []int, total int, margin, z float64) (int, error) {
-	if margin <= 0 {
-		return 0, fmt.Errorf("collector: margin must be positive, got %v", margin)
+	if !(margin > 0) || math.IsInf(margin, 1) {
+		return 0, fmt.Errorf("%w: got %v", ErrBadMargin, margin)
+	}
+	if total == 0 {
+		return 0, ErrNoReports
 	}
 	s, err := summarize(sv, counts, total, z)
 	if err != nil {
@@ -117,6 +128,8 @@ func reportsForMargin(sv *solver, counts []int, total int, margin, z float64) (i
 	}
 	cur := s.worstHalfWidth()
 	if cur <= margin {
+		// Already there (or exactly there): the answer is the evidence we
+		// have, not a <= total extrapolation.
 		return total, nil
 	}
 	// Half-widths scale as 1/sqrt(N).

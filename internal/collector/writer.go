@@ -12,15 +12,24 @@ import "fmt"
 //
 // A Writer is NOT safe for concurrent use — that is the point; give each
 // ingesting goroutine its own. Buffered reports are invisible to queries
-// until Flush, and a flushed batch lands atomically exactly like
-// IngestBatch. Call Flush when the stream ends or a consistency point is
-// needed; dropping a Writer without flushing drops its buffered reports.
+// until they flush, and a flushed batch lands atomically exactly like
+// IngestBatch.
+//
+// Lifecycle: the owning goroutine must call Close before returning — a
+// Writer that is dropped with buffered reports silently loses them, which is
+// exactly the bug class a long-lived server hits when a connection handler
+// exits early. Close flushes and then rejects further ingestion with
+// ErrWriterClosed; Close and Flush are both idempotent, so "defer w.Close()"
+// plus explicit consistency-point flushes compose safely. On any flush
+// error the buffer is left intact (nothing dropped, nothing double-counted)
+// and the flush can simply be retried.
 type Writer struct {
 	c       *ShardedCollector
 	sh      *shard
 	pending []int // per-category buffered counts
 	n       int   // buffered reports
 	limit   int   // flush threshold
+	closed  bool
 }
 
 // NewWriter returns a buffered writer pinned to the next shard in
@@ -41,9 +50,15 @@ func (c *ShardedCollector) NewWriter(flushEvery int) *Writer {
 
 // Ingest buffers one disguised report, flushing when the buffer reaches the
 // writer's threshold. Validation happens here, so a bad report is reported
-// immediately and never contaminates a flush.
+// immediately and never contaminates a flush. A returned flush error means
+// the report (and the rest of the buffer) is still buffered, not lost.
 func (w *Writer) Ingest(report int) error {
+	// Close truncates pending to length 0, so a closed writer funnels every
+	// report into this cold branch — the hot path pays no closed check.
 	if report < 0 || report >= len(w.pending) {
+		if w.closed {
+			return ErrWriterClosed
+		}
 		w.c.ins.observeBad()
 		return fmt.Errorf("%w: %d of %d categories", ErrBadReport, report, len(w.pending))
 	}
@@ -51,7 +66,7 @@ func (w *Writer) Ingest(report int) error {
 	w.n++
 	w.c.ins.observeIngest(report)
 	if w.n >= w.limit {
-		w.Flush()
+		return w.Flush()
 	}
 	return nil
 }
@@ -60,10 +75,13 @@ func (w *Writer) Ingest(report int) error {
 func (w *Writer) Buffered() int { return w.n }
 
 // Flush lands the buffered reports on the writer's shard as one atomic
-// batch. A flush of an empty buffer is a no-op.
-func (w *Writer) Flush() {
+// batch. The buffer is cleared only after the batch has landed, so an error
+// leaves every buffered report in place for a retry — a failed flush never
+// drops or double-counts. A flush of an empty buffer (including any flush
+// after Close, which drains the buffer) is a no-op.
+func (w *Writer) Flush() error {
 	if w.n == 0 {
-		return
+		return nil
 	}
 	w.sh.mu.Lock()
 	for k, v := range w.pending {
@@ -80,4 +98,21 @@ func (w *Writer) Flush() {
 	if w.c.ins != nil {
 		w.c.ins.observeBatch(flushed, w.c.Count())
 	}
+	return nil
+}
+
+// Close flushes any buffered reports and retires the writer: subsequent
+// Ingest calls return ErrWriterClosed. Closing an already-closed writer is a
+// no-op. If the final flush fails the writer stays open with its buffer
+// intact so the close can be retried without losing reports.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	w.closed = true
+	w.pending = w.pending[:0]
+	return nil
 }

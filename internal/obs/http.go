@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -24,6 +25,9 @@ import (
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // shutdownTimeout bounds how long Close waits for in-flight scrapes before
@@ -35,6 +39,15 @@ const shutdownTimeout = 5 * time.Second
 // reg may be nil; when non-nil it is additionally served at /metrics. The
 // server runs until Close.
 func Serve(addr string, reg *Registry) (*Server, error) {
+	return ServeMux(addr, reg, nil)
+}
+
+// ServeMux is Serve with an application hook: when register is non-nil it is
+// called with the server's mux before the listener starts accepting, so a
+// service (e.g. cmd/rrserver) can mount its own API routes next to the debug
+// endpoints and inherit the listener, the graceful Close, /healthz and the
+// /metrics exposition instead of running a second HTTP server.
+func ServeMux(addr string, reg *Registry, register func(mux *http.ServeMux)) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -52,6 +65,9 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	})
 	if reg != nil {
 		mux.HandleFunc("/metrics", metricsHandler(reg))
+	}
+	if register != nil {
+		register(mux)
 	}
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	s := &Server{ln: ln, srv: srv}
@@ -90,17 +106,26 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // Close gracefully stops the server: the listener closes immediately (the
 // port is released, /healthz goes unreachable) and in-flight requests get
 // shutdownTimeout to finish before their connections are forced shut.
+//
+// Close is idempotent: the shutdown runs once and every call returns the
+// same result. Without the guard a second Close re-entered
+// http.Server.Shutdown, which re-closes the (already closed) listener and
+// surfaces a spurious net.ErrClosed — exactly the kind of shutdown-path
+// noise a supervisor restarting rrserver turns into a false alert.
 func (s *Server) Close() error {
-	ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
-	defer cancel()
-	err := s.srv.Shutdown(ctx)
-	// Shutdown only closes listeners the serve goroutine has registered; if
-	// Close races server startup the listener may not be tracked yet, so
-	// close it directly too (idempotent — double close just errors).
-	s.ln.Close() //nolint:errcheck
-	if err == context.DeadlineExceeded {
-		// Grace period exhausted: drop whatever is still running.
-		return s.srv.Close()
-	}
-	return err
+	s.closeOnce.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		defer cancel()
+		err := s.srv.Shutdown(ctx)
+		// Shutdown only closes listeners the serve goroutine has registered;
+		// if Close races server startup the listener may not be tracked yet,
+		// so close it directly too (idempotent — double close just errors).
+		s.ln.Close() //nolint:errcheck
+		if err == context.DeadlineExceeded {
+			// Grace period exhausted: drop whatever is still running.
+			err = s.srv.Close()
+		}
+		s.closeErr = err
+	})
+	return s.closeErr
 }

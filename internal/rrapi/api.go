@@ -1,0 +1,60 @@
+// Package rrapi defines the JSON wire types of the LDP collection service
+// (cmd/rrserver): what a disguising client POSTs and what the collector-side
+// estimate queries return. It is shared by internal/rrserver (the service)
+// and internal/rrclient (the disguise SDK) and deliberately depends on
+// nothing but the rr matrix type, so the client pulls in no server code.
+//
+// The protocol is the paper's Section I split made literal: the private
+// value is sampled through the disguise matrix on the respondent's machine,
+// and only the disguised category index ever crosses the wire.
+package rrapi
+
+import "optrr/internal/rr"
+
+// ReportRequest is the body of POST /v1/report: one disguised category.
+type ReportRequest struct {
+	Report int `json:"report"`
+}
+
+// BatchRequest is the body of POST /v1/reports: many disguised categories,
+// ingested atomically (all land or, on any out-of-range report, none do).
+type BatchRequest struct {
+	Reports []int `json:"reports"`
+}
+
+// IngestResponse acknowledges an ingest: how many reports the batch carried.
+type IngestResponse struct {
+	Accepted int `json:"accepted"`
+}
+
+// SchemeResponse is the body of GET /v1/scheme: the deployed disguise
+// matrix in the validated rr wire form (categories + column vectors), so a
+// client can build its local samplers, plus the collection's z quantile so
+// client and server quote the same confidence level.
+type SchemeResponse struct {
+	Matrix *rr.Matrix `json:"matrix"`
+	Z      float64    `json:"z"`
+}
+
+// EstimateResponse is the body of GET /v1/estimate: the debiased frequency
+// estimate with per-category confidence half-widths (the collector Summary
+// over the wire), framing the estimator-error/report-count tradeoff for
+// operators: Margin is the worst half-width now, and ReportsForMargin (when
+// a ?margin= target was given) projects how many total reports shrink it to
+// the target.
+type EstimateResponse struct {
+	Reports   int       `json:"reports"`
+	Disguised []float64 `json:"disguised"`
+	Estimate  []float64 `json:"estimate"`
+	HalfWidth []float64 `json:"half_width"`
+	Z         float64   `json:"z"`
+	Margin    float64   `json:"margin"`
+	// ReportsForMargin is the projected total report count needed to meet
+	// the requested ?margin= target (0 when no target was requested).
+	ReportsForMargin int `json:"reports_for_margin,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,239 @@
+// Package rrclient is the respondent-side disguise SDK for the LDP
+// collection service (cmd/rrserver). It enforces the paper's Section I
+// privacy boundary in code: the client fetches the deployed disguise matrix
+// once, samples the disguised category locally — the same alias-sampler
+// construction collector.Respondent uses — and reports only the disguise.
+// The private value never leaves the process.
+package rrclient
+
+import (
+	"bytes"
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"optrr/internal/randx"
+	"optrr/internal/rr"
+	"optrr/internal/rrapi"
+)
+
+// randomSeed seeds a production client's disguise draws from the OS entropy
+// pool — respondent privacy must not hinge on a guessable stream — falling
+// back to the clock only if that fails.
+func randomSeed() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return uint64(time.Now().UnixNano())
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// Client talks to one rrserver deployment. It is safe for concurrent use:
+// the scheme is fetched once and the sampler state is mutex-guarded, so one
+// Client can front many reporting goroutines (each draw is serialized, which
+// is fine — sampling is tens of nanoseconds against a network round trip).
+type Client struct {
+	base string
+	hc   *http.Client
+
+	mu       sync.Mutex
+	m        *rr.Matrix
+	samplers []*randx.Alias // one per original category (matrix column)
+	rng      *randx.Source
+	z        float64
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying HTTP client (e.g. one with a
+// timeout or a test transport).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithSeed makes the client's disguise draws deterministic — for tests and
+// simulations only; production respondents should keep the default
+// per-client random seeding irrelevant by being distinct processes.
+func WithSeed(seed uint64) Option {
+	return func(c *Client) { c.rng = randx.New(seed) }
+}
+
+// New returns a client for the service at baseURL (e.g.
+// "http://127.0.0.1:8433"). No network traffic happens until the first call.
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		hc:   http.DefaultClient,
+		rng:  randx.New(randomSeed()),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Scheme returns the deployed disguise matrix, fetching and caching it (and
+// the derived per-category samplers) on first use.
+func (c *Client) Scheme(ctx context.Context) (*rr.Matrix, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureSchemeLocked(ctx); err != nil {
+		return nil, err
+	}
+	return c.m, nil
+}
+
+// ensureSchemeLocked fetches GET /v1/scheme once and builds the alias
+// samplers, one per matrix column, exactly as collector.Respondent does.
+func (c *Client) ensureSchemeLocked(ctx context.Context) error {
+	if c.m != nil {
+		return nil
+	}
+	var resp rrapi.SchemeResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/scheme", nil, &resp); err != nil {
+		return err
+	}
+	if resp.Matrix == nil {
+		return fmt.Errorf("rrclient: scheme response has no matrix")
+	}
+	n := resp.Matrix.N()
+	samplers := make([]*randx.Alias, n)
+	for i := 0; i < n; i++ {
+		a, err := randx.NewAlias(resp.Matrix.Column(i))
+		if err != nil {
+			return fmt.Errorf("rrclient: scheme column %d: %w", i, err)
+		}
+		samplers[i] = a
+	}
+	c.m, c.samplers, c.z = resp.Matrix, samplers, resp.Z
+	return nil
+}
+
+// Disguise samples the disguised category for one private value, locally.
+// Nothing is sent; combine with Report/ReportBatch, or use ReportValue.
+func (c *Client) Disguise(ctx context.Context, value int) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.disguiseLocked(ctx, value)
+}
+
+func (c *Client) disguiseLocked(ctx context.Context, value int) (int, error) {
+	if err := c.ensureSchemeLocked(ctx); err != nil {
+		return 0, err
+	}
+	if value < 0 || value >= len(c.samplers) {
+		return 0, fmt.Errorf("rrclient: value %d outside the %d-category domain", value, len(c.samplers))
+	}
+	return c.samplers[value].Draw(c.rng), nil
+}
+
+// ReportValue disguises one private value locally and submits only the
+// disguised category; it returns what was reported (never the input).
+func (c *Client) ReportValue(ctx context.Context, value int) (int, error) {
+	disguised, err := c.Disguise(ctx, value)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.Report(ctx, disguised); err != nil {
+		return 0, err
+	}
+	return disguised, nil
+}
+
+// ReportValues disguises each private value locally and submits the whole
+// batch in one POST /v1/reports; it returns the disguised batch.
+func (c *Client) ReportValues(ctx context.Context, values []int) ([]int, error) {
+	c.mu.Lock()
+	disguised := make([]int, len(values))
+	for k, v := range values {
+		d, err := c.disguiseLocked(ctx, v)
+		if err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		disguised[k] = d
+	}
+	c.mu.Unlock()
+	if err := c.ReportBatch(ctx, disguised); err != nil {
+		return nil, err
+	}
+	return disguised, nil
+}
+
+// Report submits one already-disguised category (POST /v1/report). Most
+// callers want ReportValue, which disguises first.
+func (c *Client) Report(ctx context.Context, disguised int) error {
+	var resp rrapi.IngestResponse
+	return c.do(ctx, http.MethodPost, "/v1/report", rrapi.ReportRequest{Report: disguised}, &resp)
+}
+
+// ReportBatch submits a batch of already-disguised categories
+// (POST /v1/reports), which land atomically on the collector.
+func (c *Client) ReportBatch(ctx context.Context, disguised []int) error {
+	var resp rrapi.IngestResponse
+	return c.do(ctx, http.MethodPost, "/v1/reports", rrapi.BatchRequest{Reports: disguised}, &resp)
+}
+
+// Estimate fetches the server's current debiased reconstruction with
+// per-category confidence half-widths. margin > 0 additionally asks the
+// server to project the total report count needed to reach that margin
+// (EstimateResponse.ReportsForMargin).
+func (c *Client) Estimate(ctx context.Context, margin float64) (*rrapi.EstimateResponse, error) {
+	path := "/v1/estimate"
+	if margin > 0 {
+		path += "?margin=" + strconv.FormatFloat(margin, 'g', -1, 64)
+	}
+	var resp rrapi.EstimateResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// do runs one JSON round trip. Non-2xx answers are surfaced as errors
+// carrying the server's ErrorResponse message.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("rrclient: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("rrclient: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("rrclient: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var apiErr rrapi.ErrorResponse
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&apiErr); err == nil && apiErr.Error != "" {
+			return fmt.Errorf("rrclient: %s %s: %s (HTTP %d)", method, path, apiErr.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("rrclient: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("rrclient: decoding %s response: %w", path, err)
+	}
+	return nil
+}

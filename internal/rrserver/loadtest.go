@@ -1,0 +1,145 @@
+package rrserver
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"optrr/internal/randx"
+	"optrr/internal/rrclient"
+)
+
+// LoadConfig parameterizes the load driver: a fleet of SDK clients pushing
+// synthetic respondent values through the full HTTP disguise-and-report
+// batch path against a running service.
+type LoadConfig struct {
+	// BaseURL is the service address, e.g. "http://127.0.0.1:8433".
+	BaseURL string
+	// Categories is the private-value domain; the driver draws values
+	// uniformly from it (the disguise happens in the SDK, as in production).
+	Categories int
+	// Reports is the total number of reports to push.
+	Reports int
+	// Batch is the reports per POST /v1/reports call (<= 0 picks 1000).
+	Batch int
+	// Workers is the number of concurrent reporting clients (<= 0 picks 4).
+	Workers int
+	// Seed makes the driven values and disguise draws reproducible.
+	Seed uint64
+}
+
+// LoadResult summarizes a load-driver run. Latencies are per-batch HTTP
+// round trips measured at the client.
+type LoadResult struct {
+	Reports    int
+	Batches    int
+	Seconds    float64
+	Throughput float64 // reports per second
+	P50ms      float64
+	P90ms      float64
+	P99ms      float64
+}
+
+// LoadTest drives cfg.Reports synthetic reports through the service at
+// cfg.BaseURL using cfg.Workers concurrent SDK clients, each disguising
+// locally and POSTing cfg.Batch-sized batches. It returns client-side
+// latency quantiles and throughput; the server's own view lands in its
+// rrserver.ingest_ns histogram.
+func LoadTest(ctx context.Context, cfg LoadConfig) (LoadResult, error) {
+	if cfg.Reports <= 0 {
+		return LoadResult{}, fmt.Errorf("rrserver: loadtest needs a positive report count, got %d", cfg.Reports)
+	}
+	if cfg.Categories < 2 {
+		return LoadResult{}, fmt.Errorf("rrserver: loadtest needs at least 2 categories, got %d", cfg.Categories)
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 1000
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	batches := (cfg.Reports + cfg.Batch - 1) / cfg.Batch
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		lats     = make([][]float64, cfg.Workers)
+	)
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Per-worker deterministic streams: one for the private values,
+			// one (via WithSeed) for the SDK's disguise draws.
+			values := randx.Stream(cfg.Seed, uint64(2*w))
+			client := rrclient.New(cfg.BaseURL,
+				rrclient.WithSeed(randx.StreamSeed(cfg.Seed, uint64(2*w+1))))
+			batch := make([]int, 0, cfg.Batch)
+			// Worker w drives batches w, w+Workers, w+2*Workers, ...
+			for b := w; b < batches; b += cfg.Workers {
+				if err := ctx.Err(); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				size := cfg.Batch
+				if b == batches-1 {
+					if rem := cfg.Reports - b*cfg.Batch; rem < size {
+						size = rem
+					}
+				}
+				batch = batch[:0]
+				for i := 0; i < size; i++ {
+					batch = append(batch, values.Intn(cfg.Categories))
+				}
+				t0 := time.Now()
+				if _, err := client.ReportValues(ctx, batch); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				lats[w] = append(lats[w], float64(time.Since(t0).Nanoseconds()))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if firstErr != nil {
+		return LoadResult{}, firstErr
+	}
+
+	all := make([]float64, 0, batches)
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	res := LoadResult{
+		Reports:    cfg.Reports,
+		Batches:    len(all),
+		Seconds:    elapsed,
+		Throughput: float64(cfg.Reports) / elapsed,
+		P50ms:      quantileNs(all, 0.50) / 1e6,
+		P90ms:      quantileNs(all, 0.90) / 1e6,
+		P99ms:      quantileNs(all, 0.99) / 1e6,
+	}
+	return res, nil
+}
+
+// quantileNs reads the q-quantile from sorted latencies (nearest-rank).
+func quantileNs(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -1,0 +1,387 @@
+// Package rrserver implements the LDP collection service behind cmd/rrserver:
+// an HTTP/JSON front over a sharded collector, realizing the paper's
+// Section I deployment literally — a fleet of respondents disguises locally
+// (internal/rrclient) and POSTs only disguised category indices; this server
+// aggregates them and inverts the disguise matrix on demand to answer
+// distribution queries with confidence half-widths.
+//
+// Endpoints (mounted on an obs debug server via obs.ServeMux, so /metrics,
+// /healthz, expvar and pprof ride along):
+//
+//	POST /v1/report    {"report": k}        ingest one disguised report
+//	POST /v1/reports   {"reports": [k...]}  ingest a batch atomically
+//	GET  /v1/estimate  debiased estimate + per-category half-widths;
+//	                   ?z= overrides the quantile, ?margin= adds the
+//	                   projected report count to reach that margin
+//	GET  /v1/scheme    the deployed disguise matrix (clients sample locally)
+//
+// The server periodically persists a JSON snapshot of the collection state
+// (ShardedCollector.MarshalJSON) and restores it at boot; a corrupt or
+// mismatched snapshot is rejected by the typed validation in RestoreSharded
+// and the server falls back to a fresh collector with a logged warning
+// rather than serving poisoned estimates.
+package rrserver
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"optrr/internal/collector"
+	"optrr/internal/obs"
+	"optrr/internal/rr"
+	"optrr/internal/rrapi"
+)
+
+// DefaultZ is the confidence quantile estimates are served at when the
+// config leaves it zero (1.96 ≈ 95% normal coverage).
+const DefaultZ = 1.96
+
+// DefaultMaxBatch caps POST /v1/reports bodies when the config leaves
+// MaxBatch zero. One batch lands under a single shard mutex, so the cap
+// bounds both memory per request and the longest write a query can wait on.
+const DefaultMaxBatch = 1 << 17
+
+// Config parameterizes a collection service.
+type Config struct {
+	// Matrix is the deployed disguise scheme. Required, and must be
+	// invertible for estimate queries to succeed.
+	Matrix *rr.Matrix
+	// Shards is the collector shard count (<= 0 picks the GOMAXPROCS
+	// default).
+	Shards int
+	// Z is the confidence quantile for /v1/estimate (0 means DefaultZ).
+	Z float64
+	// SnapshotPath enables crash recovery: the collection state is restored
+	// from this file at construction and persisted to it periodically and on
+	// shutdown. Empty disables persistence.
+	SnapshotPath string
+	// SnapshotEvery is the persistence period (0 means 30s).
+	SnapshotEvery time.Duration
+	// MaxBatch caps the reports accepted in one POST /v1/reports
+	// (0 means DefaultMaxBatch).
+	MaxBatch int
+	// Recorder receives collector and server trace events; nil records
+	// nothing.
+	Recorder obs.Recorder
+	// Registry collects server metrics; nil uses a private registry.
+	Registry *obs.Registry
+	// Logf is the warning/lifecycle logger (nil means the stdlib log
+	// package).
+	Logf func(format string, args ...any)
+}
+
+// Server is the collection service: the sharded collector plus the HTTP
+// handlers and the snapshot loop. Construct with New, mount with Register,
+// run the persistence loop with Run.
+type Server struct {
+	cfg      Config
+	col      *collector.ShardedCollector
+	rec      obs.Recorder
+	logf     func(string, ...any)
+	restored bool
+
+	ingestLat    *obs.Histogram // rrserver.ingest_ns: per-request ingest latency
+	httpErrs     *obs.Counter   // rrserver.http_errors
+	snapshots    *obs.Counter   // rrserver.snapshots
+	snapshotErrs *obs.Counter   // rrserver.snapshot_errors
+	snapshotSize *obs.Gauge     // rrserver.snapshot_bytes
+}
+
+// New builds the service and, when cfg.SnapshotPath names an existing file,
+// attempts crash recovery. Recovery is strictly validated: a snapshot that
+// fails RestoreSharded's integrity checks, or whose matrix differs from the
+// deployed cfg.Matrix (reports disguised under a different scheme would make
+// the inversion estimator meaningless), is abandoned with a logged warning
+// and collection starts fresh.
+func New(cfg Config) (*Server, error) {
+	if cfg.Matrix == nil {
+		return nil, fmt.Errorf("rrserver: config needs a disguise matrix")
+	}
+	if cfg.Z == 0 {
+		cfg.Z = DefaultZ
+	}
+	if !(cfg.Z > 0) {
+		return nil, fmt.Errorf("rrserver: z must be positive, got %v", cfg.Z)
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 30 * time.Second
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	s := &Server{
+		cfg:  cfg,
+		rec:  obs.OrNop(cfg.Recorder),
+		logf: cfg.Logf,
+		ingestLat: cfg.Registry.Histogram("rrserver.ingest_ns",
+			obs.LogBuckets(1000, 4, 12)), // 1µs .. ~4s
+		httpErrs:     cfg.Registry.Counter("rrserver.http_errors"),
+		snapshots:    cfg.Registry.Counter("rrserver.snapshots"),
+		snapshotErrs: cfg.Registry.Counter("rrserver.snapshot_errors"),
+		snapshotSize: cfg.Registry.Gauge("rrserver.snapshot_bytes"),
+	}
+	if s.logf == nil {
+		s.logf = log.Printf
+	}
+	if cfg.SnapshotPath != "" {
+		s.col = s.recover(cfg.SnapshotPath)
+	}
+	if s.col == nil {
+		s.col = collector.NewSharded(cfg.Matrix, cfg.Shards)
+	}
+	s.col.Instrument(cfg.Recorder, cfg.Registry)
+	return s, nil
+}
+
+// recover tries to restore the collector from path, returning nil (start
+// fresh) on any rejection. Only a clean "file does not exist" is silent;
+// everything else is a warning an operator should see.
+func (s *Server) recover(path string) *collector.ShardedCollector {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.logf("rrserver: reading snapshot %s: %v; starting fresh", path, err)
+		}
+		return nil
+	}
+	col, err := collector.RestoreSharded(data, s.cfg.Shards)
+	if err != nil {
+		s.logf("rrserver: snapshot %s rejected (%v); starting fresh", path, err)
+		return nil
+	}
+	if got, want := col.Categories(), s.cfg.Matrix.N(); got != want {
+		s.logf("rrserver: snapshot %s has %d categories, deployed scheme has %d; starting fresh", path, got, want)
+		return nil
+	}
+	// Rebuild on the deployed matrix and fold the snapshot's counts in via
+	// Merge, which re-checks the matrix entry by entry: a snapshot collected
+	// under a different (same-sized) scheme is rejected here — its reports
+	// were disguised with other probabilities and would bias every estimate.
+	fresh := collector.NewSharded(s.cfg.Matrix, s.cfg.Shards)
+	if err := fresh.Merge(col); err != nil {
+		s.logf("rrserver: snapshot %s was collected under a different disguise matrix (%v); starting fresh", path, err)
+		return nil
+	}
+	s.restored = true
+	s.logf("rrserver: restored %d reports from %s", fresh.Count(), path)
+	return fresh
+}
+
+// Restored reports whether construction recovered state from a snapshot.
+func (s *Server) Restored() bool { return s.restored }
+
+// Collector exposes the underlying sharded collector (e.g. for tests and
+// the in-process load driver).
+func (s *Server) Collector() *collector.ShardedCollector { return s.col }
+
+// Z returns the configured confidence quantile.
+func (s *Server) Z() float64 { return s.cfg.Z }
+
+// Register mounts the /v1 API on mux. Pass it to obs.ServeMux so the API
+// shares the debug server's listener, graceful shutdown, /healthz and
+// /metrics.
+func (s *Server) Register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/report", s.handleReport)
+	mux.HandleFunc("POST /v1/reports", s.handleBatch)
+	mux.HandleFunc("GET /v1/estimate", s.handleEstimate)
+	mux.HandleFunc("GET /v1/scheme", s.handleScheme)
+}
+
+// Run drives periodic snapshot persistence until ctx is done, then writes
+// one final snapshot so a graceful shutdown loses nothing. With persistence
+// disabled it just blocks until ctx is done. The returned error is the final
+// snapshot's (nil on a clean drain). Cancel ctx only after the HTTP server
+// has drained, so the final snapshot includes every in-flight ingest.
+func (s *Server) Run(ctx context.Context) error {
+	if s.cfg.SnapshotPath == "" {
+		<-ctx.Done()
+		return nil
+	}
+	t := time.NewTicker(s.cfg.SnapshotEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return s.SnapshotNow()
+		case <-t.C:
+			if err := s.SnapshotNow(); err != nil {
+				s.logf("rrserver: periodic snapshot: %v", err)
+			}
+		}
+	}
+}
+
+// SnapshotNow persists the collection state to cfg.SnapshotPath, atomically
+// (write temp file, rename into place) so a crash mid-write never corrupts
+// the previous good snapshot.
+func (s *Server) SnapshotNow() error {
+	if s.cfg.SnapshotPath == "" {
+		return nil
+	}
+	start := time.Now()
+	data, err := json.Marshal(s.col)
+	if err != nil {
+		s.snapshotErrs.Inc()
+		return fmt.Errorf("rrserver: marshaling snapshot: %w", err)
+	}
+	dir := filepath.Dir(s.cfg.SnapshotPath)
+	tmp, err := os.CreateTemp(dir, ".rrserver-snapshot-*")
+	if err != nil {
+		s.snapshotErrs.Inc()
+		return fmt.Errorf("rrserver: snapshot temp file: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		s.snapshotErrs.Inc()
+		return fmt.Errorf("rrserver: writing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		s.snapshotErrs.Inc()
+		return fmt.Errorf("rrserver: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.cfg.SnapshotPath); err != nil {
+		os.Remove(tmp.Name())
+		s.snapshotErrs.Inc()
+		return fmt.Errorf("rrserver: installing snapshot: %w", err)
+	}
+	s.snapshots.Inc()
+	s.snapshotSize.Set(float64(len(data)))
+	if s.rec.Enabled() {
+		s.rec.Record("rrserver.snapshot", obs.Fields{
+			"reports": s.col.Count(),
+			"bytes":   len(data),
+			"ms":      float64(time.Since(start).Microseconds()) / 1e3,
+		})
+	}
+	return nil
+}
+
+// handleReport ingests one disguised report.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req rrapi.ReportRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %v", err))
+		return
+	}
+	if err := s.col.Ingest(req.Report); err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	s.ingestLat.Observe(float64(time.Since(start).Nanoseconds()))
+	s.writeJSON(w, http.StatusOK, rrapi.IngestResponse{Accepted: 1})
+}
+
+// handleBatch ingests a batch of disguised reports atomically.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req rrapi.BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %v", err))
+		return
+	}
+	if len(req.Reports) > s.cfg.MaxBatch {
+		s.writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d exceeds the %d-report limit", len(req.Reports), s.cfg.MaxBatch))
+		return
+	}
+	if len(req.Reports) > 0 {
+		if err := s.col.IngestBatch(req.Reports); err != nil {
+			s.writeError(w, statusFor(err), err)
+			return
+		}
+	}
+	s.ingestLat.Observe(float64(time.Since(start).Nanoseconds()))
+	s.writeJSON(w, http.StatusOK, rrapi.IngestResponse{Accepted: len(req.Reports)})
+}
+
+// handleEstimate serves the current reconstruction with confidence
+// half-widths; ?z= overrides the quantile and ?margin= adds the projected
+// report count needed to shrink the worst half-width to the target.
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	z := s.cfg.Z
+	if raw := r.URL.Query().Get("z"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad z %q: %v", raw, err))
+			return
+		}
+		z = v
+	}
+	sum, err := s.col.Snapshot(z)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	resp := rrapi.EstimateResponse{
+		Reports:   sum.Reports,
+		Disguised: sum.Disguised,
+		Estimate:  sum.Estimate,
+		HalfWidth: sum.HalfWidth,
+		Z:         sum.Z,
+	}
+	for _, h := range sum.HalfWidth {
+		if h > resp.Margin {
+			resp.Margin = h
+		}
+	}
+	if raw := r.URL.Query().Get("margin"); raw != "" {
+		target, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad margin %q: %v", raw, err))
+			return
+		}
+		need, err := s.col.ReportsForMargin(target, z)
+		if err != nil {
+			s.writeError(w, statusFor(err), err)
+			return
+		}
+		resp.ReportsForMargin = need
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleScheme serves the deployed disguise matrix so clients can sample
+// locally and never upload a true value.
+func (s *Server) handleScheme(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, rrapi.SchemeResponse{Matrix: s.cfg.Matrix, Z: s.cfg.Z})
+}
+
+// statusFor maps collector errors onto HTTP statuses: client mistakes are
+// 4xx, a not-yet-answerable estimate is 409, an undefined estimator is 500.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, collector.ErrBadReport), errors.Is(err, collector.ErrBadMargin):
+		return http.StatusBadRequest
+	case errors.Is(err, collector.ErrNoReports):
+		return http.StatusConflict
+	case errors.Is(err, rr.ErrSingular):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
+	s.httpErrs.Inc()
+	s.writeJSON(w, code, rrapi.ErrorResponse{Error: err.Error()})
+}
