@@ -16,9 +16,11 @@
 #                  schedules
 #   bench smoke    the BenchmarkOptimize trio (baseline, traced, island
 #                  scaling) plus the hot-path micro-benchmarks (fused
-#                  evaluation, extra-objective evaluation, SPEA2 scratch —
-#                  2-D and k-dimensional — bound repair, batch disguise,
-#                  convergence-snapshot emission, histogram quantiles) and
+#                  evaluation, extra-objective evaluation, Kronecker-factored
+#                  vs dense joint evaluation, the multi-attribute search,
+#                  SPEA2 scratch — 2-D and k-dimensional — bound repair,
+#                  batch disguise, convergence-snapshot emission, histogram
+#                  quantiles) and
 #                  the safe-vs-sharded collector contention matrix with the
 #                  batched writer and the rrserver HTTP batch-ingest path
 #                  (with its p99 batch latency as a custom metric), at pinned
@@ -61,12 +63,12 @@ echo "== go test -race (collector, core, obs, rrserver) =="
 go test -race ./internal/collector ./internal/core ./internal/obs \
     ./internal/rrserver ./internal/rrclient
 
-echo "== go test -race -cpu 1,4 (islands, collector sharding) =="
-go test -race -cpu 1,4 -run 'Island|Sharded|Writer|Contention|Race|Concurrent' \
-    ./internal/core ./internal/collector
+echo "== go test -race -cpu 1,4 (islands, collector sharding, joint evaluation) =="
+go test -race -cpu 1,4 -run 'Island|Sharded|Writer|Contention|Race|Concurrent|Multi|Joint' \
+    ./internal/core ./internal/collector ./internal/metrics
 
 echo "== go test -race (parallel paths) =="
-go test -race -run 'Parallel|Grid|Batch|Stream' \
+go test -race -run 'Parallel|Grid|Batch|Stream|Tuple' \
     ./internal/experiments ./internal/rr ./internal/dataset
 
 echo "== bench smoke =="
@@ -75,6 +77,8 @@ echo "== bench smoke =="
 # noise is bounded by the fixed workload.
 go test -run '^$' -bench '^BenchmarkOptimize' -benchtime=3x -count=1 -benchmem . | tee BENCH_optimize.txt
 go test -run '^$' -bench '^(BenchmarkEvaluate|BenchmarkMaxPosterior|BenchmarkEvaluateExtraObjectives)$' -benchtime=2000x -count=1 -benchmem ./internal/metrics | tee -a BENCH_optimize.txt
+go test -run '^$' -bench '^BenchmarkJointEvaluate$' -benchtime=200x -count=1 -benchmem ./internal/metrics | tee -a BENCH_optimize.txt
+go test -run '^$' -bench '^BenchmarkOptimizeMulti$' -benchtime=3x -count=1 -benchmem ./internal/core | tee -a BENCH_optimize.txt
 go test -run '^$' -bench '^(BenchmarkAssignFitness|BenchmarkTruncate|BenchmarkAssignFitnessK3)$' -benchtime=50x -count=1 -benchmem ./internal/emoo | tee -a BENCH_optimize.txt
 go test -run '^$' -bench '^(BenchmarkRepair|BenchmarkRealizeSteadyState|BenchmarkConvergenceSnapshot)$' -benchtime=2000x -count=1 -benchmem ./internal/core | tee -a BENCH_optimize.txt
 go test -run '^$' -bench '^BenchmarkHistogramQuantiles$' -benchtime=2000x -count=1 -benchmem ./internal/obs | tee -a BENCH_optimize.txt

@@ -8,6 +8,13 @@
 //	rrdata -dist normal -categories 10 -records 10000 > normal.txt
 //	rrdata -dist adult -records 30000 -seed 7 > adult.txt
 //	rrdata -disguise normal.txt -categories 10 -warner 0.7 > disguised.txt
+//	rrdata -disguise multi.csv -sizes 8,7,6,5,4,3 -warner 0.7 > disguised.csv
+//
+// With -sizes, each input line is a multi-attribute record (values separated
+// by commas or spaces) and attribute d is disguised independently with
+// Warner(-warner) over sizes[d] categories — the Kronecker-factored tuple
+// kernel, so arbitrarily large product spaces never materialize a joint
+// matrix.
 //
 // Sampling and disguising both run on the batched kernels: fixed
 // 8192-record chunks with per-chunk streams derived from -seed, fanned out
@@ -41,6 +48,7 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "random seed")
 		disguise    = flag.String("disguise", "", "disguise this data file instead of generating")
 		warnerP     = flag.Float64("warner", 0.7, "Warner diagonal p for -disguise")
+		sizesFlag   = flag.String("sizes", "", "comma-separated per-attribute category counts; with -disguise, treat each line as a multi-attribute record")
 		workers     = flag.Int("workers", 0, "worker goroutines for sampling and disguising (0 = GOMAXPROCS); output does not depend on this")
 		tracePath   = flag.String("trace", "", "write a JSONL run trace to this path")
 		metricsAddr = flag.String("metrics-addr", "", "serve expvar, pprof and /metrics on host:port while running")
@@ -49,6 +57,15 @@ func main() {
 
 	if err := validateFlags(*categories, *records, *warnerP); err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if len(sizes) > 0 && *disguise == "" {
+		fmt.Fprintln(os.Stderr, "-sizes requires -disguise")
 		os.Exit(2)
 	}
 
@@ -67,7 +84,12 @@ func main() {
 
 	if *disguise != "" {
 		start := time.Now()
-		n, err := disguiseFile(*disguise, *categories, *warnerP, *seed, *workers, out)
+		var n int
+		if len(sizes) > 0 {
+			n, err = disguiseTupleFile(*disguise, sizes, *warnerP, *seed, *workers, out)
+		} else {
+			n, err = disguiseFile(*disguise, *categories, *warnerP, *seed, *workers, out)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -79,6 +101,7 @@ func main() {
 				"records": n,
 				"warner":  *warnerP,
 				"workers": *workers,
+				"sizes":   *sizesFlag,
 				"ms":      float64(time.Since(start).Microseconds()) / 1e3,
 			})
 		}
@@ -148,6 +171,88 @@ func generate(g dataset.Generator, categories, records int, seed uint64, workers
 		return nil, fmt.Errorf("rrdata: generator %q: %w", g.Name, err)
 	}
 	return d, nil
+}
+
+// parseSizes parses the -sizes flag: a comma-separated list of per-attribute
+// category counts, each at least 2. Empty input means single-attribute mode.
+func parseSizes(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	sizes := make([]int, len(parts))
+	for d, part := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("-sizes: attribute %d: %v", d, err)
+		}
+		if n < 2 {
+			return nil, fmt.Errorf("-sizes: attribute %d must have at least 2 categories, got %d", d, n)
+		}
+		sizes[d] = n
+	}
+	return sizes, nil
+}
+
+// disguiseTupleFile disguises a multi-attribute data file — one record per
+// line, attribute values separated by commas or spaces — applying
+// Warner(p) over sizes[d] categories to attribute d with the batched tuple
+// kernel. Output records are comma-separated. Returns how many records it
+// wrote.
+func disguiseTupleFile(path string, sizes []int, p float64, seed uint64, workers int, out *bufio.Writer) (int, error) {
+	ms := make([]*rr.Matrix, len(sizes))
+	for d, n := range sizes {
+		m, err := rr.Warner(n, p)
+		if err != nil {
+			return 0, fmt.Errorf("attribute %d: %w", d, err)
+		}
+		ms[d] = m
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var recs [][]int
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.FieldsFunc(text, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+		if len(fields) != len(sizes) {
+			return 0, fmt.Errorf("%s:%d: %d attributes, want %d", path, line, len(fields), len(sizes))
+		}
+		rec := make([]int, len(fields))
+		for d, fld := range fields {
+			v, err := strconv.Atoi(fld)
+			if err != nil {
+				return 0, fmt.Errorf("%s:%d: attribute %d: %v", path, line, d, err)
+			}
+			rec[d] = v
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	disguised, err := rr.TupleDisguiseBatch(ms, recs, seed, workers)
+	if err != nil {
+		return 0, err
+	}
+	var sb strings.Builder
+	for _, rec := range disguised {
+		sb.Reset()
+		for d, v := range rec {
+			if d > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strconv.Itoa(v))
+		}
+		fmt.Fprintln(out, sb.String())
+	}
+	return len(disguised), nil
 }
 
 // disguiseFile disguises every record of path with Warner(p) using the

@@ -48,6 +48,97 @@ func TestDisguiseFile(t *testing.T) {
 	}
 }
 
+func TestDisguiseTupleFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "multi.csv")
+	var in strings.Builder
+	in.WriteString("# a,b\n")
+	for i := 0; i < 500; i++ {
+		in.WriteString("0,1\n2, 0\n1\t2\n")
+	}
+	if err := os.WriteFile(path, []byte(in.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	n, err := disguiseTupleFile(path, []int{3, 3}, 0.8, 1, 0, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1500 {
+		t.Fatalf("reported %d records, want 1500", n)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Fields(buf.String())
+	if len(lines) != 1500 {
+		t.Fatalf("wrote %d records, want 1500", len(lines))
+	}
+	changed := 0
+	for i, l := range lines {
+		parts := strings.Split(l, ",")
+		if len(parts) != 2 {
+			t.Fatalf("line %d: %q is not a 2-attribute record", i, l)
+		}
+		if l != []string{"0,1", "2,0", "1,2"}[i%3] {
+			changed++
+		}
+	}
+	// Each attribute flips with probability 0.2, so ~36% of records change.
+	if changed < 300 || changed > 800 {
+		t.Fatalf("changed %d of 1500 records, expected around 540", changed)
+	}
+}
+
+func TestDisguiseTupleFileErrors(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if _, err := disguiseTupleFile("/nonexistent", []int{2, 2}, 0.8, 1, 0, w); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	dir := t.TempDir()
+	short := filepath.Join(dir, "short.csv")
+	if err := os.WriteFile(short, []byte("0,1\n0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := disguiseTupleFile(short, []int{2, 2}, 0.8, 1, 0, w); err == nil {
+		t.Fatal("short record accepted")
+	}
+	bad := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(bad, []byte("0,x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := disguiseTupleFile(bad, []int{2, 2}, 0.8, 1, 0, w); err == nil {
+		t.Fatal("non-numeric attribute accepted")
+	}
+	outOfRange := filepath.Join(dir, "range.csv")
+	if err := os.WriteFile(outOfRange, []byte("0,5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := disguiseTupleFile(outOfRange, []int{2, 2}, 0.8, 1, 0, w); err == nil {
+		t.Fatal("out-of-range attribute accepted")
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes(" 8, 7,6 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 8 || got[1] != 7 || got[2] != 6 {
+		t.Fatalf("parseSizes = %v", got)
+	}
+	if s, err := parseSizes(""); err != nil || s != nil {
+		t.Fatalf("empty sizes: %v %v", s, err)
+	}
+	for _, bad := range []string{"8,x", "8,1", "8,,7"} {
+		if _, err := parseSizes(bad); err == nil {
+			t.Errorf("parseSizes(%q) accepted", bad)
+		}
+	}
+}
+
 func TestValidateFlags(t *testing.T) {
 	if err := validateFlags(10, 10000, 0.7); err != nil {
 		t.Fatalf("default flags rejected: %v", err)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 
 	"optrr/internal/emoo"
 	"optrr/internal/metrics"
@@ -21,6 +22,16 @@ import (
 // record-level posterior max P(X-record | Y-record), which per-attribute
 // bounds cannot express (they do not compose), so repair operates through
 // the joint posterior.
+//
+// Evaluation is Kronecker-factored end to end: every individual is scored
+// through a per-worker metrics.JointWorkspace that works on the d small
+// per-attribute matrices — O(N·Σn_d) per evaluation with zero steady-state
+// allocations and no product-space matrix, so the search scales to product
+// spaces far beyond the old dense-channel cap. Threading mirrors the 1-D
+// fused evaluator: individuals fan out over parallelWork with exclusive
+// scratch per worker, results land in per-index slots, and failed slots are
+// redrawn sequentially with the run's RNG — bit-for-bit identical output at
+// every worker count.
 
 // MultiConfig parameterizes the multi-dimensional optimizer.
 type MultiConfig struct {
@@ -112,6 +123,9 @@ func (c MultiConfig) withDefaults() MultiConfig {
 	if c.OmegaSize == 0 {
 		c.OmegaSize = 1000
 	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
 	return c
 }
 
@@ -159,7 +173,9 @@ var ErrUnrealizable = errors.New("core: could not realize a feasible multi-dimen
 // OptimizeMulti runs the multi-dimensional search and returns its Pareto
 // front. The loop mirrors Run: SPEA2 fitness and selection over the tuple
 // genomes, attribute-wise crossover and mutation, blend-to-uniform repair of
-// the record-level bound, and a privacy-indexed Ω set.
+// the record-level bound, and a privacy-indexed Ω set. Individuals are
+// evaluated worker-parallel through per-worker Kronecker-factored
+// workspaces; the output is bit-for-bit identical at every Workers setting.
 func OptimizeMulti(cfg MultiConfig) (MultiResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return MultiResult{}, err
@@ -174,33 +190,26 @@ func OptimizeMulti(cfg MultiConfig) (MultiResult, error) {
 	es := emoo.NewScratch()
 
 	evaluations := 0
-	// The loop is sequential, so one set of per-attribute scratch matrices
-	// serves every evaluation; SetColumns validates exactly as Genome.Matrix.
-	ms := make([]*rr.Matrix, len(cfg.Sizes))
-	for d, s := range cfg.Sizes {
-		ms[d] = rr.NewScratchMatrix(s)
+	// Per-worker scratch: each worker goroutine owns a factored workspace
+	// and per-attribute scratch matrices; SetColumns validates exactly as
+	// Genome.Matrix. Scratch contents are fully overwritten per individual,
+	// so the dynamic item-to-worker assignment never affects results.
+	scratch := make([]*multiScratch, cfg.Workers)
+	for w := range scratch {
+		scratch[w] = newMultiScratch(cfg.Sizes)
 	}
-	materialize := func(gs []Genome) bool {
-		for d, g := range gs {
-			if err := ms[d].SetColumns(g); err != nil {
-				return false
-			}
-		}
-		return true
-	}
-	evaluate := func(gs []Genome) (MultiIndividual, bool) {
-		evaluations++
-		if !materialize(gs) {
+	process := func(gs []Genome, sc *multiScratch) (MultiIndividual, bool) {
+		if !materializeTuple(sc.mats, gs) {
 			return MultiIndividual{}, false
 		}
-		if !meetJointBound(gs, ms, cfg) {
+		if !meetJointBound(gs, sc, cfg) {
 			return MultiIndividual{}, false
 		}
 		// Re-materialize after repair.
-		if !materialize(gs) {
+		if !materializeTuple(sc.mats, gs) {
 			return MultiIndividual{}, false
 		}
-		ev, err := metrics.JointEvaluate(ms, cfg.Joint, cfg.Records)
+		ev, err := sc.jws.Evaluate(sc.mats, cfg.Joint, cfg.Records)
 		if err != nil {
 			return MultiIndividual{}, false
 		}
@@ -216,18 +225,25 @@ func OptimizeMulti(cfg MultiConfig) (MultiResult, error) {
 	}
 
 	realize := func(raw [][]Genome) ([]MultiIndividual, error) {
-		out := make([]MultiIndividual, 0, len(raw))
+		out := make([]MultiIndividual, len(raw))
+		oks := make([]bool, len(raw))
+		parallelWork(cfg.Workers, len(raw), func(w, i int) {
+			out[i], oks[i] = process(raw[i], scratch[w])
+		})
+		evaluations += len(raw)
+		// Replace failures sequentially with worker 0's scratch and the
+		// run's RNG, in index order — the redraw stream is then independent
+		// of the worker count, exactly as in the 1-D realize.
 		const maxRedraws = 5000
 		redraws := 0
-		for _, gs := range raw {
-			ind, ok := evaluate(gs)
-			for !ok {
+		for i := range out {
+			for !oks[i] {
 				if redraws++; redraws > maxRedraws {
 					return nil, fmt.Errorf("%w (delta=%v)", ErrUnrealizable, cfg.Delta)
 				}
-				ind, ok = evaluate(randomTuple())
+				evaluations++
+				out[i], oks[i] = process(randomTuple(), scratch[0])
 			}
-			out = append(out, ind)
 		}
 		return out, nil
 	}
@@ -396,39 +412,79 @@ func warnerLikeGenome(n int, p float64) Genome {
 	return g
 }
 
+// multiScratch is one worker's exclusive evaluation state: the factored
+// joint workspace plus per-attribute scratch matrices for materialization
+// and for the repair bisection's blended candidates, with preallocated
+// column buffers so a repair performs no steady-state allocations either.
+type multiScratch struct {
+	jws   *metrics.JointWorkspace
+	mats  []*rr.Matrix
+	blend []*rr.Matrix
+	cols  [][][]float64
+}
+
+func newMultiScratch(sizes []int) *multiScratch {
+	sc := &multiScratch{
+		jws:   metrics.NewJointWorkspace(),
+		mats:  make([]*rr.Matrix, len(sizes)),
+		blend: make([]*rr.Matrix, len(sizes)),
+		cols:  make([][][]float64, len(sizes)),
+	}
+	for d, n := range sizes {
+		sc.mats[d] = rr.NewScratchMatrix(n)
+		sc.blend[d] = rr.NewScratchMatrix(n)
+		cols := make([][]float64, n)
+		for i := range cols {
+			cols[i] = make([]float64, n)
+		}
+		sc.cols[d] = cols
+	}
+	return sc
+}
+
+// materializeTuple writes each genome into its scratch matrix, validating as
+// Genome.Matrix would.
+func materializeTuple(ms []*rr.Matrix, gs []Genome) bool {
+	for d, g := range gs {
+		if err := ms[d].SetColumns(g); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
 // meetJointBound enforces the record-level posterior bound: per-attribute
 // slack repair cannot target a joint posterior, so the repair blends every
 // attribute's genome toward its uniform matrix by a common factor found by
 // bisection (at factor 1 the joint posteriors equal the joint prior, whose
-// mode is below delta by Validate).
-func meetJointBound(gs []Genome, ms []*rr.Matrix, cfg MultiConfig) bool {
+// mode is below delta by Validate). Every posterior probe runs on the
+// worker's factored workspace — two mode contractions and a sweep, no joint
+// channel and no inverse — so the ~30 bisection probes per infeasible child
+// stay off the allocator entirely. sc.mats must hold the materialized gs.
+func meetJointBound(gs []Genome, sc *multiScratch, cfg MultiConfig) bool {
+	if mp, err := sc.jws.MaxPosterior(sc.mats, cfg.Joint); err == nil && mp <= cfg.Delta+1e-12 {
+		return true
+	}
 	worst := func(t float64) float64 {
-		blended := make([]*rr.Matrix, len(gs))
 		for d, g := range gs {
 			n := g.N()
 			u := 1 / float64(n)
-			cols := make([][]float64, n)
+			cols := sc.cols[d]
 			for i, col := range g {
-				c := make([]float64, n)
+				ci := cols[i]
 				for j, v := range col {
-					c[j] = (1-t)*v + t*u
+					ci[j] = (1-t)*v + t*u
 				}
-				cols[i] = c
 			}
-			m, err := rr.FromColumns(cols)
-			if err != nil {
+			if err := sc.blend[d].SetColumns(cols); err != nil {
 				return math.Inf(1)
 			}
-			blended[d] = m
 		}
-		mp, err := metrics.JointMaxPosterior(blended, cfg.Joint)
+		mp, err := sc.jws.MaxPosterior(sc.blend, cfg.Joint)
 		if err != nil {
 			return math.Inf(1)
 		}
 		return mp
-	}
-	if w, err := metrics.JointMaxPosterior(ms, cfg.Joint); err == nil && w <= cfg.Delta+1e-12 {
-		return true
 	}
 	if worst(1) > cfg.Delta+1e-12 {
 		return false

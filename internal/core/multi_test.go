@@ -241,7 +241,11 @@ func TestMeetJointBoundBlends(t *testing.T) {
 	if before <= cfg.Delta {
 		t.Fatalf("test premise broken: posterior %v already under bound", before)
 	}
-	if !meetJointBound(gs, mats, cfg) {
+	sc := newMultiScratch(sizes)
+	if !materializeTuple(sc.mats, gs) {
+		t.Fatal("materialize failed")
+	}
+	if !meetJointBound(gs, sc, cfg) {
 		t.Fatal("joint repair failed")
 	}
 	after, err := MultiIndividual{Genomes: gs}.Matrices()
@@ -257,10 +261,130 @@ func TestMeetJointBoundBlends(t *testing.T) {
 	}
 }
 
+// TestOptimizeMultiDeterministicAcrossWorkers pins the parallel evaluation
+// contract: the factored per-worker scratch must make the search bit-for-bit
+// identical at every worker count — fronts, evaluations, and every genome
+// entry.
+func TestOptimizeMultiDeterministicAcrossWorkers(t *testing.T) {
+	var ref MultiResult
+	for i, w := range []int{1, 2, 4, 7} {
+		cfg := quickMulti()
+		cfg.Workers = w
+		res, err := OptimizeMulti(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if i == 0 {
+			ref = res
+			continue
+		}
+		if res.Evaluations != ref.Evaluations {
+			t.Fatalf("workers=%d: evaluations %d, want %d", w, res.Evaluations, ref.Evaluations)
+		}
+		if len(res.Front) != len(ref.Front) {
+			t.Fatalf("workers=%d: front size %d, want %d", w, len(res.Front), len(ref.Front))
+		}
+		for k, ind := range res.Front {
+			want := ref.Front[k]
+			if ind.Eval.Privacy != want.Eval.Privacy || ind.Eval.Utility != want.Eval.Utility ||
+				ind.Eval.MaxPosterior != want.Eval.MaxPosterior {
+				t.Fatalf("workers=%d: front[%d] eval %+v, want %+v", w, k, ind.Eval, want.Eval)
+			}
+			for d, g := range ind.Genomes {
+				for ci, col := range g {
+					for j, v := range col {
+						if v != want.Genomes[d][ci][j] {
+							t.Fatalf("workers=%d: front[%d] genome[%d][%d][%d] = %v, want %v",
+								w, k, d, ci, j, v, want.Genomes[d][ci][j])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOptimizeMultiBeyondDenseCap is the acceptance-scale run: a d=4 problem
+// whose product space (12⁴ = 20736 cells) exceeds the old dense
+// maxJointCells cap of 2^14 runs end to end through the factored path, and
+// every front member still satisfies the record-level bound.
+func TestOptimizeMultiBeyondDenseCap(t *testing.T) {
+	sizes := []int{12, 12, 12, 12}
+	cells := 1
+	for _, n := range sizes {
+		cells *= n
+	}
+	if cells <= 1<<14 {
+		t.Fatalf("test sizes %v do not exceed the old cap", sizes)
+	}
+	// The old dense path refused this size outright.
+	if _, err := metrics.JointChannel(make([]*rr.Matrix, len(sizes))); err == nil {
+		t.Fatal("dense oracle accepted a nil tuple") // sanity of the oracle guard
+	}
+	joint := make([]float64, cells)
+	sum := 0.0
+	for i := range joint {
+		// Deterministic skewed joint without an RNG dependency.
+		joint[i] = 1 + float64(i%17)
+		sum += joint[i]
+	}
+	for i := range joint {
+		joint[i] /= sum
+	}
+	cfg := MultiConfig{
+		Joint:          joint,
+		Sizes:          sizes,
+		Records:        100000,
+		Delta:          0.5,
+		PopulationSize: 6,
+		ArchiveSize:    6,
+		OmegaSize:      50,
+		Generations:    3,
+		Seed:           11,
+	}
+	res, err := OptimizeMulti(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("empty front on beyond-cap problem")
+	}
+	ws := metrics.NewJointWorkspace()
+	for _, ind := range res.Front {
+		ms, err := ind.Matrices()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mp, err := ws.MaxPosterior(ms, joint)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mp > cfg.Delta+1e-9 {
+			t.Fatalf("beyond-cap front member violates the bound: %v", mp)
+		}
+	}
+}
+
 func BenchmarkOptimizeMultiGeneration(b *testing.B) {
 	cfg := quickMulti()
 	cfg.Generations = b.N
 	if _, err := OptimizeMulti(cfg); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// BenchmarkOptimizeMulti runs the full quickMulti search per iteration — the
+// pinned end-to-end cost of the factored multi-attribute optimizer, diffed
+// by cmd/benchdiff on every ci.sh run.
+func BenchmarkOptimizeMulti(b *testing.B) {
+	cfg := quickMulti()
+	var front int
+	for i := 0; i < b.N; i++ {
+		res, err := OptimizeMulti(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		front = len(res.Front)
+	}
+	b.ReportMetric(float64(front), "front-size")
 }

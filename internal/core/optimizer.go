@@ -993,7 +993,15 @@ func (t *generationTally) add(c genomeOutcome) {
 // can hand each goroutine exclusive scratch state; the index partition never
 // affects results because scratch contents are overwritten per item.
 func (o *Optimizer) parallelFor(n int, fn func(worker, i int)) {
-	workers := o.cfg.Workers
+	parallelWork(o.cfg.Workers, n, fn)
+}
+
+// parallelWork is the shared work-distribution kernel behind the 1-D and
+// multi-attribute realizes: fn(worker, i) for i in [0, n) across the given
+// worker count, with the worker index naming the calling goroutine so each
+// can own exclusive scratch. Results must be written to per-index slots; the
+// dynamic item-to-worker assignment then never affects outputs.
+func parallelWork(workers, n int, fn func(worker, i int)) {
 	if workers > n {
 		workers = n
 	}

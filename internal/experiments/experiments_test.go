@@ -14,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig4a", "fig4b", "fig4c", "fig4d",
 		"fig5a", "fig5b", "fig5c", "fig5d",
 		"thm2", "fact1",
-		"ext-multi", "ext-gain", "ext-triobj",
+		"ext-multi", "ext-gain", "ext-triobj", "ext-joint-scale",
 		"abl-omega", "abl-symmetric", "abl-reject", "abl-nsga2", "abl-naive-mutation",
 		"abl-weighted-sum",
 	}

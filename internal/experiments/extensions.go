@@ -342,3 +342,148 @@ func runExtGain(cfg Config) (*Report, error) {
 		},
 	}, nil
 }
+
+// ext-joint-scale: the Kronecker-factored evaluation path removes the dense
+// joint-channel materialization, so the multi-dimensional search scales to
+// product spaces the dense oracle refuses. This experiment runs a d = 6
+// Adult-like problem whose joint space (8·7·6·5·4·3 = 20160 cells) exceeds
+// the dense cap of 2^14, verifies the dense path indeed errors there, and
+// re-scores every front member through the factored workspace to confirm
+// the record-level bound.
+func init() {
+	register(Experiment{
+		ID:    "ext-joint-scale",
+		Title: "Extension: factored multi-attribute search beyond the dense joint cap",
+		Run:   runExtJointScale,
+	})
+}
+
+// extJointScaleWorld is a correlated six-attribute world sized just past the
+// dense cap: mass decays with the spread between attribute values (scaled to
+// a common range), so the joint is not a product of marginals.
+func extJointScaleWorld() ([]float64, []int) {
+	sizes := []int{8, 7, 6, 5, 4, 3}
+	total := 1
+	for _, n := range sizes {
+		total *= n
+	}
+	joint := make([]float64, total)
+	var sum float64
+	rec := make([]int, len(sizes))
+	for idx := 0; idx < total; idx++ {
+		v := idx
+		for d := len(sizes) - 1; d >= 0; d-- {
+			rec[d] = v % sizes[d]
+			v /= sizes[d]
+		}
+		lo, hi := 1.0, 0.0
+		for d, n := range sizes {
+			f := float64(rec[d]) / float64(n-1)
+			if f < lo {
+				lo = f
+			}
+			if f > hi {
+				hi = f
+			}
+		}
+		w := 1.0 / (1 + 8*(hi-lo))
+		joint[idx] = w
+		sum += w
+	}
+	for i := range joint {
+		joint[i] /= sum
+	}
+	return joint, sizes
+}
+
+func runExtJointScale(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	joint, sizes := extJointScaleWorld()
+	const delta = 0.5
+
+	ms := make([]*rr.Matrix, len(sizes))
+	for d, n := range sizes {
+		ms[d] = rr.Identity(n)
+	}
+	_, denseErr := metrics.JointChannel(ms)
+
+	// The per-evaluation cost is O(N·Σn_d) instead of O(N²), but N = 20160
+	// still makes each evaluation ~1000× a 1-D one; keep the budget small.
+	gens := cfg.Generations / 100
+	if gens < 20 {
+		gens = 20
+	}
+	res, err := core.OptimizeMulti(core.MultiConfig{
+		Joint:          joint,
+		Sizes:          sizes,
+		Records:        cfg.Records,
+		Delta:          delta,
+		Generations:    gens,
+		PopulationSize: 12,
+		ArchiveSize:    12,
+		OmegaSize:      60,
+		Seed:           cfg.Seed,
+		Context:        cfg.Context,
+	})
+	if err != nil {
+		return nil, err
+	}
+	front := res.FrontPoints()
+
+	// Re-score every front member through the factored workspace: the
+	// record-level bound must hold on re-evaluation, not just as a stored
+	// number.
+	boundOK, rescored := true, 0
+	for _, ind := range res.Front {
+		tuple, err := ind.Matrices()
+		if err != nil {
+			return nil, err
+		}
+		mp, err := metrics.JointMaxPosterior(tuple, joint)
+		if err != nil {
+			return nil, err
+		}
+		rescored++
+		if mp > delta+1e-9 {
+			boundOK = false
+		}
+	}
+	pMin, pMax := pareto.PrivacyRange(front)
+	cells := len(joint)
+
+	return &Report{
+		ID:         "ext-joint-scale",
+		Title:      "Factored multi-attribute search on a 20160-cell joint space",
+		PaperClaim: "future work: extend the approach to the multi-dimensional randomized response technique (Section VII)",
+		Series: []Series{
+			{Name: "optrr-multi-factored", Points: front},
+		},
+		Checks: []Check{
+			{
+				Name:   "joint space exceeds the dense materialization cap",
+				Pass:   cells > 1<<14 && denseErr != nil,
+				Detail: fmt.Sprintf("%d cells > %d; dense JointChannel: %v", cells, 1<<14, denseErr),
+			},
+			{
+				Name:   "search produces a non-empty front beyond the dense cap",
+				Pass:   len(front) > 0,
+				Detail: fmt.Sprintf("%d front members after %d generations", len(front), res.Generations),
+			},
+			{
+				Name:   "record-level bound holds on factored re-scoring of every member",
+				Pass:   boundOK && rescored == len(res.Front),
+				Detail: fmt.Sprintf("%d members re-scored against delta = %.2f", rescored, delta),
+			},
+			{
+				Name:   "front spans a non-degenerate privacy range",
+				Pass:   len(front) > 1 && pMax > pMin,
+				Detail: fmt.Sprintf("privacy range [%.4f, %.4f]", pMin, pMax),
+			},
+		},
+		Notes: []string{
+			fmt.Sprintf("sizes %v, %d joint cells, delta = %.2f", sizes, cells, delta),
+			fmt.Sprintf("search: %d generations, %d joint evaluations", res.Generations, res.Evaluations),
+			"evaluation is Kronecker-factored: O(N·Σn_d) per tuple, joint channel never materialized",
+		},
+	}, nil
+}

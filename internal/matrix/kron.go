@@ -1,0 +1,345 @@
+package matrix
+
+import (
+	"fmt"
+)
+
+// Kron is a square matrix stored in Kronecker-factored form: the implicit
+// matrix is ⊗_d F_d over the product space N = ∏_d n_d, with factor 0
+// varying slowest (row-major product indexing: a flat index i decomposes as
+// i = ((i_0·n_1 + i_1)·n_2 + …), matching the repository-wide multi-attribute
+// convention). The matrix is never materialized; every operation works on the
+// small factors, so storage is Σn_d² instead of N² and a matrix-vector apply
+// costs O(N·Σn_d) instead of O(N²).
+//
+// A Kron either aliases caller-owned factors (NewKron, Reset) or owns its
+// storage (KronZeros — the destination form for InverseInto and SquareInto).
+// It holds no per-operation state: the same Kron may be read from multiple
+// goroutines as long as its factors are not mutated.
+type Kron struct {
+	factors []*Dense
+	dims    []int
+	size    int
+}
+
+// NewKron returns the Kronecker-factored matrix ⊗_d factors[d]. Every factor
+// must be square and non-nil; the factors are aliased, not copied.
+func NewKron(factors ...*Dense) (*Kron, error) {
+	k := &Kron{}
+	if err := k.Reset(factors); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// Reset re-points the Kron at a new factor list, reusing internal slices when
+// the factor count is unchanged. The factors are aliased, not copied.
+func (k *Kron) Reset(factors []*Dense) error {
+	if len(factors) == 0 {
+		return fmt.Errorf("%w: Kronecker product of no factors", ErrShape)
+	}
+	if cap(k.factors) < len(factors) {
+		k.factors = make([]*Dense, len(factors))
+		k.dims = make([]int, len(factors))
+	}
+	k.factors = k.factors[:len(factors)]
+	k.dims = k.dims[:len(factors)]
+	size := 1
+	for d, f := range factors {
+		if f == nil {
+			return fmt.Errorf("%w: nil factor %d", ErrShape, d)
+		}
+		if f.rows != f.cols {
+			return fmt.Errorf("%w: factor %d is %dx%d, want square", ErrShape, d, f.rows, f.cols)
+		}
+		k.factors[d] = f
+		k.dims[d] = f.rows
+		size *= f.rows
+	}
+	k.size = size
+	return nil
+}
+
+// KronZeros returns a Kron owning freshly allocated zero factors of the given
+// sizes — the destination form for InverseInto and SquareInto. It panics on
+// an empty or non-positive dimension list, as New does.
+func KronZeros(dims []int) *Kron {
+	if len(dims) == 0 {
+		panic("matrix: KronZeros of no factors")
+	}
+	factors := make([]*Dense, len(dims))
+	for d, n := range dims {
+		factors[d] = New(n, n)
+	}
+	k, err := NewKron(factors...)
+	if err != nil {
+		panic(err) // unreachable: factors are square by construction
+	}
+	return k
+}
+
+// Size returns the side length N = ∏_d n_d of the implicit matrix.
+func (k *Kron) Size() int { return k.size }
+
+// NumFactors returns the number of Kronecker factors d.
+func (k *Kron) NumFactors() int { return len(k.factors) }
+
+// Dims returns a copy of the per-factor sizes.
+func (k *Kron) Dims() []int {
+	out := make([]int, len(k.dims))
+	copy(out, k.dims)
+	return out
+}
+
+// Factor returns factor d, aliasing the Kron's storage.
+func (k *Kron) Factor(d int) *Dense { return k.factors[d] }
+
+// At returns the implicit matrix entry (⊗F)[i][j] = ∏_d F_d[i_d][j_d] by
+// digit decomposition. It is O(d) per call and exists for tests and
+// spot-checks; bulk access should go through the vector operations.
+func (k *Kron) At(i, j int) float64 {
+	if i < 0 || i >= k.size || j < 0 || j >= k.size {
+		panic(fmt.Sprintf("matrix: index (%d, %d) out of range for %dx%d Kronecker product", i, j, k.size, k.size))
+	}
+	v := 1.0
+	for d := len(k.factors) - 1; d >= 0; d-- {
+		n := k.dims[d]
+		v *= k.factors[d].data[(i%n)*n+(j%n)]
+		i /= n
+		j /= n
+	}
+	return v
+}
+
+func (k *Kron) checkVecs(dst, src, tmp []float64) error {
+	if len(src) != k.size {
+		return fmt.Errorf("%w: vector of length %d for Kronecker product of size %d", ErrShape, len(src), k.size)
+	}
+	if len(dst) != k.size {
+		return fmt.Errorf("%w: product of length %d for Kronecker product of size %d", ErrShape, len(dst), k.size)
+	}
+	if len(tmp) != k.size {
+		return fmt.Errorf("%w: scratch of length %d for Kronecker product of size %d", ErrShape, len(tmp), k.size)
+	}
+	return nil
+}
+
+// MulVecInto computes dst = (⊗_d F_d)·src by successive per-mode
+// contractions (the "vec trick"): mode d contracts factor F_d against the
+// d-th axis of src viewed as a d-dimensional tensor, costing O(N·n_d), for a
+// total of O(N·Σn_d) instead of the O(N²) dense product. tmp is caller
+// scratch of length N; dst, src and tmp must not alias each other. src is
+// left unchanged.
+func (k *Kron) MulVecInto(dst, src, tmp []float64) error {
+	return k.contract(dst, src, tmp, false)
+}
+
+// MaxMulVecInto is MulVecInto over the (max, ×) semiring: it computes
+// dst[i] = max_j (⊗F)[i][j]·src[j] in O(N·Σn_d). It requires every factor
+// entry and every src entry to be non-negative — max then commutes through
+// the per-factor products, which is what lets the row-wise maxima of a
+// Kronecker product factor mode by mode (this is how the MAP adversary's
+// accuracy is computed without materializing the joint channel). Aliasing
+// rules match MulVecInto.
+func (k *Kron) MaxMulVecInto(dst, src, tmp []float64) error {
+	return k.contract(dst, src, tmp, true)
+}
+
+// contract runs the mode-by-mode contraction. The ping-pong between dst and
+// tmp is phased so the final mode always lands in dst.
+func (k *Kron) contract(dst, src, tmp []float64, maxMode bool) error {
+	if err := k.checkVecs(dst, src, tmp); err != nil {
+		return err
+	}
+	nd := len(k.factors)
+	cur := src
+	// Alternate targets so that mode nd-1 writes into dst.
+	a, b := dst, tmp
+	if nd%2 == 0 {
+		a, b = tmp, dst
+	}
+	inner := k.size
+	for d := 0; d < nd; d++ {
+		n := k.dims[d]
+		inner /= n
+		out := a
+		if d%2 == 1 {
+			out = b
+		}
+		contractMode(out, cur, k.factors[d], k.size, n, inner, maxMode)
+		cur = out
+	}
+	return nil
+}
+
+// contractMode applies an n×n factor along one axis of a flat tensor of
+// total length size with the given inner stride (product of the sizes of the
+// faster-varying axes). With maxMode, sums become maxima; the accumulator
+// starts at 0, which is only correct because all terms are non-negative.
+func contractMode(dst, src []float64, f *Dense, size, n, inner int, maxMode bool) {
+	block := n * inner
+	for base := 0; base < size; base += block {
+		for j := 0; j < n; j++ {
+			row := f.data[j*n : (j+1)*n]
+			out := dst[base+j*inner : base+(j+1)*inner]
+			for r := range out {
+				out[r] = 0
+			}
+			for i, a := range row {
+				if a == 0 {
+					continue
+				}
+				in := src[base+i*inner : base+(i+1)*inner]
+				if maxMode {
+					for r, v := range in {
+						if p := a * v; p > out[r] {
+							out[r] = p
+						}
+					}
+				} else {
+					for r, v := range in {
+						out[r] += a * v
+					}
+				}
+			}
+		}
+	}
+}
+
+// InverseInto writes the factored inverse (⊗F_d)⁻¹ = ⊗F_d⁻¹ into dst,
+// inverting each small factor with the shared LU workspace (which is resized
+// per factor, so one workspace serves mixed category counts). dst must have
+// the same per-factor sizes; ErrSingular from any factor propagates — a
+// Kronecker product is singular exactly when some factor is.
+func (k *Kron) InverseInto(dst *Kron, lu *LU) error {
+	if err := k.checkDst(dst); err != nil {
+		return err
+	}
+	if lu == nil {
+		lu = NewLU()
+	}
+	for d, f := range k.factors {
+		if err := lu.Factorize(f); err != nil {
+			return fmt.Errorf("factor %d: %w", d, err)
+		}
+		if err := lu.InverseInto(dst.factors[d]); err != nil {
+			return fmt.Errorf("factor %d: %w", d, err)
+		}
+	}
+	return nil
+}
+
+// SquareInto writes the element-wise square (⊗F_d)∘² = ⊗(F_d∘²) into dst —
+// squaring commutes with the Kronecker product, which is what lets the
+// quadratic form Σ_i β²_{k,i}·v_i of the closed-form MSE (Theorem 6) factor.
+// dst must have the same per-factor sizes.
+func (k *Kron) SquareInto(dst *Kron) error {
+	if err := k.checkDst(dst); err != nil {
+		return err
+	}
+	for d, f := range k.factors {
+		df := dst.factors[d].data
+		for i, v := range f.data {
+			df[i] = v * v
+		}
+	}
+	return nil
+}
+
+func (k *Kron) checkDst(dst *Kron) error {
+	if dst == nil || len(dst.factors) != len(k.factors) {
+		return fmt.Errorf("%w: destination factor count mismatch", ErrShape)
+	}
+	for d, n := range k.dims {
+		if dst.dims[d] != n {
+			return fmt.Errorf("%w: destination factor %d is %d, want %d", ErrShape, d, dst.dims[d], n)
+		}
+	}
+	return nil
+}
+
+// ColInto writes column j of the implicit matrix into dst (length N):
+// col_j(⊗F) = ⊗_d col_{j_d}(F_d), built by progressive outer-product
+// expansion in O(N) without materializing anything else.
+func (k *Kron) ColInto(dst []float64, j int) error {
+	if j < 0 || j >= k.size {
+		return fmt.Errorf("%w: column %d out of range for size %d", ErrShape, j, k.size)
+	}
+	cols := make([][]float64, len(k.factors))
+	for d := len(k.factors) - 1; d >= 0; d-- {
+		n := k.dims[d]
+		f := k.factors[d]
+		col := make([]float64, n)
+		for i := 0; i < n; i++ {
+			col[i] = f.data[i*n+(j%n)]
+		}
+		cols[d] = col
+		j /= n
+	}
+	return k.expandInto(dst, cols)
+}
+
+// DiagInto writes the diagonal of the implicit matrix into dst (length N):
+// diag(⊗F) = ⊗_d diag(F_d).
+func (k *Kron) DiagInto(dst []float64) error {
+	diags := make([][]float64, len(k.factors))
+	for d, f := range k.factors {
+		n := k.dims[d]
+		diag := make([]float64, n)
+		for i := 0; i < n; i++ {
+			diag[i] = f.data[i*n+i]
+		}
+		diags[d] = diag
+	}
+	return k.expandInto(dst, diags)
+}
+
+// expandInto fills dst with the flattened outer product ⊗_d vecs[d]
+// (factor 0 slowest). The expansion runs in place back to front, which is
+// safe because each pass writes only at or beyond the slot it reads.
+func (k *Kron) expandInto(dst []float64, vecs [][]float64) error {
+	if len(dst) != k.size {
+		return fmt.Errorf("%w: destination of length %d for size %d", ErrShape, len(dst), k.size)
+	}
+	dst[0] = 1
+	length := 1
+	for _, v := range vecs {
+		n := len(v)
+		for a := length - 1; a >= 0; a-- {
+			va := dst[a]
+			for i := n - 1; i >= 0; i-- {
+				dst[a*n+i] = va * v[i]
+			}
+		}
+		length *= n
+	}
+	return nil
+}
+
+// Dense materializes the full N×N matrix. It exists as the oracle for tests
+// and for the dense-vs-factored benchmarks; production paths never call it.
+func (k *Kron) Dense() *Dense {
+	cur := []float64{1}
+	curN := 1
+	for _, f := range k.factors {
+		n := f.rows
+		nxtN := curN * n
+		nxt := make([]float64, nxtN*nxtN)
+		for a := 0; a < curN; a++ {
+			for b := 0; b < curN; b++ {
+				v := cur[a*curN+b]
+				if v == 0 {
+					continue
+				}
+				for i := 0; i < n; i++ {
+					for p := 0; p < n; p++ {
+						nxt[(a*n+i)*nxtN+(b*n+p)] = v * f.data[i*n+p]
+					}
+				}
+			}
+		}
+		cur = nxt
+		curN = nxtN
+	}
+	return &Dense{rows: curN, cols: curN, data: cur}
+}

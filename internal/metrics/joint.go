@@ -14,9 +14,16 @@ import (
 // is the MSE of the reconstructed joint distribution. The joint disguise
 // channel is the Kronecker product of the per-attribute matrices, so both
 // metrics reduce to their one-dimensional forms over the product space.
+//
+// The package-level Joint* functions run on the Kronecker-factored
+// JointWorkspace — O(N·Σn_d) per evaluation, no N×N matrix, no product-space
+// cap. The dense JointChannel below materializes the joint matrix explicitly
+// and survives only as the oracle the factored path is property-tested
+// against (and as the slow side of BenchmarkJointEvaluate).
 
-// maxJointCells guards the explicit product-space computation: metrics are
-// exact but O(cells²) in places.
+// maxJointCells guards the explicit dense materialization of JointChannel:
+// the oracle is exact but O(cells²) in storage. The factored metrics have no
+// such cap.
 const maxJointCells = 1 << 14
 
 // JointChannel materializes the Kronecker-product channel of the given
@@ -56,6 +63,9 @@ func JointChannel(ms []*rr.Matrix) (*rr.Matrix, error) {
 	return rr.FromDense(dense)
 }
 
+// unravel decomposes a flat product-space index into per-attribute digits
+// (row-major, attribute 0 slowest). The inverse is ravel; the pair is pinned
+// by FuzzJointIndexRoundTrip.
 func unravel(idx int, ms []*rr.Matrix) []int {
 	out := make([]int, len(ms))
 	for d := len(ms) - 1; d >= 0; d-- {
@@ -66,27 +76,30 @@ func unravel(idx int, ms []*rr.Matrix) []int {
 	return out
 }
 
+// ravel recomposes per-attribute digits into the flat product-space index:
+// idx = ((rec_0·n_1 + rec_1)·n_2 + …, matching mining.MultiRR.Index.
+func ravel(rec []int, ms []*rr.Matrix) int {
+	idx := 0
+	for d, m := range ms {
+		idx = idx*m.N() + rec[d]
+	}
+	return idx
+}
+
 // JointPrivacy returns the record-level privacy of disguising d attributes
 // independently: 1 minus the accuracy of the MAP adversary who observes the
 // full disguised record and estimates the full original record, under the
-// given joint prior (row-major over the product space).
+// given joint prior (row-major over the product space). It runs on a
+// throwaway factored workspace; hot loops should hold a JointWorkspace.
 func JointPrivacy(ms []*rr.Matrix, joint []float64) (float64, error) {
-	ch, err := JointChannel(ms)
-	if err != nil {
-		return 0, err
-	}
-	return Privacy(ch, joint)
+	return NewJointWorkspace().Privacy(ms, joint)
 }
 
 // JointUtility returns the average closed-form MSE of the per-axis inversion
 // estimate of the joint distribution (Theorem 6 applied over the product
 // space), for a data set of the given size.
 func JointUtility(ms []*rr.Matrix, joint []float64, records int) (float64, error) {
-	ch, err := JointChannel(ms)
-	if err != nil {
-		return 0, err
-	}
-	return Utility(ch, joint, records)
+	return NewJointWorkspace().Utility(ms, joint, records)
 }
 
 // JointMaxPosterior returns the worst-case record-level posterior
@@ -94,18 +107,10 @@ func JointUtility(ms []*rr.Matrix, joint []float64, records int) (float64, error
 // of Equation (9). Note that per-attribute bounds δ_d do not compose
 // multiplicatively in general; this is the exact joint value.
 func JointMaxPosterior(ms []*rr.Matrix, joint []float64) (float64, error) {
-	ch, err := JointChannel(ms)
-	if err != nil {
-		return 0, err
-	}
-	return MaxPosterior(ch, joint)
+	return NewJointWorkspace().MaxPosterior(ms, joint)
 }
 
-// JointEvaluate bundles the three joint metrics.
+// JointEvaluate bundles the three joint metrics in one fused factored pass.
 func JointEvaluate(ms []*rr.Matrix, joint []float64, records int) (Evaluation, error) {
-	ch, err := JointChannel(ms)
-	if err != nil {
-		return Evaluation{}, err
-	}
-	return Evaluate(ch, joint, records)
+	return NewJointWorkspace().Evaluate(ms, joint, records)
 }

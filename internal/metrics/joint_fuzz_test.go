@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"testing"
+
+	"optrr/internal/rr"
+)
+
+// FuzzJointIndexRoundTrip pins the product-space index math of joint.go:
+// ravel and unravel must be mutual inverses for every attribute shape, every
+// digit must stay in range, and the flattening must be row-major with
+// attribute 0 slowest (adjacent flat indices differ in the last attribute
+// first) — the convention mining.MultiRR.Index and the Kronecker factor
+// ordering both rely on.
+func FuzzJointIndexRoundTrip(f *testing.F) {
+	f.Add(uint16(0), byte(3), byte(2), byte(4))
+	f.Add(uint16(23), byte(2), byte(2), byte(0))
+	f.Add(uint16(999), byte(5), byte(5), byte(5))
+	f.Add(uint16(1), byte(9), byte(0), byte(0))
+	f.Fuzz(func(t *testing.T, rawIdx uint16, s1, s2, s3 byte) {
+		// 1–3 attributes of 2–9 categories each; a zero size drops the
+		// attribute (but attribute 0 always exists).
+		sizes := []int{2 + int(s1)%8}
+		if s2 != 0 {
+			sizes = append(sizes, 2+int(s2)%8)
+		}
+		if s3 != 0 {
+			sizes = append(sizes, 2+int(s3)%8)
+		}
+		ms := make([]*rr.Matrix, len(sizes))
+		total := 1
+		for d, n := range sizes {
+			ms[d] = rr.Identity(n)
+			total *= n
+		}
+		idx := int(rawIdx) % total
+
+		rec := unravel(idx, ms)
+		if len(rec) != len(ms) {
+			t.Fatalf("unravel(%d) has %d digits, want %d", idx, len(rec), len(ms))
+		}
+		for d, v := range rec {
+			if v < 0 || v >= sizes[d] {
+				t.Fatalf("unravel(%d)[%d] = %d out of range [0,%d)", idx, d, v, sizes[d])
+			}
+		}
+		if back := ravel(rec, ms); back != idx {
+			t.Fatalf("ravel(unravel(%d)) = %d", idx, back)
+		}
+
+		// Row-major adjacency: incrementing the last digit (when it has
+		// room) increments the flat index by exactly one.
+		last := len(sizes) - 1
+		if rec[last]+1 < sizes[last] {
+			rec[last]++
+			if got := ravel(rec, ms); got != idx+1 {
+				t.Fatalf("last-digit increment of %d gave %d, want %d", idx, got, idx+1)
+			}
+			rec[last]--
+		}
+
+		// Round trip in the other direction from the digits.
+		if again := unravel(ravel(rec, ms), ms); len(again) == len(rec) {
+			for d := range rec {
+				if again[d] != rec[d] {
+					t.Fatalf("unravel(ravel(%v)) = %v", rec, again)
+				}
+			}
+		}
+	})
+}

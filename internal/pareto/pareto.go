@@ -169,21 +169,34 @@ func FrontPoints(pts []Point) []Point {
 // of the same multiset produce the same deterministic order.
 func SortByPrivacy(pts []Point) {
 	sort.Slice(pts, func(a, b int) bool {
-		pa, pb := pts[a], pts[b]
-		if c := compareNaNLast(pa.Privacy, pb.Privacy); c != 0 {
-			return c < 0
-		}
-		if c := compareNaNLast(pa.Utility, pb.Utility); c != 0 {
-			return c < 0
-		}
-		na, nb := int(pa.nExtra), int(pb.nExtra)
-		for t := 0; t < na && t < nb; t++ {
-			if c := compareNaNLast(pa.extra[t], pb.extra[t]); c != 0 {
-				return c < 0
-			}
-		}
-		return na < nb
+		return Compare(pts[a], pts[b]) < 0
 	})
+}
+
+// Compare is the total order underlying SortByPrivacy: -1 when a sorts
+// before b, +1 after, 0 when every objective ties. Callers sorting parallel
+// structures (e.g. a front with its matrices attached) use it to reproduce
+// exactly the order SortByPrivacy produces.
+func Compare(a, b Point) int {
+	if c := compareNaNLast(a.Privacy, b.Privacy); c != 0 {
+		return c
+	}
+	if c := compareNaNLast(a.Utility, b.Utility); c != 0 {
+		return c
+	}
+	na, nb := int(a.nExtra), int(b.nExtra)
+	for t := 0; t < na && t < nb; t++ {
+		if c := compareNaNLast(a.extra[t], b.extra[t]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case na < nb:
+		return -1
+	case na > nb:
+		return 1
+	}
+	return 0
 }
 
 // compareNaNLast orders two float64s ascending with NaN as the largest

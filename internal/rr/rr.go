@@ -128,6 +128,11 @@ func (m *Matrix) Column(i int) []float64 { return m.m.Col(i) }
 // Dense returns a copy of the underlying dense matrix.
 func (m *Matrix) Dense() *matrix.Dense { return m.m.Clone() }
 
+// DenseView returns the underlying dense matrix without copying. Callers
+// must treat it as read-only; it is the zero-allocation access the
+// Kronecker-factored joint metrics build their factor views from.
+func (m *Matrix) DenseView() *matrix.Dense { return m.m }
+
 // Clone returns a deep copy.
 func (m *Matrix) Clone() *Matrix { return &Matrix{m: m.m.Clone()} }
 

@@ -3,9 +3,11 @@ package optrr
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"optrr/internal/core"
 	"optrr/internal/metrics"
+	"optrr/internal/pareto"
 	"optrr/internal/rr"
 )
 
@@ -28,6 +30,9 @@ type MultiProblem struct {
 	Seed uint64
 	// Generations overrides the search budget; zero uses the default (300).
 	Generations int
+	// Workers bounds the evaluation parallelism; zero or negative uses
+	// GOMAXPROCS. The result is bit-for-bit identical at every setting.
+	Workers int
 }
 
 // MultiResult is the outcome of OptimizeMulti.
@@ -72,18 +77,14 @@ func OptimizeMulti(p MultiProblem) (*MultiResult, error) {
 		Delta:       p.Delta,
 		Seed:        p.Seed,
 		Generations: p.Generations,
+		Workers:     p.Workers,
 	}
 	res, err := core.OptimizeMulti(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("optrr: %w", err)
 	}
-	out := &MultiResult{
-		Front:       res.FrontPoints(),
-		tuples:      make([][]*Matrix, 0, len(res.Front)),
-		Generations: res.Generations,
-		Evaluations: res.Evaluations,
-	}
-	// FrontPoints sorts ascending by privacy; rebuild tuples in that order.
+	// Sort points and tuples together with the FrontPoints comparator, so
+	// alignment holds by construction instead of by O(front²) re-matching.
 	type pair struct {
 		pt    Point
 		tuple []*Matrix
@@ -96,19 +97,46 @@ func OptimizeMulti(p MultiProblem) (*MultiResult, error) {
 		}
 		pairs = append(pairs, pair{pt: ind.Point(), tuple: ms})
 	}
-	for _, want := range out.Front {
-		for k, pr := range pairs {
-			if pr.tuple != nil && pr.pt == want {
-				out.tuples = append(out.tuples, pr.tuple)
-				pairs[k].tuple = nil
-				break
-			}
-		}
+	sort.Slice(pairs, func(a, b int) bool {
+		return pareto.Compare(pairs[a].pt, pairs[b].pt) < 0
+	})
+	out := &MultiResult{
+		Front:       make([]Point, len(pairs)),
+		tuples:      make([][]*Matrix, len(pairs)),
+		Generations: res.Generations,
+		Evaluations: res.Evaluations,
 	}
-	if len(out.tuples) != len(out.Front) {
-		return nil, fmt.Errorf("optrr: internal front/tuple misalignment")
+	for i, pr := range pairs {
+		out.Front[i] = pr.pt
+		out.tuples[i] = pr.tuple
 	}
 	return out, nil
+}
+
+// DisguiseMultiBatch disguises multi-attribute records — records[k][d] is
+// record k's category on attribute d — applying ms[d] to column d with the
+// deterministic chunked batch kernel. The output depends only on
+// (ms, records, seed); workers ≤ 0 uses GOMAXPROCS.
+func DisguiseMultiBatch(ms []*Matrix, records [][]int, seed uint64, workers int) ([][]int, error) {
+	out, err := rr.TupleDisguiseBatch(ms, records, seed, workers)
+	if err != nil {
+		return nil, fmt.Errorf("optrr: %w", err)
+	}
+	return out, nil
+}
+
+// EstimateJointInversion reconstructs the original joint distribution
+// (row-major, attribute 0 slowest — MultiRR.Index order) from disguised
+// multi-attribute records via the Kronecker-factored inversion estimator
+// P̂ = (⊗M_d⁻¹)·P̂*; the joint channel is never materialized. The estimate
+// is unbiased but may leave the simplex on small samples; pass it through
+// ClipDistribution for a proper distribution.
+func EstimateJointInversion(ms []*Matrix, disguised [][]int) ([]float64, error) {
+	est, err := rr.TupleEstimateJoint(ms, disguised)
+	if err != nil {
+		return nil, fmt.Errorf("optrr: %w", err)
+	}
+	return est, nil
 }
 
 // JointPrivacy returns the record-level privacy of disguising each attribute

@@ -49,6 +49,91 @@ func TestOptimizeMultiFacade(t *testing.T) {
 	}
 }
 
+// TestOptimizeMultiWorkersFacade pins the facade-level determinism contract:
+// the same problem at different Workers settings yields identical fronts and
+// tuples.
+func TestOptimizeMultiWorkersFacade(t *testing.T) {
+	p := testMultiProblem()
+	p.Generations = 20
+	p.Workers = 1
+	want, err := OptimizeMulti(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Workers = 4
+	got, err := OptimizeMulti(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Front) != len(want.Front) || got.Evaluations != want.Evaluations {
+		t.Fatalf("front %d evals %d, want %d/%d", len(got.Front), got.Evaluations, len(want.Front), want.Evaluations)
+	}
+	for i := range want.Front {
+		if got.Front[i] != want.Front[i] {
+			t.Fatalf("front[%d] = %+v, want %+v", i, got.Front[i], want.Front[i])
+		}
+		for d, m := range want.Tuples()[i] {
+			if !got.Tuples()[i][d].Equal(m, 0) {
+				t.Fatalf("tuple %d attribute %d differs across worker counts", i, d)
+			}
+		}
+	}
+}
+
+// TestMultiBatchFacadeRoundTrip runs the batched pipeline end to end:
+// disguise with DisguiseMultiBatch, estimate with EstimateJointInversion,
+// and land near the true joint.
+func TestMultiBatchFacadeRoundTrip(t *testing.T) {
+	m1, err := Warner(3, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Warner(2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := []*Matrix{m1, m2}
+	joint := []float64{0.25, 0.05, 0.10, 0.15, 0.05, 0.40}
+	rng := NewRand(13)
+	const total = 200000
+	recs := make([][]int, total)
+	for k := range recs {
+		u := rng.Float64()
+		idx := 0
+		for acc := 0.0; idx < len(joint)-1; idx++ {
+			acc += joint[idx]
+			if u < acc {
+				break
+			}
+		}
+		recs[k] = []int{idx / 2, idx % 2}
+	}
+	disguised, err := DisguiseMultiBatch(ms, recs, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := DisguiseMultiBatch(ms, recs, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range disguised {
+		for d := range disguised[k] {
+			if disguised[k][d] != again[k][d] {
+				t.Fatalf("record %d attr %d differs across worker counts", k, d)
+			}
+		}
+	}
+	est, err := EstimateJointInversion(ms, disguised)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range joint {
+		if math.Abs(est[i]-joint[i]) > 0.02 {
+			t.Fatalf("cell %d: estimate %v, truth %v", i, est[i], joint[i])
+		}
+	}
+}
+
 func TestTupleWithPrivacyAtLeast(t *testing.T) {
 	p := testMultiProblem()
 	res, err := OptimizeMulti(p)
