@@ -9,11 +9,14 @@
 #   race           go test -race over the concurrency-critical packages
 #                  (collector, core, obs — metrics and trace recording race
 #                  live scrapes by design — plus the rrserver collection
-#                  service and its SDK) and the worker-parallel paths
-#                  (experiment grid, batch disguise/sampling); the island
-#                  scheduler and sharded collector additionally run under
-#                  -cpu 1,4 to exercise both the single-P and multi-P
-#                  schedules
+#                  service, its SDK and the sketch scheme) and the
+#                  worker-parallel paths (experiment grid, batch
+#                  disguise/sampling); the island scheduler and the sharded
+#                  and sketch collectors additionally run under -cpu 1,4 to
+#                  exercise both the single-P and multi-P schedules
+#   fuzz smoke     a short -fuzz burst on the sketch hash→disguise→debias
+#                  round trip (estimates stay finite and near-normalized for
+#                  arbitrary parameters)
 #   bench smoke    the BenchmarkOptimize trio (baseline, traced, island
 #                  scaling) plus the hot-path micro-benchmarks (fused
 #                  evaluation, extra-objective evaluation, Kronecker-factored
@@ -22,10 +25,11 @@
 #                  batch disguise, convergence-snapshot emission, histogram
 #                  quantiles) and
 #                  the safe-vs-sharded collector contention matrix with the
-#                  batched writer and the rrserver HTTP batch-ingest path
-#                  (with its p99 batch latency as a custom metric), at pinned
-#                  -benchtime/-count with -benchmem, all rendered into
-#                  BENCH_optimize.json
+#                  batched writer, the sketch collector's parallel ingest
+#                  and full-domain heavy-hitter scan, and the rrserver HTTP
+#                  batch-ingest path (with its p99 batch latency as a custom
+#                  metric), at pinned -benchtime/-count with -benchmem, all
+#                  rendered into BENCH_optimize.json
 #   bench compare  gating diff of the fresh run against the committed
 #                  BENCH_optimize.json via cmd/benchdiff: fails the suite on
 #                  a >25% ns/op (5% allocs/op, 10% B/op) regression unless
@@ -59,17 +63,20 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (collector, core, obs, rrserver) =="
+echo "== go test -race (collector, core, obs, rrserver, sketch) =="
 go test -race ./internal/collector ./internal/core ./internal/obs \
-    ./internal/rrserver ./internal/rrclient
+    ./internal/rrserver ./internal/rrclient ./internal/sketch
 
 echo "== go test -race -cpu 1,4 (islands, collector sharding, joint evaluation) =="
-go test -race -cpu 1,4 -run 'Island|Sharded|Writer|Contention|Race|Concurrent|Multi|Joint' \
+go test -race -cpu 1,4 -run 'Island|Sharded|Writer|Contention|Race|Concurrent|Multi|Joint|Sketch' \
     ./internal/core ./internal/collector ./internal/metrics
 
 echo "== go test -race (parallel paths) =="
 go test -race -run 'Parallel|Grid|Batch|Stream|Tuple' \
     ./internal/experiments ./internal/rr ./internal/dataset
+
+echo "== fuzz smoke (sketch round trip) =="
+go test -run '^$' -fuzz '^FuzzCMSRoundTrip$' -fuzztime 5s ./internal/sketch
 
 echo "== bench smoke =="
 # Iteration counts are pinned (-benchtime=Nx -count=1) so runs are
@@ -84,6 +91,8 @@ go test -run '^$' -bench '^(BenchmarkRepair|BenchmarkRealizeSteadyState|Benchmar
 go test -run '^$' -bench '^BenchmarkHistogramQuantiles$' -benchtime=2000x -count=1 -benchmem ./internal/obs | tee -a BENCH_optimize.txt
 go test -run '^$' -bench '^BenchmarkDisguise$' -benchtime=20x -count=1 -benchmem ./internal/rr | tee -a BENCH_optimize.txt
 go test -run '^$' -bench '^BenchmarkCollectorContention' -benchtime=100000x -count=1 -benchmem ./internal/collector | tee -a BENCH_optimize.txt
+go test -run '^$' -bench '^BenchmarkSketchIngest$' -benchtime=100000x -count=1 -benchmem ./internal/collector | tee -a BENCH_optimize.txt
+go test -run '^$' -bench '^BenchmarkHeavyHitters$' -benchtime=20x -count=1 -benchmem ./internal/collector | tee -a BENCH_optimize.txt
 go test -run '^$' -bench '^BenchmarkServerIngest$' -benchtime=100000x -count=1 -benchmem ./internal/rrserver | tee -a BENCH_optimize.txt
 # Render the benchmark lines ("BenchmarkName  iters  value unit ...") as a
 # JSON array so downstream tooling can diff runs.

@@ -14,6 +14,12 @@
 // The CSV needs a header row; category domains are inferred from the data.
 // With -demo, a built-in synthetic loan table is used instead of -data.
 //
+// With -sketch N, the table pipeline is skipped for the large-domain mining
+// demo: Zipf-distributed values over an N-category domain are disguised
+// through the count-mean-sketch scheme (never materializing an N×N matrix),
+// aggregated in the O(k·m) sketch collector, and the heavy hitters recovered
+// by the chunked top-k scan — estimated vs true frequencies side by side.
+//
 // Observability: -trace file writes one JSONL event per mining stage (load,
 // disguise, marginals, tree, independence, bayes) with wall-time and key
 // outcomes (inspect with cmd/rrtrace or jq); -metrics-addr host:port serves
@@ -26,11 +32,13 @@ import (
 	"os"
 	"time"
 
+	"optrr/internal/collector"
 	"optrr/internal/dataset"
 	"optrr/internal/mining"
 	"optrr/internal/obs"
 	"optrr/internal/randx"
 	"optrr/internal/rr"
+	"optrr/internal/sketch"
 )
 
 func main() {
@@ -44,6 +52,9 @@ func main() {
 		bayes        = flag.Bool("bayes", true, "train naive Bayes")
 		independence = flag.Bool("independence", false, "print a pairwise chi-square dependence table")
 		depth        = flag.Int("depth", 0, "max tree depth (0 = number of attributes)")
+		sketchDomain = flag.Int("sketch", 0, "run the large-domain heavy-hitter demo over this many categories instead of the table pipeline")
+		sketchN      = flag.Int("sketch-records", 200000, "records to draw in the -sketch demo")
+		epsilon      = flag.Float64("epsilon", 4, "sketch inner k-RR privacy budget ε (with -sketch)")
 		tracePath    = flag.String("trace", "", "write a JSONL run trace to this path")
 		metricsAddr  = flag.String("metrics-addr", "", "serve expvar, pprof and /metrics on host:port while running")
 	)
@@ -76,6 +87,14 @@ func main() {
 		}
 		fields["ms"] = float64(elapsed.Microseconds()) / 1e3
 		telem.Recorder.Record("rrmine."+name, fields)
+	}
+
+	if *sketchDomain > 0 {
+		if err := runSketchDemo(*sketchDomain, *sketchN, *epsilon, *seed, stage); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	stageStart := time.Now()
@@ -221,6 +240,78 @@ func validateFlags(warnerP float64, depth int) error {
 	}
 	if depth < 0 {
 		return fmt.Errorf("-depth must be non-negative, got %d", depth)
+	}
+	return nil
+}
+
+// runSketchDemo is the large-domain mining story end to end: Zipf values
+// over a domain no dense matrix could cover, disguised record by record
+// through the count-mean sketch, aggregated in the sketch collector, heavy
+// hitters recovered by the chunked top-k scan.
+func runSketchDemo(domain, records int, epsilon float64, seed uint64, stage func(string, time.Time, obs.Fields)) error {
+	if records <= 0 {
+		return fmt.Errorf("-sketch-records must be positive, got %d", records)
+	}
+	if !(epsilon > 0) {
+		return fmt.Errorf("-epsilon must be positive, got %v", epsilon)
+	}
+	const hashes, hashRange = 16, 256
+	scheme, err := sketch.NewKRR(domain, hashes, hashRange, epsilon, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sketch demo: %d categories -> %d hash functions x %d cells (%.1f KiB of counters, ε=%.2g)\n",
+		domain, hashes, hashRange, float64(scheme.ReportSpace()*8)/1024, epsilon)
+
+	// Zipf(1) values: the data owners' side.
+	stageStart := time.Now()
+	cdf := make([]float64, domain)
+	sum := 0.0
+	for i := range cdf {
+		sum += 1 / float64(i+1)
+		cdf[i] = sum
+	}
+	rng := randx.New(seed)
+	values := make([]int, records)
+	truth := make(map[int]float64, 16)
+	for i := range values {
+		u := rng.Float64() * sum
+		lo, hi := 0, domain
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		values[i] = lo
+		if lo < 16 {
+			truth[lo] += 1 / float64(records)
+		}
+	}
+	reports := make([]int, records)
+	if err := scheme.DisguiseBatchInto(reports, values, seed+1, 0); err != nil {
+		return err
+	}
+	stage("sketch_disguise", stageStart, obs.Fields{"records": records, "domain": domain})
+
+	// Aggregation and discovery: the collector's side, which never sees a
+	// true value and never allocates anything domain-sized but the scan.
+	stageStart = time.Now()
+	col := collector.NewSketch(scheme, 0)
+	if err := col.IngestBatch(reports); err != nil {
+		return err
+	}
+	hits, err := mining.TopK(col, 10)
+	if err != nil {
+		return err
+	}
+	stage("sketch_mine", stageStart, obs.Fields{"hits": len(hits)})
+
+	fmt.Println("top-10 heavy hitters (true frequency in parentheses):")
+	for _, h := range hits {
+		fmt.Printf("  category %-8d %.4f (%.4f)\n", h.Category, h.Estimate, truth[h.Category])
 	}
 	return nil
 }

@@ -6,10 +6,18 @@
 //
 //	rrserver -addr :8433 -categories 10 -warner 0.75 -snapshot state.json
 //
+// Large domains deploy the count-mean-sketch scheme instead of a dense
+// matrix: -sketch-domain switches modes, hashing each value into a small
+// k×m report grid so server memory and the wire format stay O(k·m) no
+// matter how many categories exist:
+//
+//	rrserver -sketch-domain 1000000 -hash-functions 16 -hash-range 256 -epsilon 4
+//
 // Endpoints: POST /v1/report and /v1/reports (single/batch ingest),
-// GET /v1/estimate (?z=, ?margin=), GET /v1/scheme, plus the obs debug
-// surface on the same listener: /metrics (JSON or Prometheus), /healthz,
-// /debug/vars, /debug/pprof/.
+// GET /v1/estimate (?z=, ?margin= dense; ?categories= sketch),
+// GET /v1/scheme (ETagged with the scheme version), GET /v1/heavyhitters
+// (?threshold=, ?limit=), plus the obs debug surface on the same listener:
+// /metrics (JSON or Prometheus), /healthz, /debug/vars, /debug/pprof/.
 //
 // The collection state is persisted to -snapshot every -snapshot-every and
 // restored at boot; a corrupt or scheme-mismatched snapshot is rejected with
@@ -36,6 +44,7 @@ import (
 	"optrr/internal/obs"
 	"optrr/internal/rr"
 	"optrr/internal/rrserver"
+	"optrr/internal/sketch"
 )
 
 func main() {
@@ -44,6 +53,11 @@ func main() {
 		categories    = flag.Int("categories", 10, "category domain size for the default Warner scheme")
 		warnerP       = flag.Float64("warner", 0.75, "Warner diagonal p for the default scheme")
 		matrixPath    = flag.String("matrix", "", "JSON disguise-matrix file (e.g. from cmd/optrr); overrides -categories/-warner")
+		sketchDomain  = flag.Int("sketch-domain", 0, "deploy a count-mean-sketch scheme over this many categories (0 = dense mode)")
+		hashFuncs     = flag.Int("hash-functions", 16, "sketch hash functions k (with -sketch-domain)")
+		hashRange     = flag.Int("hash-range", 256, "sketch hash range m: values hash into m cells before disguising (with -sketch-domain)")
+		epsilon       = flag.Float64("epsilon", 4, "sketch inner k-RR privacy budget ε (with -sketch-domain)")
+		hashSeed      = flag.Uint64("hash-seed", 1, "sketch hash-family seed; clients and server must agree (with -sketch-domain)")
 		shards        = flag.Int("shards", 0, "collector shards (0 = GOMAXPROCS)")
 		z             = flag.Float64("z", rrserver.DefaultZ, "confidence quantile for /v1/estimate")
 		snapshotPath  = flag.String("snapshot", "", "persist collection state to this file and restore it at boot")
@@ -59,7 +73,10 @@ func main() {
 
 	f := flags{
 		addr: *addr, categories: *categories, warnerP: *warnerP,
-		matrixPath: *matrixPath, shards: *shards, z: *z,
+		matrixPath: *matrixPath, sketchDomain: *sketchDomain,
+		hashFuncs: *hashFuncs, hashRange: *hashRange,
+		epsilon: *epsilon, hashSeed: *hashSeed,
+		shards: *shards, z: *z,
 		snapshotPath: *snapshotPath, snapshotEvery: *snapshotEvery,
 		maxBatch: *maxBatch, tracePath: *tracePath,
 		loadtest: *loadtest, loadBatch: *loadBatch, loadWorkers: *loadWorkers,
@@ -80,6 +97,11 @@ type flags struct {
 	categories    int
 	warnerP       float64
 	matrixPath    string
+	sketchDomain  int
+	hashFuncs     int
+	hashRange     int
+	epsilon       float64
+	hashSeed      uint64
 	shards        int
 	z             float64
 	snapshotPath  string
@@ -96,7 +118,7 @@ func run(f flags) error {
 	if err := validateFlags(f); err != nil {
 		return err
 	}
-	m, err := loadMatrix(f)
+	scheme, err := loadScheme(f)
 	if err != nil {
 		return err
 	}
@@ -109,7 +131,7 @@ func run(f flags) error {
 	telem.Registry.PublishExpvar("rrserver")
 
 	srv, err := rrserver.New(rrserver.Config{
-		Matrix:        m,
+		Scheme:        scheme,
 		Shards:        f.shards,
 		Z:             f.z,
 		SnapshotPath:  f.snapshotPath,
@@ -131,8 +153,8 @@ func run(f flags) error {
 	if err != nil {
 		return err
 	}
-	log.Printf("rrserver: serving %d categories on http://%s (restored=%v, reports=%d)",
-		m.N(), httpSrv.Addr(), srv.Restored(), srv.Collector().Count())
+	log.Printf("rrserver: serving %d categories (%s scheme %s) on http://%s (restored=%v, reports=%d)",
+		srv.Categories(), scheme.Kind(), srv.SchemeVersion(), httpSrv.Addr(), srv.Restored(), srv.Count())
 
 	// Graceful drain: the signal closes the listener and waits for in-flight
 	// ingests (5s grace) BEFORE the snapshot loop is cancelled, so the final
@@ -153,14 +175,27 @@ func run(f flags) error {
 	if err := <-runDone; err != nil {
 		return fmt.Errorf("final snapshot: %w", err)
 	}
-	log.Printf("rrserver: stopped with %d reports persisted", srv.Collector().Count())
+	log.Printf("rrserver: stopped with %d reports persisted", srv.Count())
 	return nil
 }
 
 // validateFlags fails fast on values the server or collector would only
 // reject mid-flight.
 func validateFlags(f flags) error {
-	if f.matrixPath == "" {
+	if f.sketchDomain > 0 {
+		if f.matrixPath != "" {
+			return fmt.Errorf("-sketch-domain and -matrix are mutually exclusive")
+		}
+		if f.hashFuncs < 1 {
+			return fmt.Errorf("-hash-functions must be at least 1, got %d", f.hashFuncs)
+		}
+		if f.hashRange < 2 {
+			return fmt.Errorf("-hash-range must be at least 2, got %d", f.hashRange)
+		}
+		if !(f.epsilon > 0) {
+			return fmt.Errorf("-epsilon must be positive, got %v", f.epsilon)
+		}
+	} else if f.matrixPath == "" {
 		if f.categories < 2 {
 			return fmt.Errorf("-categories must be at least 2, got %d", f.categories)
 		}
@@ -185,9 +220,13 @@ func validateFlags(f flags) error {
 	return nil
 }
 
-// loadMatrix builds the deployed scheme: a JSON matrix file when given
-// (validated on decode), else the Warner default.
-func loadMatrix(f flags) (*rr.Matrix, error) {
+// loadScheme builds the deployed scheme: a count-mean sketch when
+// -sketch-domain is set, a JSON matrix file when given (validated on
+// decode), else the Warner default.
+func loadScheme(f flags) (rr.Scheme, error) {
+	if f.sketchDomain > 0 {
+		return sketch.NewKRR(f.sketchDomain, f.hashFuncs, f.hashRange, f.epsilon, f.hashSeed)
+	}
 	if f.matrixPath == "" {
 		return rr.Warner(f.categories, f.warnerP)
 	}
@@ -218,7 +257,7 @@ func runLoadtest(srv *rrserver.Server, f flags) error {
 
 	res, err := rrserver.LoadTest(context.Background(), rrserver.LoadConfig{
 		BaseURL:    "http://" + httpSrv.Addr(),
-		Categories: srv.Collector().Categories(),
+		Categories: srv.Categories(),
 		Reports:    f.loadtest,
 		Batch:      f.loadBatch,
 		Workers:    f.loadWorkers,
@@ -233,16 +272,20 @@ func runLoadtest(srv *rrserver.Server, f flags) error {
 	if err := srv.SnapshotNow(); err != nil {
 		return err
 	}
-	est, err := srv.Collector().Snapshot(srv.Z())
-	if err != nil {
-		return err
-	}
-	worst := 0.0
-	for _, h := range est.HalfWidth {
-		if h > worst {
-			worst = h
+	// The margin line is a dense-mode diagnostic; the sketch has no single
+	// full-domain margin to quote.
+	if col := srv.Collector(); col != nil {
+		est, err := col.Snapshot(srv.Z())
+		if err != nil {
+			return err
 		}
+		worst := 0.0
+		for _, h := range est.HalfWidth {
+			if h > worst {
+				worst = h
+			}
+		}
+		fmt.Printf("margin\t%.6f\n", worst)
 	}
-	fmt.Printf("margin\t%.6f\n", worst)
 	return nil
 }

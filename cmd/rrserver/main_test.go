@@ -32,6 +32,17 @@ func TestValidateFlags(t *testing.T) {
 		{"negative max batch", func(f *flags) { f.maxBatch = -1 }, "-max-batch"},
 		{"loadtest bad batch", func(f *flags) { f.loadtest = 10; f.loadBatch = 0 }, "-loadtest-batch"},
 		{"loadtest bad workers", func(f *flags) { f.loadtest = 10; f.loadWorkers = 0 }, "-loadtest-workers"},
+		{"sketch ok", func(f *flags) { f.sketchDomain = 1000; f.hashFuncs = 8; f.hashRange = 64; f.epsilon = 4 }, ""},
+		{"sketch with matrix file", func(f *flags) {
+			f.sketchDomain = 1000
+			f.hashFuncs = 8
+			f.hashRange = 64
+			f.epsilon = 4
+			f.matrixPath = "m.json"
+		}, "mutually exclusive"},
+		{"sketch bad hash functions", func(f *flags) { f.sketchDomain = 1000; f.hashRange = 64; f.epsilon = 4 }, "-hash-functions"},
+		{"sketch bad hash range", func(f *flags) { f.sketchDomain = 1000; f.hashFuncs = 8; f.hashRange = 1; f.epsilon = 4 }, "-hash-range"},
+		{"sketch bad epsilon", func(f *flags) { f.sketchDomain = 1000; f.hashFuncs = 8; f.hashRange = 64 }, "-epsilon"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -53,12 +64,15 @@ func TestValidateFlags(t *testing.T) {
 
 func TestLoadMatrix(t *testing.T) {
 	f := baseFlags()
-	m, err := loadMatrix(f)
+	m, err := loadScheme(f)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.N() != 4 {
-		t.Fatalf("Warner default has %d categories, want 4", m.N())
+	if m.Domain() != 4 {
+		t.Fatalf("Warner default has %d categories, want 4", m.Domain())
+	}
+	if m.Kind() != rr.DenseKind {
+		t.Fatalf("default scheme kind %q, want dense", m.Kind())
 	}
 
 	want, err := rr.Warner(3, 0.8)
@@ -74,16 +88,16 @@ func TestLoadMatrix(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.matrixPath = path
-	got, err := loadMatrix(f)
+	got, err := loadScheme(f)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.N() != 3 {
-		t.Fatalf("loaded matrix has %d categories, want 3", got.N())
+	if got.Domain() != 3 {
+		t.Fatalf("loaded matrix has %d categories, want 3", got.Domain())
 	}
 
 	f.matrixPath = filepath.Join(t.TempDir(), "missing.json")
-	if _, err := loadMatrix(f); err == nil {
+	if _, err := loadScheme(f); err == nil {
 		t.Fatal("missing matrix file accepted")
 	}
 
@@ -92,7 +106,22 @@ func TestLoadMatrix(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.matrixPath = bad
-	if _, err := loadMatrix(f); err == nil {
+	if _, err := loadScheme(f); err == nil {
 		t.Fatal("malformed matrix file accepted")
+	}
+}
+
+func TestLoadSchemeSketch(t *testing.T) {
+	f := baseFlags()
+	f.sketchDomain, f.hashFuncs, f.hashRange, f.epsilon, f.hashSeed = 100000, 8, 64, 4, 7
+	s, err := loadScheme(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind() != "cms" {
+		t.Fatalf("sketch scheme kind %q, want cms", s.Kind())
+	}
+	if s.Domain() != 100000 || s.ReportSpace() != 8*64 {
+		t.Fatalf("Domain/ReportSpace = %d/%d", s.Domain(), s.ReportSpace())
 	}
 }

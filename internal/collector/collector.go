@@ -187,18 +187,17 @@ type Respondent struct {
 	samplers []*randx.Alias
 }
 
-// NewRespondent prepares a respondent holding the given private value.
+// NewRespondent prepares a respondent holding the given private value. The
+// alias samplers come from the matrix's shared cache (rr.Matrix.Samplers),
+// so a population of respondents over one scheme builds the tables once
+// instead of once per respondent.
 func NewRespondent(m *rr.Matrix, value int) (*Respondent, error) {
 	if value < 0 || value >= m.N() {
 		return nil, fmt.Errorf("%w: value %d of %d categories", ErrBadReport, value, m.N())
 	}
-	samplers := make([]*randx.Alias, m.N())
-	for i := 0; i < m.N(); i++ {
-		a, err := randx.NewAlias(m.Column(i))
-		if err != nil {
-			return nil, fmt.Errorf("collector: column %d: %w", i, err)
-		}
-		samplers[i] = a
+	samplers, err := m.Samplers()
+	if err != nil {
+		return nil, fmt.Errorf("collector: %w", err)
 	}
 	return &Respondent{value: value, samplers: samplers}, nil
 }

@@ -61,13 +61,18 @@ func newInstrumentation(rec obs.Recorder, reg *obs.Registry, n int) *instrumenta
 	return ins
 }
 
-// observeIngest updates the per-report counters.
+// observeIngest updates the per-report counters. The per-category counter is
+// bounds-guarded: the sketch collector registers no per-category series (its
+// report space is k·m sketch cells, not meaningful categories), so its
+// instrumentation has an empty perCat.
 func (ins *instrumentation) observeIngest(report int) {
 	if ins == nil {
 		return
 	}
 	ins.ingested.Inc()
-	ins.perCat[report].Inc()
+	if report < len(ins.perCat) {
+		ins.perCat[report].Inc()
+	}
 }
 
 // observeBad counts a rejected report.

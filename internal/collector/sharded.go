@@ -3,10 +3,7 @@ package collector
 import (
 	"encoding/json"
 	"fmt"
-	"runtime"
-	"sync"
 	"sync/atomic"
-	"unsafe"
 
 	"optrr/internal/obs"
 	"optrr/internal/rr"
@@ -37,28 +34,9 @@ import (
 type ShardedCollector struct {
 	m      *rr.Matrix
 	sv     *solver
-	shards []shard
+	set    shardSet
 	cursor atomic.Uint64 // round-robins Writer shard assignment only
 	ins    *instrumentation
-}
-
-// shard is one stripe of counts: a row of atomic counters (padded out to
-// whole cache lines so neighbouring shards' rows never false-share) plus the
-// mutex that makes batch-style writes atomic with respect to queries.
-// Single-report ingestion never touches the mutex.
-type shard struct {
-	mu     sync.Mutex
-	counts []atomic.Int64
-	_      [40]byte
-}
-
-// countersPerLine is how many atomic.Int64 cells fill one 64-byte cache
-// line; count rows are rounded up to this so two shards never share a line.
-const countersPerLine = 8
-
-func newShardRow(n int) []atomic.Int64 {
-	padded := (n + countersPerLine - 1) / countersPerLine * countersPerLine
-	return make([]atomic.Int64, padded)[:n]
 }
 
 // NewSharded returns a sharded collector for reports disguised with m. The
@@ -66,32 +44,18 @@ func newShardRow(n int) []atomic.Int64 {
 // sized to the scheduler (GOMAXPROCS). As with New, a singular matrix is
 // accepted — ingestion works, estimate queries return rr.ErrSingular.
 func NewSharded(m *rr.Matrix, shards int) *ShardedCollector {
-	if shards <= 0 {
-		shards = runtime.GOMAXPROCS(0)
-		if shards < 1 {
-			shards = 1
-		}
+	return &ShardedCollector{
+		m:   m,
+		sv:  newSolver(m),
+		set: newShardSet(shards, m.N()),
 	}
-	pow2 := 1
-	for pow2 < shards {
-		pow2 <<= 1
-	}
-	c := &ShardedCollector{
-		m:      m,
-		sv:     newSolver(m),
-		shards: make([]shard, pow2),
-	}
-	for i := range c.shards {
-		c.shards[i].counts = newShardRow(m.N())
-	}
-	return c
 }
 
 // Categories returns the attribute domain size.
 func (c *ShardedCollector) Categories() int { return c.m.N() }
 
 // Shards returns the number of stripes.
-func (c *ShardedCollector) Shards() int { return len(c.shards) }
+func (c *ShardedCollector) Shards() int { return len(c.set.shards) }
 
 // Instrument attaches a recorder and metrics registry (see
 // Collector.Instrument); the metric names are identical, so dashboards don't
@@ -102,18 +66,8 @@ func (c *ShardedCollector) Instrument(rec obs.Recorder, reg *obs.Registry) {
 	c.ins = newInstrumentation(rec, reg, c.m.N())
 }
 
-// home picks the calling goroutine's shard from its stack address. Stacks
-// live in distinct memory regions at least 2 KiB apart, so shifting a stack
-// address down 11 bits gives a value that is stable for one goroutine at a
-// given call depth and distinct across goroutines — shard affinity without a
-// goroutine ID and without any shared cursor. The address never converts
-// back to a pointer; only its page number is used. A collision only means
-// two goroutines share a shard's counters (still correct, just contended).
-func (c *ShardedCollector) home() *shard {
-	var marker byte
-	page := uintptr(unsafe.Pointer(&marker)) >> 11
-	return &c.shards[int(page)&(len(c.shards)-1)]
-}
+// home picks the calling goroutine's shard (see shardSet.home).
+func (c *ShardedCollector) home() *shard { return c.set.home() }
 
 // Ingest adds one disguised report: a single atomic increment on the calling
 // goroutine's home shard.
@@ -154,37 +108,12 @@ func (c *ShardedCollector) IngestBatch(reports []int) error {
 	return nil
 }
 
-// lockAll acquires every shard lock in index order (the fixed order makes
-// nested acquisition deadlock-free) and returns the unlock function. Holding
-// all locks excludes batch-style writers; single-report ingesters are
-// lock-free but individually atomic, so the fold below is still a whole
-// number of reports.
-func (c *ShardedCollector) lockAll() func() {
-	for i := range c.shards {
-		c.shards[i].mu.Lock()
-	}
-	return func() {
-		for i := range c.shards {
-			c.shards[i].mu.Unlock()
-		}
-	}
-}
+// lockAll acquires every shard lock in index order (see shardSet.lockAll).
+func (c *ShardedCollector) lockAll() func() { return c.set.lockAll() }
 
-// countsLocked folds the shard stripes into one (counts, total) view. The
-// total is the sum of the counts actually read, so the view is always
-// internally consistent.
-func (c *ShardedCollector) countsLocked() ([]int, int) {
-	out := make([]int, c.m.N())
-	total := 0
-	for i := range c.shards {
-		for k := range c.shards[i].counts {
-			v := int(c.shards[i].counts[k].Load())
-			out[k] += v
-			total += v
-		}
-	}
-	return out, total
-}
+// countsLocked folds the shard stripes into one (counts, total) view (see
+// shardSet.countsLocked).
+func (c *ShardedCollector) countsLocked() ([]int, int) { return c.set.countsLocked() }
 
 // Count returns the number of reports ingested so far.
 func (c *ShardedCollector) Count() int {
@@ -347,7 +276,7 @@ func RestoreSharded(data []byte, shards int) (*ShardedCollector, error) {
 		return nil, fmt.Errorf("%w: total %d but counts sum to %d", ErrBadSnapshot, *raw.Total, sum)
 	}
 	c := NewSharded(raw.Matrix, shards)
-	sh := &c.shards[0]
+	sh := &c.set.shards[0]
 	for k, v := range raw.Counts {
 		sh.counts[k].Store(int64(v))
 	}

@@ -1,0 +1,270 @@
+package collector
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"optrr/internal/obs"
+	"optrr/internal/rr"
+)
+
+// SketchCollector aggregates encoded reports for any rr.Scheme whose report
+// space is decoupled from its domain — in practice the Count-Mean-Sketch
+// scheme, where reports index a k×m grid while the domain may be millions of
+// categories. It reuses the cache-line-padded shardSet of ShardedCollector,
+// so the concurrency story is identical: a single report is one atomic add
+// on the ingesting goroutine's home shard, batches land whole on one shard
+// under its mutex, and queries take every shard mutex in index order for a
+// consistent fold. Memory is O(shards · ReportSpace), independent of the
+// domain size.
+//
+// Estimation routes through the scheme's debiasing (Scheme.EstimateFrom), so
+// a SketchCollector answers point queries for any requested categories and
+// scans for heavy hitters without ever materializing a dense domain-sized
+// matrix.
+//
+// The zero value is not usable; construct with NewSketch or RestoreSketch.
+type SketchCollector struct {
+	scheme rr.Scheme
+	set    shardSet
+	ins    *instrumentation
+}
+
+// HeavyHitter is one discovered frequent category: its index in the original
+// domain and its debiased frequency estimate.
+type HeavyHitter struct {
+	Category int     `json:"category"`
+	Estimate float64 `json:"estimate"`
+}
+
+// NewSketch returns a sketch collector for reports encoded by the given
+// scheme. The shard count is rounded up to a power of two; shards <= 0 picks
+// a default sized to the scheduler (GOMAXPROCS).
+func NewSketch(scheme rr.Scheme, shards int) *SketchCollector {
+	return &SketchCollector{
+		scheme: scheme,
+		set:    newShardSet(shards, scheme.ReportSpace()),
+	}
+}
+
+// Scheme returns the scheme the reports are encoded with.
+func (c *SketchCollector) Scheme() rr.Scheme { return c.scheme }
+
+// Categories returns the original domain size the scheme covers.
+func (c *SketchCollector) Categories() int { return c.scheme.Domain() }
+
+// ReportSpace returns the encoded report space the counters cover.
+func (c *SketchCollector) ReportSpace() int { return c.set.width }
+
+// Shards returns the number of stripes.
+func (c *SketchCollector) Shards() int { return len(c.set.shards) }
+
+// Instrument attaches a recorder and metrics registry. The metric names
+// match the dense collectors except that no per-category series are
+// registered: sketch report indices are (hash row, cell) pairs, not
+// categories, and a k·m-sized series set would be dashboard noise.
+func (c *SketchCollector) Instrument(rec obs.Recorder, reg *obs.Registry) {
+	c.ins = newInstrumentation(rec, reg, 0)
+}
+
+// Ingest adds one encoded report: a single atomic increment on the calling
+// goroutine's home shard.
+func (c *SketchCollector) Ingest(report int) error {
+	if report < 0 || report >= c.set.width {
+		c.ins.observeBad()
+		return fmt.Errorf("%w: %d of report space %d", ErrBadReport, report, c.set.width)
+	}
+	c.set.home().counts[report].Add(1)
+	c.ins.observeIngest(report)
+	return nil
+}
+
+// IngestBatch adds many reports atomically onto one shard; on error the
+// collector state is unchanged.
+func (c *SketchCollector) IngestBatch(reports []int) error {
+	for _, r := range reports {
+		if r < 0 || r >= c.set.width {
+			c.ins.observeBad()
+			return fmt.Errorf("%w: %d of report space %d", ErrBadReport, r, c.set.width)
+		}
+	}
+	sh := c.set.home()
+	sh.mu.Lock()
+	for _, r := range reports {
+		sh.counts[r].Add(1)
+	}
+	sh.mu.Unlock()
+	if c.ins != nil {
+		for _, r := range reports {
+			c.ins.observeIngest(r)
+		}
+		c.ins.observeBatch(len(reports), c.Count())
+	}
+	return nil
+}
+
+// Count returns the number of reports ingested so far.
+func (c *SketchCollector) Count() int {
+	defer c.set.lockAll()()
+	_, total := c.set.countsLocked()
+	return total
+}
+
+// Counts returns a consistent copy of the encoded report counts (row-major
+// k×m for the sketch scheme).
+func (c *SketchCollector) Counts() []int {
+	defer c.set.lockAll()()
+	counts, _ := c.set.countsLocked()
+	return counts
+}
+
+// consistentCounts folds a consistent view and maps an empty collector onto
+// ErrNoReports, matching the dense collectors' query contract.
+func (c *SketchCollector) consistentCounts() ([]int, error) {
+	unlock := c.set.lockAll()
+	counts, total := c.set.countsLocked()
+	unlock()
+	if total == 0 {
+		return nil, ErrNoReports
+	}
+	return counts, nil
+}
+
+// Estimate returns debiased frequency estimates for the requested original
+// categories; with no arguments it estimates the full domain (which for a
+// huge domain is an O(domain · hashes) scan — prefer point queries or
+// HeavyHitters there).
+func (c *SketchCollector) Estimate(categories ...int) ([]float64, error) {
+	counts, err := c.consistentCounts()
+	if err != nil {
+		return nil, err
+	}
+	if len(categories) == 0 {
+		categories = nil
+	}
+	return c.scheme.EstimateFrom(counts, categories)
+}
+
+// HeavyHitters scans the full domain and returns the categories whose
+// debiased frequency estimate is at least threshold, sorted by estimate
+// descending (ties by category index). limit > 0 caps the result length;
+// limit <= 0 returns all categories over the threshold.
+func (c *SketchCollector) HeavyHitters(threshold float64, limit int) ([]HeavyHitter, error) {
+	counts, err := c.consistentCounts()
+	if err != nil {
+		return nil, err
+	}
+	ests, err := c.scheme.EstimateFrom(counts, nil)
+	if err != nil {
+		return nil, err
+	}
+	hits := make([]HeavyHitter, 0, 16)
+	for x, e := range ests {
+		if e >= threshold {
+			hits = append(hits, HeavyHitter{Category: x, Estimate: e})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Estimate != hits[j].Estimate {
+			return hits[i].Estimate > hits[j].Estimate
+		}
+		return hits[i].Category < hits[j].Category
+	})
+	if limit > 0 && len(hits) > limit {
+		hits = hits[:limit]
+	}
+	return hits, nil
+}
+
+// Merge folds a consistent view of other's counts into c. The two
+// collectors must use the identical scheme (same wire fingerprint) — merging
+// grids built under different hash families or inner matrices would debias
+// into garbage. other is left unchanged. Merging a collector into itself
+// deadlocks; don't.
+func (c *SketchCollector) Merge(other *SketchCollector) error {
+	cv, err := rr.SchemeVersion(c.scheme)
+	if err != nil {
+		return err
+	}
+	ov, err := rr.SchemeVersion(other.scheme)
+	if err != nil {
+		return err
+	}
+	if cv != ov {
+		return fmt.Errorf("collector: merge requires identical schemes (version %s vs %s)", cv, ov)
+	}
+	unlock := other.set.lockAll()
+	counts, total := other.set.countsLocked()
+	unlock()
+	sh := c.set.home()
+	sh.mu.Lock()
+	for k, v := range counts {
+		sh.counts[k].Add(int64(v))
+	}
+	sh.mu.Unlock()
+	if c.ins != nil {
+		c.ins.observeBatch(total, c.Count())
+	}
+	return nil
+}
+
+// sketchJSON is the crash-recovery wire form: the scheme in its kind-tagged
+// envelope, a consistent fold of the counts, and the total as a redundant
+// integrity check. Shard layout is an in-memory concern and deliberately not
+// persisted — restore re-stripes freely.
+type sketchJSON struct {
+	Scheme json.RawMessage `json:"scheme"`
+	Counts []int           `json:"counts"`
+	Total  *int            `json:"total,omitempty"`
+}
+
+// MarshalJSON serializes a consistent snapshot of the collection state for
+// crash recovery.
+func (c *SketchCollector) MarshalJSON() ([]byte, error) {
+	env, err := rr.MarshalScheme(c.scheme)
+	if err != nil {
+		return nil, err
+	}
+	unlock := c.set.lockAll()
+	counts, total := c.set.countsLocked()
+	unlock()
+	return json.Marshal(sketchJSON{Scheme: env, Counts: counts, Total: &total})
+}
+
+// RestoreSketch rebuilds a sketch collector from a MarshalJSON snapshot,
+// striped across the given number of shards (<= 0 picks the default). The
+// snapshot is fully validated before any state is built; every rejection
+// wraps ErrBadSnapshot, matching RestoreSharded.
+func RestoreSketch(data []byte, shards int) (*SketchCollector, error) {
+	var raw sketchJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("%w: decoding: %v", ErrBadSnapshot, err)
+	}
+	if len(raw.Scheme) == 0 {
+		return nil, fmt.Errorf("%w: no scheme", ErrBadSnapshot)
+	}
+	scheme, err := rr.UnmarshalScheme(raw.Scheme)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if len(raw.Counts) != scheme.ReportSpace() {
+		return nil, fmt.Errorf("%w: %d counts for report space %d", ErrBadSnapshot, len(raw.Counts), scheme.ReportSpace())
+	}
+	sum := 0
+	for k, v := range raw.Counts {
+		if v < 0 {
+			return nil, fmt.Errorf("%w: count[%d] = %d is negative", ErrBadSnapshot, k, v)
+		}
+		sum += v
+	}
+	if raw.Total != nil && *raw.Total != sum {
+		return nil, fmt.Errorf("%w: total %d but counts sum to %d", ErrBadSnapshot, *raw.Total, sum)
+	}
+	c := NewSketch(scheme, shards)
+	sh := &c.set.shards[0]
+	for k, v := range raw.Counts {
+		sh.counts[k].Store(int64(v))
+	}
+	return c, nil
+}

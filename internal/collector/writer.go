@@ -39,10 +39,10 @@ func (c *ShardedCollector) NewWriter(flushEvery int) *Writer {
 	if flushEvery <= 0 {
 		flushEvery = 256
 	}
-	idx := int(c.cursor.Add(1)-1) & (len(c.shards) - 1)
+	idx := int(c.cursor.Add(1)-1) & (len(c.set.shards) - 1)
 	return &Writer{
 		c:       c,
-		sh:      &c.shards[idx],
+		sh:      &c.set.shards[idx],
 		pending: make([]int, c.m.N()),
 		limit:   flushEvery,
 	}

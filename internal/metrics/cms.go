@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Count-Mean-Sketch error terms, in the estimator-error framing of Pastore &
+// Gastpar ("Locally Differentially Private Randomized Response for Discrete
+// Distribution Learning"): the error of a sketch-debiased frequency estimate
+// f̂(x) decomposes into a hash-collision term, governed by the hash_range m
+// and the number of hash functions k, and a sampling term, governed by the
+// per-row report counts and the inner RR matrix. Both are exposed here so
+// the sketch scheme, its tests, and capacity planning share one definition
+// of the hash_range-vs-accuracy trade-off.
+
+// CMSDebiasScale is the m/(m−1) factor that turns the raw per-cell estimate
+// t̂ into the collision-debiased frequency estimate (m·t̂ − 1)/(m − 1): under
+// a pairwise-independent hash family every other category lands in a given
+// cell with probability 1/m, so a cell's expected mass is f(x)/1 + (1−f(x))/m
+// and solving for f(x) introduces this scale.
+func CMSDebiasScale(hashRange int) float64 {
+	return float64(hashRange) / float64(hashRange-1)
+}
+
+// CMSCollisionStd bounds the standard deviation of the hash-collision
+// component of a sketch frequency estimate. For a pairwise-independent hash
+// family, the collision mass landing on category x's cell in one hash row
+// has variance at most Σ_y f(y)² / m = ell2/m; averaging k independent rows
+// divides the variance by k, and the debias step multiplies the noise by
+// CMSDebiasScale. ell2 is Σ_y f(y)², the squared 2-norm of the true
+// frequency vector (at most 1; 1/n for the uniform distribution — callers
+// without ground truth can plug in the estimated distribution or the
+// worst-case 1).
+func CMSCollisionStd(ell2 float64, hashRange, hashes int) float64 {
+	if hashRange < 2 || hashes < 1 || ell2 < 0 {
+		return math.NaN()
+	}
+	return CMSDebiasScale(hashRange) *
+		math.Sqrt(ell2/(float64(hashRange)*float64(hashes)))
+}
+
+// CMSRowVariance is the empirical plug-in sampling variance of one hash
+// row's contribution to a debiased frequency estimate. The row's cell
+// estimate is t̂[u] = Σ_v inv[u][v]·p̂*[v] with p̂* the multinomial empirical
+// distribution of the row's rowCount disguised reports, so
+//
+//	Var(t̂[u]) = (Σ_v p*[v]·inv[u][v]² − (Σ_v p*[v]·inv[u][v])²) / rowCount
+//
+// with the true p* replaced by the observed p̂* (the same plug-in used by the
+// dense collector's Theorem-6 half-widths); the debias step scales the
+// variance by CMSDebiasScale². invRow is row u of the inverse of the inner
+// RR matrix and pStar the row's empirical disguised distribution.
+func CMSRowVariance(invRow, pStar []float64, rowCount, hashRange int) (float64, error) {
+	if len(invRow) != len(pStar) {
+		return 0, fmt.Errorf("%w: inverse row of length %d against distribution of length %d", ErrShape, len(invRow), len(pStar))
+	}
+	if rowCount <= 0 {
+		return 0, fmt.Errorf("%w: row count %d", ErrBadRecords, rowCount)
+	}
+	if hashRange < 2 {
+		return 0, fmt.Errorf("%w: hash range %d", ErrShape, hashRange)
+	}
+	var ex, ex2 float64
+	for v, p := range pStar {
+		iv := invRow[v]
+		ex += p * iv
+		ex2 += p * iv * iv
+	}
+	variance := ex2 - ex*ex
+	if variance < 0 {
+		// Floating-point cancellation on a near-deterministic row.
+		variance = 0
+	}
+	scale := CMSDebiasScale(hashRange)
+	return scale * scale * variance / float64(rowCount), nil
+}

@@ -31,6 +31,72 @@ func batchWorkers(workers, chunks int) int {
 	return workers
 }
 
+// BatchChunks runs body over [0, total) partitioned into fixed chunks of
+// 8192 items, fanned out over the given number of workers (zero means
+// GOMAXPROCS). Chunk c covers [c·8192, min((c+1)·8192, total)) and always
+// receives the deterministic stream randx.Stream(seed, c), so for any body
+// that writes only to its own chunk's output the result depends only on
+// (total, seed, body), never on the worker count. This is the shared batch
+// driver behind every scheme's DisguiseBatchInto.
+//
+// Error semantics match a serial sweep: the error returned is the one the
+// in-chunk-order scan hits first. In the serial case (one worker) later
+// chunks are not run after a failure; in the parallel case in-flight chunks
+// finish but the first-in-order error is reported.
+func BatchChunks(total int, seed uint64, workers int, body func(lo, hi int, rng *randx.Source) error) error {
+	if total <= 0 {
+		return nil
+	}
+	chunks := (total + disguiseChunk - 1) / disguiseChunk
+	oneChunk := func(c int) error {
+		lo := c * disguiseChunk
+		hi := lo + disguiseChunk
+		if hi > total {
+			hi = total
+		}
+		return body(lo, hi, randx.Stream(seed, uint64(c)))
+	}
+	workers = batchWorkers(workers, chunks)
+	if workers == 1 {
+		for c := 0; c < chunks; c++ {
+			if err := oneChunk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Chunks are claimed from an atomic cursor; error reporting scans the
+	// per-chunk results in chunk order afterwards, so the error surfaced is
+	// the one the serial sweep would have hit first.
+	errs := make([]error, chunks)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	run := func() {
+		for {
+			c := int(cursor.Add(1)) - 1
+			if c >= chunks {
+				return
+			}
+			errs[c] = oneChunk(c)
+		}
+	}
+	for w := 1; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			run()
+		}()
+	}
+	run()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // DisguiseBatch is DisguiseBatchInto with a freshly allocated result slice.
 func (m *Matrix) DisguiseBatch(records []int, seed uint64, workers int) ([]int, error) {
 	out := make([]int, len(records))
@@ -43,9 +109,7 @@ func (m *Matrix) DisguiseBatch(records []int, seed uint64, workers int) ([]int, 
 // DisguiseBatchInto applies randomized response to every record — each
 // original category c_i replaced by a draw from column i of M — writing the
 // disguised categories into dst (same length as records). The records are
-// processed in fixed chunks of disguiseChunk, chunk c drawing from the
-// deterministic stream randx.Stream(seed, c), fanned out over the given
-// number of workers (zero means GOMAXPROCS): the output depends only on
+// processed through BatchChunks, so the output depends only on
 // (M, records, seed), never on the worker count.
 //
 // On error — an out-of-range record, reported exactly as Disguise reports
@@ -54,79 +118,21 @@ func (m *Matrix) DisguiseBatchInto(dst, records []int, seed uint64, workers int)
 	if len(dst) != len(records) {
 		return fmt.Errorf("%w: dst length %d for %d records", ErrShape, len(dst), len(records))
 	}
-	n := m.N()
-	samplers := make([]*randx.Alias, n)
-	for i := 0; i < n; i++ {
-		a, err := randx.NewAlias(m.Column(i))
-		if err != nil {
-			return fmt.Errorf("rr: column %d: %w", i, err)
-		}
-		samplers[i] = a
-	}
-	total := len(records)
-	if total == 0 {
-		return nil
-	}
-	chunks := (total + disguiseChunk - 1) / disguiseChunk
-	workers = batchWorkers(workers, chunks)
-	if workers == 1 {
-		for c := 0; c < chunks; c++ {
-			if err := disguiseOneChunk(dst, records, samplers, seed, c); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
 	// The alias tables are immutable after construction, so every worker
-	// shares them; all per-chunk state is the chunk's own Source. Chunks are
-	// claimed from an atomic cursor; error reporting scans the per-chunk
-	// results in chunk order afterwards, so the error surfaced is the one
-	// the serial sweep would have hit first.
-	errs := make([]error, chunks)
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers - 1)
-	body := func() {
-		for {
-			c := int(cursor.Add(1)) - 1
-			if c >= chunks {
-				return
-			}
-			errs[c] = disguiseOneChunk(dst, records, samplers, seed, c)
-		}
+	// shares them; all per-chunk state is the chunk's own Source.
+	samplers, err := m.Samplers()
+	if err != nil {
+		return err
 	}
-	for w := 1; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			body()
-		}()
-	}
-	body()
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// disguiseOneChunk disguises records[c*disguiseChunk : ...] from the chunk's
-// deterministic stream, stopping at the first out-of-range record.
-func disguiseOneChunk(dst, records []int, samplers []*randx.Alias, seed uint64, c int) error {
-	lo := c * disguiseChunk
-	hi := lo + disguiseChunk
-	if hi > len(records) {
-		hi = len(records)
-	}
-	r := randx.Stream(seed, uint64(c))
 	n := len(samplers)
-	for k := lo; k < hi; k++ {
-		rec := records[k]
-		if rec < 0 || rec >= n {
-			return fmt.Errorf("%w: record %d has category %d", ErrShape, k, rec)
+	return BatchChunks(len(records), seed, workers, func(lo, hi int, rng *randx.Source) error {
+		for k := lo; k < hi; k++ {
+			rec := records[k]
+			if rec < 0 || rec >= n {
+				return fmt.Errorf("%w: record %d has category %d", ErrShape, k, rec)
+			}
+			dst[k] = samplers[rec].Draw(rng)
 		}
-		dst[k] = samplers[rec].Draw(r)
-	}
-	return nil
+		return nil
+	})
 }

@@ -48,6 +48,95 @@ func TestDisguiseBatchDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestDisguiseBatchChunkBoundaryProperty is the exhaustive form of the
+// worker-independence contract around chunk boundaries: for a sweep of
+// record counts that are deliberately NOT multiples of the 8192-record chunk
+// (one below, one above, mid-chunk offsets, a sub-chunk batch), the parallel
+// output must equal the serial output at every worker count from 1 through
+// well past GOMAXPROCS. Derived totals are seeded per-total so each case is
+// a distinct record vector.
+func TestDisguiseBatchChunkBoundaryProperty(t *testing.T) {
+	m, err := FRAPP(7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := []int{
+		1, 17, disguiseChunk / 2,
+		disguiseChunk - 1, disguiseChunk + 1,
+		2*disguiseChunk - 1, 2*disguiseChunk + 1,
+		2*disguiseChunk + disguiseChunk/3,
+		5*disguiseChunk - 123,
+	}
+	maxWorkers := runtime.GOMAXPROCS(0) + 3
+	if maxWorkers < 9 {
+		maxWorkers = 9
+	}
+	for _, total := range totals {
+		if total%disguiseChunk == 0 {
+			t.Fatalf("test bug: total %d is a chunk multiple", total)
+		}
+		recs := batchRecords(7, total, 1000+uint64(total))
+		want, err := m.DisguiseBatch(recs, 77, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]int, total)
+		for w := 1; w <= maxWorkers; w++ {
+			if err := m.DisguiseBatchInto(got, recs, 77, w); err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("total=%d workers=%d: record %d = %d, want serial %d", total, w, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchChunksSchedule pins the shared driver's contract directly: every
+// index is visited exactly once, chunk c spans [c·8192, min((c+1)·8192,
+// total)) and receives the stream for index c, at any worker count.
+func TestBatchChunksSchedule(t *testing.T) {
+	total := 2*disguiseChunk + 99
+	for _, w := range []int{0, 1, 2, 5} {
+		visited := make([]int, total)
+		err := BatchChunks(total, 55, w, func(lo, hi int, rng *randx.Source) error {
+			c := lo / disguiseChunk
+			if lo != c*disguiseChunk {
+				return errors.New("chunk start off the 8192 grid")
+			}
+			wantHi := lo + disguiseChunk
+			if wantHi > total {
+				wantHi = total
+			}
+			if hi != wantHi {
+				return errors.New("chunk end off the 8192 grid")
+			}
+			if got, want := rng.Uint64(), randx.Stream(55, uint64(c)).Uint64(); got != want {
+				return errors.New("chunk stream not Stream(seed, chunk)")
+			}
+			for i := lo; i < hi; i++ {
+				visited[i]++
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i, v := range visited {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", w, i, v)
+			}
+		}
+	}
+	if err := BatchChunks(0, 1, 4, func(lo, hi int, rng *randx.Source) error {
+		return errors.New("body ran for an empty batch")
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestDisguiseBatchDistribution checks the statistics: disguising a large
 // batch lands near the implied disguised distribution M·P.
 func TestDisguiseBatchDistribution(t *testing.T) {

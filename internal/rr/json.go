@@ -43,6 +43,7 @@ func (m *Matrix) UnmarshalJSON(data []byte) error {
 	if err != nil {
 		return err
 	}
-	*m = *decoded
+	m.m = decoded.m
+	m.samplers.Store(nil)
 	return nil
 }

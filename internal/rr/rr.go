@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"optrr/internal/matrix"
 	"optrr/internal/randx"
@@ -26,6 +27,11 @@ const stochasticTol = 1e-9
 // entries in [0, 1], every column summing to 1.
 type Matrix struct {
 	m *matrix.Dense
+
+	// samplers lazily caches the per-column alias samplers (see Samplers).
+	// SetColumns invalidates it; all other methods leave the columns — and
+	// therefore the cache — untouched.
+	samplers atomic.Pointer[[]*randx.Alias]
 }
 
 // RR errors.
@@ -93,6 +99,7 @@ func (m *Matrix) SetColumns(cols [][]float64) error {
 		}
 		m.m.SetCol(i, col)
 	}
+	m.samplers.Store(nil)
 	return m.Validate()
 }
 
@@ -203,13 +210,9 @@ func (m *Matrix) Invertible() bool {
 // category c_i is replaced by a category drawn from column i of M.
 func (m *Matrix) Disguise(records []int, r *randx.Source) ([]int, error) {
 	n := m.N()
-	samplers := make([]*randx.Alias, n)
-	for i := 0; i < n; i++ {
-		a, err := randx.NewAlias(m.Column(i))
-		if err != nil {
-			return nil, fmt.Errorf("rr: column %d: %w", i, err)
-		}
-		samplers[i] = a
+	samplers, err := m.Samplers()
+	if err != nil {
+		return nil, err
 	}
 	out := make([]int, len(records))
 	for k, rec := range records {

@@ -1,0 +1,247 @@
+package rr
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"optrr/internal/randx"
+)
+
+// Scheme abstracts a randomized-response disguise mechanism so the layers
+// above the matrix math — collectors, the collection service, the disguise
+// SDK, mining — do not assume the dense n×n matrix representation. A scheme
+// maps a private value from a category domain onto an encoded report in a
+// (possibly much smaller) report space, and debiases aggregated report
+// counts back into frequency estimates over the original domain.
+//
+// *Matrix is the dense scheme: report space == domain, disguise draws from
+// the matrix column, estimation is the Theorem-1 inversion. The
+// Count-Mean-Sketch scheme (internal/sketch) hashes a huge domain into a
+// small hash range first, so its report space is O(hashes·hashRange),
+// independent of the domain size.
+type Scheme interface {
+	// Kind identifies the scheme family on the wire (see RegisterScheme).
+	Kind() string
+	// Domain returns the original category domain size: private values are
+	// integers in [0, Domain()).
+	Domain() int
+	// ReportSpace returns the size of the encoded report space: disguised
+	// reports are integers in [0, ReportSpace()).
+	ReportSpace() int
+	// DisguiseValue disguises one private value into an encoded report,
+	// drawing randomness from rng. The private value never appears in the
+	// result except through the scheme's randomized channel.
+	DisguiseValue(value int, rng *randx.Source) (int, error)
+	// DisguiseBatchInto disguises records into dst (same length) using the
+	// deterministic chunked schedule of BatchChunks: the output depends only
+	// on (scheme, records, seed), never on the worker count.
+	DisguiseBatchInto(dst, records []int, seed uint64, workers int) error
+	// EstimateFrom debiases aggregated report counts (length ReportSpace())
+	// into frequency estimates for the requested original categories; a nil
+	// categories slice means the full domain, in order.
+	EstimateFrom(counts []int, categories []int) ([]float64, error)
+}
+
+// DenseKind is the Kind of the dense matrix scheme.
+const DenseKind = "dense"
+
+// schemeEnvelope is the kind-tagged wire form of a Scheme, so a decoder can
+// dispatch to the right codec without guessing from the payload shape.
+type schemeEnvelope struct {
+	Kind   string          `json:"kind"`
+	Scheme json.RawMessage `json:"scheme"`
+}
+
+var (
+	schemeCodecsMu sync.RWMutex
+	schemeCodecs   = map[string]func(data []byte) (Scheme, error){}
+)
+
+// RegisterScheme registers the decoder for a scheme kind, used by
+// UnmarshalScheme to revive kind-tagged envelopes. Packages implementing a
+// Scheme register themselves in an init function; registering the same kind
+// twice panics (it is a wiring bug, not a runtime condition).
+func RegisterScheme(kind string, decode func(data []byte) (Scheme, error)) {
+	if kind == "" || decode == nil {
+		panic("rr: RegisterScheme needs a kind and a decoder")
+	}
+	schemeCodecsMu.Lock()
+	defer schemeCodecsMu.Unlock()
+	if _, dup := schemeCodecs[kind]; dup {
+		panic(fmt.Sprintf("rr: scheme kind %q registered twice", kind))
+	}
+	schemeCodecs[kind] = decode
+}
+
+// SchemeKinds returns the registered scheme kinds, sorted.
+func SchemeKinds() []string {
+	schemeCodecsMu.RLock()
+	defer schemeCodecsMu.RUnlock()
+	out := make([]string, 0, len(schemeCodecs))
+	for k := range schemeCodecs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MarshalScheme serializes any Scheme into its kind-tagged envelope:
+//
+//	{"kind": "dense", "scheme": {...}}
+//
+// The payload is the scheme's own json.Marshaler form.
+func MarshalScheme(s Scheme) ([]byte, error) {
+	if s == nil {
+		return nil, fmt.Errorf("rr: cannot marshal a nil scheme")
+	}
+	payload, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("rr: encoding %s scheme: %w", s.Kind(), err)
+	}
+	return json.Marshal(schemeEnvelope{Kind: s.Kind(), Scheme: payload})
+}
+
+// UnmarshalScheme revives a Scheme from its kind-tagged envelope, validating
+// through the registered codec for its kind.
+func UnmarshalScheme(data []byte) (Scheme, error) {
+	var env schemeEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("rr: decoding scheme envelope: %w", err)
+	}
+	if env.Kind == "" {
+		return nil, fmt.Errorf("rr: scheme envelope has no kind")
+	}
+	schemeCodecsMu.RLock()
+	decode := schemeCodecs[env.Kind]
+	schemeCodecsMu.RUnlock()
+	if decode == nil {
+		return nil, fmt.Errorf("rr: unknown scheme kind %q (registered: %v)", env.Kind, SchemeKinds())
+	}
+	s, err := decode(env.Scheme)
+	if err != nil {
+		return nil, fmt.Errorf("rr: decoding %s scheme: %w", env.Kind, err)
+	}
+	return s, nil
+}
+
+// SchemeVersion returns a short stable fingerprint of a scheme's canonical
+// wire form — the value the collection service serves as the /v1/scheme
+// ETag, so SDK clients can detect a hot-swapped scheme without re-downloading
+// and re-parsing it.
+func SchemeVersion(s Scheme) (string, error) {
+	data, err := MarshalScheme(s)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8]), nil
+}
+
+func init() {
+	RegisterScheme(DenseKind, func(data []byte) (Scheme, error) {
+		m := new(Matrix)
+		if err := m.UnmarshalJSON(data); err != nil {
+			return nil, err
+		}
+		return m, nil
+	})
+}
+
+// The dense scheme: *Matrix satisfies Scheme with report space == domain.
+// DisguiseBatchInto is implemented in disguise.go; the methods here are thin
+// views over the existing matrix operations, so the dense path stays
+// bit-for-bit what it was before the abstraction existed.
+
+// Kind returns DenseKind.
+func (m *Matrix) Kind() string { return DenseKind }
+
+// Domain returns the category domain size (== N()).
+func (m *Matrix) Domain() int { return m.N() }
+
+// ReportSpace returns the report space size: the dense scheme reports a
+// category index, so it equals the domain.
+func (m *Matrix) ReportSpace() int { return m.N() }
+
+// DisguiseValue disguises one private value: a draw from column value of the
+// matrix, through the cached per-column alias samplers.
+func (m *Matrix) DisguiseValue(value int, rng *randx.Source) (int, error) {
+	samplers, err := m.Samplers()
+	if err != nil {
+		return 0, err
+	}
+	if value < 0 || value >= len(samplers) {
+		return 0, fmt.Errorf("%w: value %d of %d categories", ErrShape, value, len(samplers))
+	}
+	return samplers[value].Draw(rng), nil
+}
+
+// EstimateFrom debiases aggregated report counts via the Theorem-1 inversion
+// estimator: counts are normalized into the empirical disguised distribution
+// and solved back through the matrix. A nil categories slice returns the
+// full domain estimate; otherwise the requested categories are selected from
+// it.
+func (m *Matrix) EstimateFrom(counts []int, categories []int) ([]float64, error) {
+	n := m.N()
+	if len(counts) != n {
+		return nil, fmt.Errorf("%w: %d counts for %d categories", ErrShape, len(counts), n)
+	}
+	total := 0
+	for k, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("%w: count[%d] = %d is negative", ErrShape, k, c)
+		}
+		total += c
+	}
+	if total == 0 {
+		return nil, ErrEmptyData
+	}
+	pStar := make([]float64, n)
+	inv := 1 / float64(total)
+	for k, c := range counts {
+		pStar[k] = float64(c) * inv
+	}
+	est, err := m.EstimateInversionFromDistribution(pStar)
+	if err != nil {
+		return nil, err
+	}
+	if categories == nil {
+		return est, nil
+	}
+	out := make([]float64, len(categories))
+	for i, x := range categories {
+		if x < 0 || x >= n {
+			return nil, fmt.Errorf("%w: category %d of %d", ErrShape, x, n)
+		}
+		out[i] = est[x]
+	}
+	return out, nil
+}
+
+// Samplers returns the per-column alias samplers of the matrix, built once
+// and cached: every disguise path (Disguise, DisguiseBatchInto,
+// DisguiseValue, collector.Respondent, the rrclient SDK) shares one table
+// per matrix instead of rebuilding n alias tables per call site. SetColumns
+// invalidates the cache, so optimizer scratch matrices stay correct. The
+// returned slice and its samplers are immutable; callers must not modify it.
+func (m *Matrix) Samplers() ([]*randx.Alias, error) {
+	if p := m.samplers.Load(); p != nil {
+		return *p, nil
+	}
+	n := m.N()
+	samplers := make([]*randx.Alias, n)
+	for i := 0; i < n; i++ {
+		a, err := randx.NewAlias(m.Column(i))
+		if err != nil {
+			return nil, fmt.Errorf("rr: column %d: %w", i, err)
+		}
+		samplers[i] = a
+	}
+	// Concurrent builders race benignly: both tables are built from the same
+	// columns, so whichever store wins serves identical draws.
+	m.samplers.Store(&samplers)
+	return samplers, nil
+}

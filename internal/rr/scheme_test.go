@@ -1,0 +1,235 @@
+package rr
+
+import (
+	"strings"
+	"testing"
+
+	"optrr/internal/randx"
+)
+
+// The dense matrix must satisfy the Scheme interface.
+var _ Scheme = (*Matrix)(nil)
+
+func mustMatrix(t *testing.T) func(*Matrix, error) *Matrix {
+	t.Helper()
+	return func(m *Matrix, err error) *Matrix {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+}
+
+func TestDenseSchemeBasics(t *testing.T) {
+	m := mustMatrix(t)(Warner(4, 0.7))
+	if got := m.Kind(); got != DenseKind {
+		t.Fatalf("Kind() = %q, want %q", got, DenseKind)
+	}
+	if m.Domain() != 4 || m.ReportSpace() != 4 {
+		t.Fatalf("Domain/ReportSpace = %d/%d, want 4/4", m.Domain(), m.ReportSpace())
+	}
+}
+
+func TestDenseDisguiseValueMatchesDisguise(t *testing.T) {
+	m := mustMatrix(t)(Warner(5, 0.6))
+	records := make([]int, 200)
+	for k := range records {
+		records[k] = k % 5
+	}
+	batch, err := m.Disguise(records, randx.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randx.New(99)
+	for k, rec := range records {
+		got, err := m.DisguiseValue(rec, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != batch[k] {
+			t.Fatalf("record %d: DisguiseValue = %d, Disguise = %d", k, got, batch[k])
+		}
+	}
+	if _, err := m.DisguiseValue(5, rng); err == nil {
+		t.Fatal("DisguiseValue accepted an out-of-range value")
+	}
+}
+
+func TestDenseEstimateFromMatchesInversion(t *testing.T) {
+	m := mustMatrix(t)(Warner(3, 0.8))
+	counts := []int{500, 300, 200}
+	reports := make([]int, 0, 1000)
+	for cat, c := range counts {
+		for i := 0; i < c; i++ {
+			reports = append(reports, cat)
+		}
+	}
+	want, err := m.EstimateInversion(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.EstimateFrom(counts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("category %d: EstimateFrom = %v, EstimateInversion = %v", i, got[i], want[i])
+		}
+	}
+	sel, err := m.EstimateFrom(counts, []int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel[0] != want[2] || sel[1] != want[0] {
+		t.Fatalf("selected estimates %v, want [%v %v]", sel, want[2], want[0])
+	}
+	if _, err := m.EstimateFrom(counts, []int{3}); err == nil {
+		t.Fatal("EstimateFrom accepted an out-of-range category")
+	}
+	if _, err := m.EstimateFrom([]int{0, 0, 0}, nil); err == nil {
+		t.Fatal("EstimateFrom accepted all-zero counts")
+	}
+	if _, err := m.EstimateFrom([]int{1, 2}, nil); err == nil {
+		t.Fatal("EstimateFrom accepted a short counts slice")
+	}
+}
+
+func TestSchemeEnvelopeRoundTrip(t *testing.T) {
+	m := mustMatrix(t)(UniformPerturbation(4, 0.55))
+	data, err := MarshalScheme(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"kind":"dense"`) {
+		t.Fatalf("envelope missing kind tag: %s", data)
+	}
+	s, err := UnmarshalScheme(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, ok := s.(*Matrix)
+	if !ok {
+		t.Fatalf("decoded scheme is %T, want *Matrix", s)
+	}
+	if !back.Equal(m, 0) {
+		t.Fatal("round-tripped matrix differs")
+	}
+}
+
+func TestUnmarshalSchemeRejectsUnknownKind(t *testing.T) {
+	if _, err := UnmarshalScheme([]byte(`{"kind":"nope","scheme":{}}`)); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := UnmarshalScheme([]byte(`{"scheme":{}}`)); err == nil {
+		t.Fatal("missing kind accepted")
+	}
+}
+
+func TestSchemeVersionDetectsChange(t *testing.T) {
+	a := mustMatrix(t)(Warner(4, 0.7))
+	b := mustMatrix(t)(Warner(4, 0.7))
+	c := mustMatrix(t)(Warner(4, 0.71))
+	va, err := SchemeVersion(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := SchemeVersion(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc, err := SchemeVersion(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if va != vb {
+		t.Fatalf("identical schemes have versions %q and %q", va, vb)
+	}
+	if va == vc {
+		t.Fatalf("different schemes share version %q", va)
+	}
+}
+
+func TestSamplersCachedAndInvalidated(t *testing.T) {
+	m := mustMatrix(t)(Warner(3, 0.75))
+	s1, err := m.Samplers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := m.Samplers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &s1[0] != &s2[0] {
+		t.Fatal("second Samplers call rebuilt the table")
+	}
+	// Overwriting the columns must invalidate the cache: draws after
+	// SetColumns follow the new columns, exactly as a fresh matrix would.
+	id := Identity(3)
+	cols := make([][]float64, 3)
+	for i := range cols {
+		cols[i] = id.Column(i)
+	}
+	if err := m.SetColumns(cols); err != nil {
+		t.Fatal(err)
+	}
+	rng := randx.New(7)
+	for v := 0; v < 3; v++ {
+		got, err := m.DisguiseValue(v, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Fatalf("identity scheme disguised %d as %d: stale sampler cache", v, got)
+		}
+	}
+}
+
+func TestSamplersMatchUncachedDraws(t *testing.T) {
+	// The cache must be bit-for-bit invisible: draws through the cached
+	// samplers equal draws through freshly built alias tables.
+	m := mustMatrix(t)(FRAPP(6, 3))
+	fresh := make([]*randx.Alias, 6)
+	for i := range fresh {
+		a, err := randx.NewAlias(m.Column(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh[i] = a
+	}
+	cached, err := m.Samplers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := randx.New(1234), randx.New(1234)
+	for k := 0; k < 5000; k++ {
+		v := k % 6
+		if got, want := cached[v].Draw(r1), fresh[v].Draw(r2); got != want {
+			t.Fatalf("draw %d: cached %d, fresh %d", k, got, want)
+		}
+	}
+}
+
+func TestMatrixJSONDecodeInvalidatesSamplers(t *testing.T) {
+	m := mustMatrix(t)(Warner(3, 0.9))
+	if _, err := m.Samplers(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := Identity(3).MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	rng := randx.New(3)
+	for v := 0; v < 3; v++ {
+		got, err := m.DisguiseValue(v, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Fatalf("decoded identity disguised %d as %d: stale sampler cache", v, got)
+		}
+	}
+}

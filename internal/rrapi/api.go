@@ -9,7 +9,11 @@
 // and only the disguised category index ever crosses the wire.
 package rrapi
 
-import "optrr/internal/rr"
+import (
+	"encoding/json"
+
+	"optrr/internal/rr"
+)
 
 // ReportRequest is the body of POST /v1/report: one disguised category.
 type ReportRequest struct {
@@ -28,12 +32,22 @@ type IngestResponse struct {
 }
 
 // SchemeResponse is the body of GET /v1/scheme: the deployed disguise
-// matrix in the validated rr wire form (categories + column vectors), so a
-// client can build its local samplers, plus the collection's z quantile so
-// client and server quote the same confidence level.
+// scheme, so a client can build its local samplers, plus the collection's z
+// quantile so client and server quote the same confidence level.
+//
+// The scheme travels twice for compatibility. Kind/Scheme/Version is the
+// current form: a kind-tagged envelope (rr.MarshalScheme) that carries any
+// registered scheme — the dense matrix or the count-mean sketch — plus the
+// wire fingerprint the server also serves as the ETag. Matrix is the legacy
+// dense-only field; servers keep filling it for dense deployments so old
+// clients survive, and new clients fall back to it when the envelope is
+// absent.
 type SchemeResponse struct {
-	Matrix *rr.Matrix `json:"matrix"`
-	Z      float64    `json:"z"`
+	Kind    string          `json:"kind,omitempty"`
+	Scheme  json.RawMessage `json:"scheme,omitempty"`
+	Version string          `json:"version,omitempty"`
+	Matrix  *rr.Matrix      `json:"matrix,omitempty"`
+	Z       float64         `json:"z"`
 }
 
 // EstimateResponse is the body of GET /v1/estimate: the debiased frequency
@@ -44,14 +58,34 @@ type SchemeResponse struct {
 // the target.
 type EstimateResponse struct {
 	Reports   int       `json:"reports"`
-	Disguised []float64 `json:"disguised"`
+	Disguised []float64 `json:"disguised,omitempty"`
 	Estimate  []float64 `json:"estimate"`
-	HalfWidth []float64 `json:"half_width"`
+	HalfWidth []float64 `json:"half_width,omitempty"`
 	Z         float64   `json:"z"`
 	Margin    float64   `json:"margin"`
+	// Categories names the original-domain categories Estimate covers, in
+	// order. Dense mode leaves it empty (Estimate is the full domain);
+	// sketch mode echoes the requested ?categories= point queries.
+	Categories []int `json:"categories,omitempty"`
 	// ReportsForMargin is the projected total report count needed to meet
 	// the requested ?margin= target (0 when no target was requested).
 	ReportsForMargin int `json:"reports_for_margin,omitempty"`
+}
+
+// HeavyHitter is one frequent category discovered by GET /v1/heavyhitters:
+// its original-domain index and its debiased frequency estimate.
+type HeavyHitter struct {
+	Category int     `json:"category"`
+	Estimate float64 `json:"estimate"`
+}
+
+// HeavyHittersResponse is the body of GET /v1/heavyhitters: the categories
+// whose estimated frequency clears ?threshold=, sorted by estimate
+// descending, capped at ?limit= when given.
+type HeavyHittersResponse struct {
+	Reports   int           `json:"reports"`
+	Threshold float64       `json:"threshold"`
+	Hits      []HeavyHitter `json:"hits"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.

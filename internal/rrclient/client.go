@@ -1,9 +1,10 @@
 // Package rrclient is the respondent-side disguise SDK for the LDP
 // collection service (cmd/rrserver). It enforces the paper's Section I
-// privacy boundary in code: the client fetches the deployed disguise matrix
-// once, samples the disguised category locally — the same alias-sampler
-// construction collector.Respondent uses — and reports only the disguise.
-// The private value never leaves the process.
+// privacy boundary in code: the client fetches the deployed disguise scheme
+// once, samples the disguised report locally — through the scheme's own
+// sampling (alias tables for a dense matrix, hash-then-disguise for the
+// count-mean sketch) — and reports only the disguise. The private value
+// never leaves the process.
 package rrclient
 
 import (
@@ -23,6 +24,10 @@ import (
 	"optrr/internal/randx"
 	"optrr/internal/rr"
 	"optrr/internal/rrapi"
+
+	// Register the sketch scheme codec so the SDK can decode a cms envelope
+	// from any server without its users importing the sketch package.
+	_ "optrr/internal/sketch"
 )
 
 // randomSeed seeds a production client's disguise draws from the OS entropy
@@ -44,11 +49,11 @@ type Client struct {
 	base string
 	hc   *http.Client
 
-	mu       sync.Mutex
-	m        *rr.Matrix
-	samplers []*randx.Alias // one per original category (matrix column)
-	rng      *randx.Source
-	z        float64
+	mu      sync.Mutex
+	scheme  rr.Scheme
+	version string
+	rng     *randx.Source
+	z       float64
 }
 
 // Option configures a Client.
@@ -81,44 +86,164 @@ func New(baseURL string, opts ...Option) *Client {
 	return c
 }
 
-// Scheme returns the deployed disguise matrix, fetching and caching it (and
-// the derived per-category samplers) on first use.
+// Scheme returns the deployed disguise matrix, fetching and caching the
+// scheme on first use. It fails for a non-dense deployment (the sketch has
+// no matrix to hand out); use DeployedScheme for the scheme-generic form.
 func (c *Client) Scheme(ctx context.Context) (*rr.Matrix, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.ensureSchemeLocked(ctx); err != nil {
 		return nil, err
 	}
-	return c.m, nil
+	m, ok := c.scheme.(*rr.Matrix)
+	if !ok {
+		return nil, fmt.Errorf("rrclient: deployed scheme is %q, not a dense matrix; use DeployedScheme", c.scheme.Kind())
+	}
+	return m, nil
 }
 
-// ensureSchemeLocked fetches GET /v1/scheme once and builds the alias
-// samplers, one per matrix column, exactly as collector.Respondent does.
+// DeployedScheme returns the deployed disguise scheme, fetching and caching
+// it on first use.
+func (c *Client) DeployedScheme(ctx context.Context) (rr.Scheme, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureSchemeLocked(ctx); err != nil {
+		return nil, err
+	}
+	return c.scheme, nil
+}
+
+// SchemeVersion returns the cached scheme's wire fingerprint (the server's
+// /v1/scheme ETag), fetching the scheme on first use.
+func (c *Client) SchemeVersion(ctx context.Context) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureSchemeLocked(ctx); err != nil {
+		return "", err
+	}
+	return c.version, nil
+}
+
+// ensureSchemeLocked fetches GET /v1/scheme once and caches the decoded
+// scheme and its version. New servers carry a kind-tagged envelope; the
+// legacy matrix-only body (from servers predating the scheme abstraction, or
+// bare-matrix test fakes) is accepted as a dense scheme.
 func (c *Client) ensureSchemeLocked(ctx context.Context) error {
-	if c.m != nil {
+	if c.scheme != nil {
 		return nil
 	}
-	var resp rrapi.SchemeResponse
-	if err := c.do(ctx, http.MethodGet, "/v1/scheme", nil, &resp); err != nil {
+	resp, _, err := c.fetchScheme(ctx, "")
+	if err != nil || resp == nil {
 		return err
 	}
-	if resp.Matrix == nil {
-		return fmt.Errorf("rrclient: scheme response has no matrix")
+	return c.adoptSchemeLocked(resp)
+}
+
+// fetchScheme runs GET /v1/scheme. A non-empty ifNoneMatch is sent as
+// If-None-Match; a 304 answer returns (nil, etag, nil).
+func (c *Client) fetchScheme(ctx context.Context, ifNoneMatch string) (*rrapi.SchemeResponse, string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/scheme", nil)
+	if err != nil {
+		return nil, "", fmt.Errorf("rrclient: %w", err)
 	}
-	n := resp.Matrix.N()
-	samplers := make([]*randx.Alias, n)
-	for i := 0; i < n; i++ {
-		a, err := randx.NewAlias(resp.Matrix.Column(i))
-		if err != nil {
-			return fmt.Errorf("rrclient: scheme column %d: %w", i, err)
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	hr, err := c.hc.Do(req)
+	if err != nil {
+		return nil, "", fmt.Errorf("rrclient: GET /v1/scheme: %w", err)
+	}
+	defer hr.Body.Close()
+	etag := hr.Header.Get("ETag")
+	if hr.StatusCode == http.StatusNotModified {
+		return nil, etag, nil
+	}
+	if hr.StatusCode/100 != 2 {
+		var apiErr rrapi.ErrorResponse
+		if err := json.NewDecoder(io.LimitReader(hr.Body, 1<<16)).Decode(&apiErr); err == nil && apiErr.Error != "" {
+			return nil, etag, fmt.Errorf("rrclient: GET /v1/scheme: %s (HTTP %d)", apiErr.Error, hr.StatusCode)
 		}
-		samplers[i] = a
+		return nil, etag, fmt.Errorf("rrclient: GET /v1/scheme: HTTP %d", hr.StatusCode)
 	}
-	c.m, c.samplers, c.z = resp.Matrix, samplers, resp.Z
+	var resp rrapi.SchemeResponse
+	if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+		return nil, etag, fmt.Errorf("rrclient: decoding /v1/scheme response: %w", err)
+	}
+	return &resp, etag, nil
+}
+
+// adoptSchemeLocked decodes a scheme response into the cache.
+func (c *Client) adoptSchemeLocked(resp *rrapi.SchemeResponse) error {
+	scheme, version, err := decodeScheme(resp)
+	if err != nil {
+		return err
+	}
+	c.scheme, c.version, c.z = scheme, version, resp.Z
 	return nil
 }
 
-// Disguise samples the disguised category for one private value, locally.
+// decodeScheme turns a /v1/scheme body into a scheme and its fingerprint,
+// preferring the envelope and falling back to the legacy matrix field.
+func decodeScheme(resp *rrapi.SchemeResponse) (rr.Scheme, string, error) {
+	var scheme rr.Scheme
+	switch {
+	case len(resp.Scheme) > 0:
+		s, err := rr.UnmarshalScheme(resp.Scheme)
+		if err != nil {
+			return nil, "", fmt.Errorf("rrclient: decoding scheme envelope: %w", err)
+		}
+		scheme = s
+	case resp.Matrix != nil:
+		scheme = resp.Matrix
+	default:
+		return nil, "", fmt.Errorf("rrclient: scheme response has no scheme")
+	}
+	version := resp.Version
+	if version == "" {
+		v, err := rr.SchemeVersion(scheme)
+		if err != nil {
+			return nil, "", fmt.Errorf("rrclient: fingerprinting scheme: %w", err)
+		}
+		version = v
+	}
+	return scheme, version, nil
+}
+
+// SchemeChanged asks the server whether the deployed scheme differs from the
+// cached one, using If-None-Match against the scheme ETag so an unchanged
+// deployment costs a bodyless 304. It never swaps the cached scheme — call
+// RefreshScheme to adopt a new deployment. Without a cached scheme it
+// fetches and caches one, reporting no change.
+func (c *Client) SchemeChanged(ctx context.Context) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.scheme == nil {
+		return false, c.ensureSchemeLocked(ctx)
+	}
+	resp, _, err := c.fetchScheme(ctx, `"`+c.version+`"`)
+	if err != nil {
+		return false, err
+	}
+	if resp == nil { // 304: deployment unchanged
+		return false, nil
+	}
+	_, version, err := decodeScheme(resp)
+	if err != nil {
+		return false, err
+	}
+	return version != c.version, nil
+}
+
+// RefreshScheme drops the cached scheme and fetches the currently deployed
+// one, e.g. after SchemeChanged reports a redeployment.
+func (c *Client) RefreshScheme(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.scheme = nil
+	return c.ensureSchemeLocked(ctx)
+}
+
+// Disguise samples the disguised report for one private value, locally.
 // Nothing is sent; combine with Report/ReportBatch, or use ReportValue.
 func (c *Client) Disguise(ctx context.Context, value int) (int, error) {
 	c.mu.Lock()
@@ -130,14 +255,14 @@ func (c *Client) disguiseLocked(ctx context.Context, value int) (int, error) {
 	if err := c.ensureSchemeLocked(ctx); err != nil {
 		return 0, err
 	}
-	if value < 0 || value >= len(c.samplers) {
-		return 0, fmt.Errorf("rrclient: value %d outside the %d-category domain", value, len(c.samplers))
+	if value < 0 || value >= c.scheme.Domain() {
+		return 0, fmt.Errorf("rrclient: value %d outside the %d-category domain", value, c.scheme.Domain())
 	}
-	return c.samplers[value].Draw(c.rng), nil
+	return c.scheme.DisguiseValue(value, c.rng)
 }
 
 // ReportValue disguises one private value locally and submits only the
-// disguised category; it returns what was reported (never the input).
+// disguised report; it returns what was reported (never the input).
 func (c *Client) ReportValue(ctx context.Context, value int) (int, error) {
 	disguised, err := c.Disguise(ctx, value)
 	if err != nil {
@@ -169,14 +294,14 @@ func (c *Client) ReportValues(ctx context.Context, values []int) ([]int, error) 
 	return disguised, nil
 }
 
-// Report submits one already-disguised category (POST /v1/report). Most
+// Report submits one already-disguised report (POST /v1/report). Most
 // callers want ReportValue, which disguises first.
 func (c *Client) Report(ctx context.Context, disguised int) error {
 	var resp rrapi.IngestResponse
 	return c.do(ctx, http.MethodPost, "/v1/report", rrapi.ReportRequest{Report: disguised}, &resp)
 }
 
-// ReportBatch submits a batch of already-disguised categories
+// ReportBatch submits a batch of already-disguised reports
 // (POST /v1/reports), which land atomically on the collector.
 func (c *Client) ReportBatch(ctx context.Context, disguised []int) error {
 	var resp rrapi.IngestResponse
@@ -186,13 +311,47 @@ func (c *Client) ReportBatch(ctx context.Context, disguised []int) error {
 // Estimate fetches the server's current debiased reconstruction with
 // per-category confidence half-widths. margin > 0 additionally asks the
 // server to project the total report count needed to reach that margin
-// (EstimateResponse.ReportsForMargin).
+// (EstimateResponse.ReportsForMargin). Dense deployments only; sketch
+// deployments answer point queries via EstimateCategories.
 func (c *Client) Estimate(ctx context.Context, margin float64) (*rrapi.EstimateResponse, error) {
 	path := "/v1/estimate"
 	if margin > 0 {
 		path += "?margin=" + strconv.FormatFloat(margin, 'g', -1, 64)
 	}
 	var resp rrapi.EstimateResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// EstimateCategories fetches debiased point estimates for the given
+// original-domain categories (GET /v1/estimate?categories=...), the query
+// form sketch deployments answer.
+func (c *Client) EstimateCategories(ctx context.Context, categories []int) (*rrapi.EstimateResponse, error) {
+	if len(categories) == 0 {
+		return nil, fmt.Errorf("rrclient: EstimateCategories needs at least one category")
+	}
+	parts := make([]string, len(categories))
+	for i, v := range categories {
+		parts[i] = strconv.Itoa(v)
+	}
+	var resp rrapi.EstimateResponse
+	path := "/v1/estimate?categories=" + strings.Join(parts, ",")
+	if err := c.do(ctx, http.MethodGet, path, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// HeavyHitters fetches the categories whose estimated frequency is at least
+// threshold (GET /v1/heavyhitters), capped at limit when limit > 0.
+func (c *Client) HeavyHitters(ctx context.Context, threshold float64, limit int) (*rrapi.HeavyHittersResponse, error) {
+	path := "/v1/heavyhitters?threshold=" + strconv.FormatFloat(threshold, 'g', -1, 64)
+	if limit > 0 {
+		path += "&limit=" + strconv.Itoa(limit)
+	}
+	var resp rrapi.HeavyHittersResponse
 	if err := c.do(ctx, http.MethodGet, path, nil, &resp); err != nil {
 		return nil, err
 	}

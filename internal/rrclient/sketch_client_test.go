@@ -1,0 +1,171 @@
+package rrclient
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"optrr/internal/rr"
+	"optrr/internal/rrapi"
+	"optrr/internal/sketch"
+)
+
+// schemeService is a fake rrserver whose deployed scheme can be swapped at
+// runtime, serving the envelope form with ETag/304 like the real server.
+type schemeService struct {
+	mu      sync.Mutex
+	scheme  rr.Scheme
+	version string
+	fetches int // 200 responses only; 304s don't count
+}
+
+func (s *schemeService) swap(t *testing.T, scheme rr.Scheme) {
+	t.Helper()
+	v, err := rr.SchemeVersion(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	s.scheme, s.version = scheme, v
+	s.mu.Unlock()
+}
+
+func (s *schemeService) handle(t *testing.T) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		etag := `"` + s.version + `"`
+		w.Header().Set("ETag", etag)
+		if strings.Contains(r.Header.Get("If-None-Match"), etag) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		env, err := rr.MarshalScheme(s.scheme)
+		if err != nil {
+			t.Error(err)
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		s.fetches++
+		json.NewEncoder(w).Encode(rrapi.SchemeResponse{ //nolint:errcheck
+			Kind: s.scheme.Kind(), Scheme: env, Version: s.version, Z: 1.96,
+		})
+	}
+}
+
+func newSketchScheme(t *testing.T, hashSeed uint64) *sketch.CMSScheme {
+	t.Helper()
+	s, err := sketch.NewKRR(50000, 8, 64, 4, hashSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestClientSketchDisguise: the SDK decodes a cms envelope, refuses the
+// dense-only accessor, and disguises a huge-domain value locally into the
+// k·m report space — the value itself never hits the wire.
+func TestClientSketchDisguise(t *testing.T) {
+	scheme := newSketchScheme(t, 1)
+	svc := &schemeService{}
+	svc.swap(t, scheme)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/scheme", svc.handle(t))
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	client := New(srv.URL, WithSeed(5))
+	ctx := context.Background()
+	if _, err := client.Scheme(ctx); err == nil || !strings.Contains(err.Error(), "not a dense matrix") {
+		t.Fatalf("Scheme() err = %v, want dense-only refusal", err)
+	}
+	deployed, err := client.DeployedScheme(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deployed.Kind() != "cms" || deployed.Domain() != 50000 {
+		t.Fatalf("deployed kind %q domain %d", deployed.Kind(), deployed.Domain())
+	}
+	for _, value := range []int{0, 7, 49999} {
+		report, err := client.Disguise(ctx, value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report < 0 || report >= scheme.ReportSpace() {
+			t.Fatalf("report %d outside the %d-cell report space", report, scheme.ReportSpace())
+		}
+	}
+	if _, err := client.Disguise(ctx, 50000); err == nil {
+		t.Fatal("out-of-domain value accepted")
+	}
+	if svc.fetches != 1 {
+		t.Fatalf("scheme fetched %d times, want 1", svc.fetches)
+	}
+}
+
+// TestClientSchemeChangedAndRefresh: polling an unchanged deployment rides
+// the 304 (no body refetch); a redeployment flips SchemeChanged, and
+// RefreshScheme adopts the new scheme.
+func TestClientSchemeChangedAndRefresh(t *testing.T) {
+	first := newSketchScheme(t, 1)
+	svc := &schemeService{}
+	svc.swap(t, first)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/scheme", svc.handle(t))
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	client := New(srv.URL, WithSeed(5))
+	ctx := context.Background()
+
+	// First call on a cold client fetches and caches, reporting no change.
+	changed, err := client.SchemeChanged(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatal("cold SchemeChanged reported a change")
+	}
+	for i := 0; i < 3; i++ {
+		if changed, err = client.SchemeChanged(ctx); err != nil || changed {
+			t.Fatalf("unchanged poll %d: changed=%v err=%v", i, changed, err)
+		}
+	}
+	if svc.fetches != 1 {
+		t.Fatalf("unchanged polling refetched the body: %d fetches, want 1", svc.fetches)
+	}
+
+	v1, err := client.SchemeVersion(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.swap(t, newSketchScheme(t, 2)) // redeploy under a new hash family
+	changed, err = client.SchemeChanged(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("redeployment not detected")
+	}
+	// SchemeChanged must not swap the cache by itself.
+	if v, _ := client.SchemeVersion(ctx); v != v1 {
+		t.Fatalf("SchemeChanged mutated the cached scheme: %s -> %s", v1, v)
+	}
+	if err := client.RefreshScheme(ctx); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := client.SchemeVersion(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 == v1 {
+		t.Fatal("RefreshScheme kept the stale scheme")
+	}
+	if changed, err = client.SchemeChanged(ctx); err != nil || changed {
+		t.Fatalf("post-refresh poll: changed=%v err=%v", changed, err)
+	}
+}

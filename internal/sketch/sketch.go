@@ -1,0 +1,422 @@
+// Package sketch implements the Count-Mean-Sketch randomized-response scheme
+// that decouples the category domain size from the disguise-matrix size: the
+// dense schemes of package rr carry an n×n matrix, hopeless when categories
+// are URLs or app IDs (n = 10⁶), while the sketch hashes each record through
+// one of k pairwise-independent hash functions into a small hash_range m and
+// disguises only the m-ary hashed value with an inner m×m RR matrix — any
+// OptRR-optimized or Holohan constant-diagonal matrix plugs straight in.
+//
+// A report is the pair (hash index j, disguised hash cell), encoded as the
+// single integer j·m + cell, so the report space is k·m, independent of the
+// domain. Aggregated reports form a k×m count grid; estimation debiases each
+// row through the inner matrix inverse (the Theorem-1 inversion of the
+// paper, applied per row) and then removes the expected hash-collision mass:
+// under a pairwise-independent family every other category lands in a given
+// cell with probability 1/m, so f̂(x) averages (m·t̂_j[h_j(x)] − 1)/(m − 1)
+// over the rows. The error decomposes into the sampling and collision terms
+// of metrics.CMSRowVariance and metrics.CMSCollisionStd — Pastore's
+// hash_range-vs-accuracy trade-off.
+package sketch
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"optrr/internal/matrix"
+	"optrr/internal/metrics"
+	"optrr/internal/randx"
+	"optrr/internal/rr"
+)
+
+// Kind is the wire identifier of the Count-Mean-Sketch scheme (see
+// rr.RegisterScheme).
+const Kind = "cms"
+
+// hashPrime is the Mersenne prime 2⁶¹−1 over which the pairwise-independent
+// family (a·x + b) mod p is defined; the domain must fit below it.
+const hashPrime = uint64(1)<<61 - 1
+
+// ErrBadParams reports invalid sketch parameters.
+var ErrBadParams = errors.New("sketch: invalid parameters")
+
+// CMSScheme is a Count-Mean-Sketch randomized-response scheme. It implements
+// rr.Scheme; values are immutable after construction and safe for concurrent
+// use.
+type CMSScheme struct {
+	domain   int
+	hashes   int // k: number of hash functions / sketch rows
+	rangeM   int // m: hash range / inner matrix size
+	hashSeed uint64
+	a, b     []uint64      // per-row hash coefficients, derived from hashSeed
+	inner    *rr.Matrix    // m×m disguise matrix for hashed values
+	inv      *matrix.Dense // cached inverse of inner, for estimation
+}
+
+// New builds a Count-Mean-Sketch scheme over domain categories, with hashes
+// pairwise-independent hash functions into [0, hashRange) and the given
+// inner disguise matrix (hashRange×hashRange, must be invertible — the
+// inversion estimator runs per sketch row). The hash coefficients are
+// derived deterministically from hashSeed, so clients and server agree on
+// the family by exchanging only the seed.
+func New(domain, hashes, hashRange int, inner *rr.Matrix, hashSeed uint64) (*CMSScheme, error) {
+	if domain < 1 || uint64(domain) >= hashPrime {
+		return nil, fmt.Errorf("%w: domain %d (want 1 ≤ domain < 2⁶¹−1)", ErrBadParams, domain)
+	}
+	if hashes < 1 {
+		return nil, fmt.Errorf("%w: %d hash functions", ErrBadParams, hashes)
+	}
+	if hashRange < 2 {
+		return nil, fmt.Errorf("%w: hash range %d (want ≥ 2)", ErrBadParams, hashRange)
+	}
+	if inner == nil {
+		return nil, fmt.Errorf("%w: nil inner matrix", ErrBadParams)
+	}
+	if inner.N() != hashRange {
+		return nil, fmt.Errorf("%w: inner matrix over %d categories for hash range %d", ErrBadParams, inner.N(), hashRange)
+	}
+	inv, err := inner.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("sketch: inner matrix: %w", err)
+	}
+	s := &CMSScheme{
+		domain:   domain,
+		hashes:   hashes,
+		rangeM:   hashRange,
+		hashSeed: hashSeed,
+		a:        make([]uint64, hashes),
+		b:        make([]uint64, hashes),
+		inner:    inner.Clone(),
+		inv:      inv,
+	}
+	for j := 0; j < hashes; j++ {
+		r := randx.Stream(hashSeed, uint64(j))
+		s.a[j] = 1 + r.Uint64()%(hashPrime-1)
+		s.b[j] = r.Uint64() % hashPrime
+	}
+	return s, nil
+}
+
+// NewKRR builds a sketch whose inner matrix is the closed-form ε-optimal
+// k-ary randomized response of Holohan et al.: constant diagonal
+// γ(ε) = e^ε / (e^ε + m − 1), uniform off-diagonal — the natural baseline
+// before plugging in an OptRR-optimized matrix.
+func NewKRR(domain, hashes, hashRange int, epsilon float64, hashSeed uint64) (*CMSScheme, error) {
+	if epsilon <= 0 || math.IsInf(epsilon, 0) || math.IsNaN(epsilon) {
+		return nil, fmt.Errorf("%w: epsilon %v", ErrBadParams, epsilon)
+	}
+	if hashRange < 2 {
+		return nil, fmt.Errorf("%w: hash range %d (want ≥ 2)", ErrBadParams, hashRange)
+	}
+	e := math.Exp(epsilon)
+	gamma := e / (e + float64(hashRange) - 1)
+	inner, err := rr.Warner(hashRange, gamma)
+	if err != nil {
+		return nil, fmt.Errorf("sketch: closed-form inner matrix: %w", err)
+	}
+	return New(domain, hashes, hashRange, inner, hashSeed)
+}
+
+// Kind returns "cms".
+func (s *CMSScheme) Kind() string { return Kind }
+
+// Domain returns the original category domain size.
+func (s *CMSScheme) Domain() int { return s.domain }
+
+// ReportSpace returns k·m: reports are j·m + cell for hash row j and
+// disguised cell.
+func (s *CMSScheme) ReportSpace() int { return s.hashes * s.rangeM }
+
+// Hashes returns k, the number of hash functions (sketch rows).
+func (s *CMSScheme) Hashes() int { return s.hashes }
+
+// HashRange returns m, the hash range and inner matrix size.
+func (s *CMSScheme) HashRange() int { return s.rangeM }
+
+// HashSeed returns the seed the hash family is derived from.
+func (s *CMSScheme) HashSeed() uint64 { return s.hashSeed }
+
+// Inner returns the inner disguise matrix. The returned value aliases the
+// scheme's immutable copy; callers must treat it as read-only.
+func (s *CMSScheme) Inner() *rr.Matrix { return s.inner }
+
+// Hash returns h_j(value) ∈ [0, m): the pairwise-independent affine stage
+// (a_j·value + b_j) mod p over the Mersenne prime p = 2⁶¹−1, scrambled
+// through a bijective 64-bit finalizer before the mod-m reduction. The
+// finalizer matters: reducing the affine value directly makes the cells of a
+// sequential domain piecewise arithmetic progressions mod m — far more
+// balanced than a random function — which silently breaks the 1/m collision
+// mass the debias step subtracts. An injection preserves the family's
+// pairwise independence while destroying that joint structure. Exported so
+// collectors and tests can locate a category's cell in each sketch row.
+func (s *CMSScheme) Hash(j, value int) int {
+	// a, value < p < 2⁶¹ so the 128-bit product's high word is < 2⁵⁸ < p and
+	// Div64 cannot panic; the sum after reduction fits 62 bits.
+	hi, lo := bits.Mul64(s.a[j], uint64(value))
+	_, rem := bits.Div64(hi, lo, hashPrime)
+	return int(mix64((rem+s.b[j])%hashPrime) % uint64(s.rangeM))
+}
+
+// mix64 is the splitmix64 finalizer: a fixed bijection on 64-bit words with
+// full avalanche behavior.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Report encodes (hash row j, disguised cell) as the single report integer.
+func (s *CMSScheme) Report(j, cell int) int { return j*s.rangeM + cell }
+
+// RowCell decodes a report integer back into (hash row, disguised cell).
+func (s *CMSScheme) RowCell(report int) (j, cell int) {
+	return report / s.rangeM, report % s.rangeM
+}
+
+// DisguiseValue disguises one private value: a uniformly chosen hash row j,
+// the value hashed into that row's cell, and the cell disguised by a draw
+// from the inner matrix column — so the report reveals the raw value only
+// through the hash-then-RR channel.
+func (s *CMSScheme) DisguiseValue(value int, rng *randx.Source) (int, error) {
+	samplers, err := s.inner.Samplers()
+	if err != nil {
+		return 0, err
+	}
+	return s.disguise(value, rng, samplers)
+}
+
+func (s *CMSScheme) disguise(value int, rng *randx.Source, samplers []*randx.Alias) (int, error) {
+	if value < 0 || value >= s.domain {
+		return 0, fmt.Errorf("%w: value %d of %d categories", rr.ErrShape, value, s.domain)
+	}
+	j := rng.Intn(s.hashes)
+	cell := s.Hash(j, value)
+	return s.Report(j, samplers[cell].Draw(rng)), nil
+}
+
+// DisguiseBatchInto disguises records into dst (same length) through
+// rr.BatchChunks, so the output depends only on (scheme, records, seed),
+// never on the worker count.
+func (s *CMSScheme) DisguiseBatchInto(dst, records []int, seed uint64, workers int) error {
+	if len(dst) != len(records) {
+		return fmt.Errorf("%w: dst length %d for %d records", rr.ErrShape, len(dst), len(records))
+	}
+	samplers, err := s.inner.Samplers()
+	if err != nil {
+		return err
+	}
+	return rr.BatchChunks(len(records), seed, workers, func(lo, hi int, rng *randx.Source) error {
+		for k := lo; k < hi; k++ {
+			rep, err := s.disguise(records[k], rng, samplers)
+			if err != nil {
+				return fmt.Errorf("%w: record %d has category %d", rr.ErrShape, k, records[k])
+			}
+			dst[k] = rep
+		}
+		return nil
+	})
+}
+
+// rows debiases the k×m count grid: for every sketch row with reports it
+// computes the row weight N_j/N and the row's debiased cell estimates
+// t̂_j = inner⁻¹ · p̂*_j. Rows without reports get weight 0 and are skipped;
+// the remaining weights are renormalized over the observed mass.
+func (s *CMSScheme) rows(counts []int) (weights []float64, cells [][]float64, err error) {
+	if len(counts) != s.ReportSpace() {
+		return nil, nil, fmt.Errorf("%w: %d counts for report space %d", rr.ErrShape, len(counts), s.ReportSpace())
+	}
+	total := 0
+	for k, c := range counts {
+		if c < 0 {
+			return nil, nil, fmt.Errorf("%w: count[%d] = %d is negative", rr.ErrShape, k, c)
+		}
+		total += c
+	}
+	if total == 0 {
+		return nil, nil, rr.ErrEmptyData
+	}
+	weights = make([]float64, s.hashes)
+	cells = make([][]float64, s.hashes)
+	pStar := make([]float64, s.rangeM)
+	for j := 0; j < s.hashes; j++ {
+		row := counts[j*s.rangeM : (j+1)*s.rangeM]
+		rowTotal := 0
+		for _, c := range row {
+			rowTotal += c
+		}
+		if rowTotal == 0 {
+			continue
+		}
+		weights[j] = float64(rowTotal) / float64(total)
+		invTotal := 1 / float64(rowTotal)
+		for v, c := range row {
+			pStar[v] = float64(c) * invTotal
+		}
+		t := make([]float64, s.rangeM)
+		if err := s.inv.MulVecInto(t, pStar); err != nil {
+			return nil, nil, err
+		}
+		cells[j] = t
+	}
+	return weights, cells, nil
+}
+
+// EstimateFrom debiases aggregated report counts (length ReportSpace(),
+// row-major k×m) into frequency estimates for the requested categories; a
+// nil categories slice means the full domain. The estimate for category x is
+// the row-weighted mean of the collision-debiased cell estimates
+// (m·t̂_j[h_j(x)] − 1)/(m − 1), unbiased over the hash family.
+func (s *CMSScheme) EstimateFrom(counts []int, categories []int) ([]float64, error) {
+	est, _, err := s.estimate(counts, categories, 0, 0)
+	return est, err
+}
+
+// EstimateWithBound is EstimateFrom plus a per-category error bound: z
+// standard deviations of the empirical sampling variance (the row-weighted
+// metrics.CMSRowVariance terms) plus z times the metrics.CMSCollisionStd
+// collision term for the given ell2 = Σ_y f(y)² (use 1 when no better bound
+// on the true distribution is known).
+func (s *CMSScheme) EstimateWithBound(counts []int, categories []int, z, ell2 float64) (ests, bounds []float64, err error) {
+	return s.estimate(counts, categories, z, ell2)
+}
+
+func (s *CMSScheme) estimate(counts []int, categories []int, z, ell2 float64) (ests, bounds []float64, err error) {
+	weights, cells, err := s.rows(counts)
+	if err != nil {
+		return nil, nil, err
+	}
+	withBound := z > 0
+	m := float64(s.rangeM)
+	// Per-row, per-cell debiased estimates and (optionally) variances are
+	// precomputed once — O(k·m²) — so each category query is O(k).
+	debiased := make([][]float64, s.hashes)
+	var rowVar [][]float64
+	if withBound {
+		rowVar = make([][]float64, s.hashes)
+	}
+	for j, t := range cells {
+		if t == nil {
+			continue
+		}
+		d := make([]float64, s.rangeM)
+		for u, tv := range t {
+			d[u] = (m*tv - 1) / (m - 1)
+		}
+		debiased[j] = d
+		if !withBound {
+			continue
+		}
+		row := counts[j*s.rangeM : (j+1)*s.rangeM]
+		rowTotal := 0
+		for _, c := range row {
+			rowTotal += c
+		}
+		pStar := make([]float64, s.rangeM)
+		invTotal := 1 / float64(rowTotal)
+		for v, c := range row {
+			pStar[v] = float64(c) * invTotal
+		}
+		vr := make([]float64, s.rangeM)
+		for u := range vr {
+			v, err := metrics.CMSRowVariance(s.inv.RowView(u), pStar, rowTotal, s.rangeM)
+			if err != nil {
+				return nil, nil, err
+			}
+			// The m·t̂ debias multiplies the cell estimate by m before the
+			// 1/(m−1) division; CMSRowVariance already carries the
+			// (m/(m−1))² scale.
+			vr[u] = v
+		}
+		rowVar[j] = vr
+	}
+	if categories == nil {
+		categories = make([]int, s.domain)
+		for x := range categories {
+			categories[x] = x
+		}
+	}
+	ests = make([]float64, len(categories))
+	if withBound {
+		bounds = make([]float64, len(categories))
+	}
+	collision := 0.0
+	if withBound {
+		collision = metrics.CMSCollisionStd(ell2, s.rangeM, s.hashes)
+	}
+	for i, x := range categories {
+		if x < 0 || x >= s.domain {
+			return nil, nil, fmt.Errorf("%w: category %d of %d", rr.ErrShape, x, s.domain)
+		}
+		var est, variance float64
+		for j := 0; j < s.hashes; j++ {
+			if debiased[j] == nil {
+				continue
+			}
+			u := s.Hash(j, x)
+			w := weights[j]
+			est += w * debiased[j][u]
+			if withBound {
+				variance += w * w * rowVar[j][u]
+			}
+		}
+		ests[i] = est
+		if withBound {
+			bounds[i] = z * (math.Sqrt(variance) + collision)
+		}
+	}
+	return ests, bounds, nil
+}
+
+// cmsJSON is the wire form of the scheme: the hash family travels as its
+// seed, the inner matrix in the rr matrix format. Decoding reconstructs
+// through New, so invariants are revalidated.
+type cmsJSON struct {
+	Domain    int        `json:"domain"`
+	Hashes    int        `json:"hashes"`
+	HashRange int        `json:"hash_range"`
+	HashSeed  uint64     `json:"hash_seed"`
+	Inner     *rr.Matrix `json:"inner"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s *CMSScheme) MarshalJSON() ([]byte, error) {
+	return json.Marshal(cmsJSON{
+		Domain:    s.domain,
+		Hashes:    s.hashes,
+		HashRange: s.rangeM,
+		HashSeed:  s.hashSeed,
+		Inner:     s.inner,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, revalidating through New.
+func (s *CMSScheme) UnmarshalJSON(data []byte) error {
+	var raw cmsJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("sketch: decoding scheme: %w", err)
+	}
+	if raw.Inner == nil {
+		return fmt.Errorf("%w: missing inner matrix", ErrBadParams)
+	}
+	decoded, err := New(raw.Domain, raw.Hashes, raw.HashRange, raw.Inner, raw.HashSeed)
+	if err != nil {
+		return err
+	}
+	*s = *decoded
+	return nil
+}
+
+func init() {
+	rr.RegisterScheme(Kind, func(data []byte) (rr.Scheme, error) {
+		s := new(CMSScheme)
+		if err := s.UnmarshalJSON(data); err != nil {
+			return nil, err
+		}
+		return s, nil
+	})
+}
